@@ -1,0 +1,160 @@
+//! The mobility break-even analysis (§5.1.3).
+//!
+//! Under mobility, SPMS must re-run the distributed Bellman-Ford after each
+//! epoch; the paper: "Our calculations with the cost of running Bellman
+//! Ford and the energy gain of SPMS over SPIN lead us to conclude that at
+//! least 239.18 packets must be successfully transmitted between two
+//! instances of network mobility for SPMS to save energy compared to SPIN."
+//!
+//! The break-even count is simply
+//! `E_DBF / (E_SPIN/packet − E_SPMS/packet)`. This module provides both the
+//! raw formula and an instance builder that derives the inputs from this
+//! repository's own cost models, so the number tracks whatever parameters
+//! an experiment uses.
+
+/// Break-even packet count.
+///
+/// # Errors
+///
+/// Returns a message if SPMS does not actually save energy per packet
+/// (`spms_per_packet >= spin_per_packet`) or any input is non-finite or
+/// negative.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::breakeven_packets;
+///
+/// let pkts = breakeven_packets(2400.0, 20.0, 10.0).unwrap();
+/// assert_eq!(pkts, 240.0);
+/// ```
+pub fn breakeven_packets(
+    dbf_energy_uj: f64,
+    spin_per_packet_uj: f64,
+    spms_per_packet_uj: f64,
+) -> Result<f64, String> {
+    for (name, v) in [
+        ("dbf_energy_uj", dbf_energy_uj),
+        ("spin_per_packet_uj", spin_per_packet_uj),
+        ("spms_per_packet_uj", spms_per_packet_uj),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("{name} = {v} must be finite and >= 0"));
+        }
+    }
+    let saving = spin_per_packet_uj - spms_per_packet_uj;
+    if saving <= 0.0 {
+        return Err(format!(
+            "SPMS saves nothing per packet ({spin_per_packet_uj} vs {spms_per_packet_uj})"
+        ));
+    }
+    Ok(dbf_energy_uj / saving)
+}
+
+/// A concrete break-even instance built from first principles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakevenInstance {
+    /// Zone size (nodes exchanging distance vectors).
+    pub zone_size: usize,
+    /// DBF rounds to convergence.
+    pub rounds: u32,
+    /// Bytes per distance-vector message.
+    pub vector_bytes: u32,
+    /// Max-power transmit energy per byte (µJ/B).
+    pub max_power_uj_per_byte: f64,
+    /// SPIN network energy per disseminated packet (µJ).
+    pub spin_per_packet_uj: f64,
+    /// SPMS network energy per disseminated packet (µJ).
+    pub spms_per_packet_uj: f64,
+}
+
+impl BreakevenInstance {
+    /// A representative MICA2 instance for the paper's reference zone
+    /// (45-node zone, 20 m radius): vector messages carry one entry per
+    /// zone member (4 B each + 2 B header) and DBF converges in ~5 rounds;
+    /// per-packet energies come from the reference pair exchange at level 3
+    /// versus minimum-level multi-hop.
+    #[must_use]
+    pub fn mica2_reference() -> Self {
+        // Level 3 (22.86 m): 0.1995 mW × 0.05 ms/B = 9.975e-3 µJ/B.
+        let l3 = 0.1995 * 0.05;
+        // Level 5 (5.48 m): 0.0125 mW × 0.05 ms/B.
+        let l5 = 0.0125 * 0.05;
+        // One dissemination to one zone member: SPIN sends A+R+D = 44 B at
+        // L3; SPMS sends the 2 B ADV at L3 and R+D = 42 B at L5 over ~4
+        // hops (4× forwarding of the 42 B at L5).
+        let spin = 44.0 * l3;
+        let spms = 2.0 * l3 + 4.0 * 42.0 * l5;
+        BreakevenInstance {
+            zone_size: 45,
+            rounds: 5,
+            vector_bytes: 2 + 4 * 45,
+            max_power_uj_per_byte: l3,
+            spin_per_packet_uj: spin,
+            spms_per_packet_uj: spms,
+        }
+    }
+
+    /// Energy of one DBF execution: every zone member broadcasts its vector
+    /// once per round at maximum power.
+    #[must_use]
+    pub fn dbf_energy_uj(&self) -> f64 {
+        self.zone_size as f64
+            * f64::from(self.rounds)
+            * f64::from(self.vector_bytes)
+            * self.max_power_uj_per_byte
+    }
+
+    /// Packets needed between mobility epochs for SPMS to break even.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`breakeven_packets`] errors.
+    pub fn packets_needed(&self) -> Result<f64, String> {
+        breakeven_packets(
+            self.dbf_energy_uj(),
+            self.spin_per_packet_uj,
+            self.spms_per_packet_uj,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_is_ratio_of_cost_to_saving() {
+        assert_eq!(breakeven_packets(100.0, 3.0, 1.0).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn rejects_non_saving_protocols() {
+        assert!(breakeven_packets(100.0, 1.0, 1.0).is_err());
+        assert!(breakeven_packets(100.0, 1.0, 2.0).is_err());
+        assert!(breakeven_packets(f64::NAN, 2.0, 1.0).is_err());
+        assert!(breakeven_packets(-1.0, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mica2_reference_is_same_order_as_paper() {
+        // The paper reports 239.18 packets for its (unpublished) instance.
+        // Our first-principles MICA2 instance lands in the same order of
+        // magnitude, which is the reproducible claim.
+        let inst = BreakevenInstance::mica2_reference();
+        let pkts = inst.packets_needed().unwrap();
+        assert!(
+            (50.0..2_000.0).contains(&pkts),
+            "break-even {pkts} packets"
+        );
+        assert!(inst.dbf_energy_uj() > 0.0);
+    }
+
+    #[test]
+    fn more_rounds_need_more_packets() {
+        let base = BreakevenInstance::mica2_reference();
+        let mut slow = base;
+        slow.rounds = 10;
+        assert!(slow.packets_needed().unwrap() > base.packets_needed().unwrap());
+    }
+}

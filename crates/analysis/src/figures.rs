@@ -1,0 +1,154 @@
+//! Series generators for the paper's analytical figures (3 and 5).
+
+use crate::delay::DelayModel;
+use crate::energy::EnergyModel;
+use crate::steps::AnalysisParams;
+
+/// One (x, y) series with axis labels, ready for table/CSV rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Series name.
+    pub name: String,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Y-axis label.
+    pub y_label: &'static str,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 3: the analytical SPIN:SPMS delay ratio as the transmission
+/// radius varies.
+///
+/// The radius enters through the zone population: at uniform node density
+/// `ρ` (nodes/m²), a radius `r` puts `n1 = ⌈ρ·π·r²⌉` nodes in contention
+/// at maximum power, while `ns` stays pinned to the lowest level's
+/// population. The ratio of equations (1) and (2) then rises from ≈1 toward
+/// its asymptote of 3 (three max-power channel accesses versus one) —
+/// with the paper's reference density the §4.1 spot value 2.7865 sits on
+/// this curve.
+///
+/// # Errors
+///
+/// Returns a message if the parameters fail validation or `density <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::figures::fig3_series;
+///
+/// let s = fig3_series(&[5.0, 10.0, 20.0, 30.0], 0.04).unwrap();
+/// assert_eq!(s.points.len(), 4);
+/// let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+/// assert!(ys.windows(2).all(|w| w[0] <= w[1]), "monotone in radius");
+/// ```
+pub fn fig3_series(radii_m: &[f64], density_per_m2: f64) -> Result<Series, String> {
+    if !density_per_m2.is_finite() || density_per_m2 <= 0.0 {
+        return Err(format!("bad density {density_per_m2}"));
+    }
+    let base = AnalysisParams::paper_instance();
+    let mut points = Vec::with_capacity(radii_m.len());
+    for &r in radii_m {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(format!("bad radius {r}"));
+        }
+        let n1 = ((density_per_m2 * std::f64::consts::PI * r * r).ceil() as usize).max(base.ns);
+        let params = AnalysisParams { n1, ..base };
+        let model = DelayModel::new(params)?;
+        points.push((r, model.spin_pair() / model.spms_pair()));
+    }
+    Ok(Series {
+        name: "Fig3 Delay ratio SPIN/SPMS".into(),
+        x_label: "transmission radius (m)",
+        y_label: "Delay_SPIN / Delay_SPMS",
+        points,
+    })
+}
+
+/// Figure 5: the analytical SPIN:SPMS energy ratio as the transmission
+/// radius (= relay count `k` on the unit grid) varies.
+///
+/// # Errors
+///
+/// Returns a message if `ks` is empty.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::figures::fig5_series;
+///
+/// let s = fig5_series(&(1..=12).collect::<Vec<u32>>()).unwrap();
+/// assert!(s.points.last().unwrap().1 > 2.0, "SPMS wins at larger radii");
+/// ```
+pub fn fig5_series(ks: &[u32]) -> Result<Series, String> {
+    if ks.is_empty() {
+        return Err("need at least one k".into());
+    }
+    let model = EnergyModel::paper_instance();
+    let points = ks
+        .iter()
+        .map(|&k| (f64::from(k), model.ratio(k)))
+        .collect();
+    Ok(Series {
+        name: "Fig5 Energy ratio SPIN/SPMS".into(),
+        x_label: "radius of transmission (hops, k)",
+        y_label: "E_SPIN / E_SPMS",
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_contains_the_paper_spot_value() {
+        // At the reference density (5 m grid → 0.04 nodes/m²) and a radius
+        // of ≈19 m, n1 ≈ 45 and the ratio is ≈2.7865.
+        let s = fig3_series(&[18.9], 0.04).unwrap();
+        let y = s.points[0].1;
+        assert!((y - 2.7865).abs() < 0.08, "ratio at n1≈45: {y}");
+    }
+
+    #[test]
+    fn fig3_ratio_is_monotone_and_bounded_by_three() {
+        let radii: Vec<f64> = (1..=30).map(f64::from).collect();
+        let s = fig3_series(&radii, 0.04).unwrap();
+        let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+        assert!(ys.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(ys.iter().all(|&y| y < 3.0));
+        assert!(*ys.last().unwrap() > 2.8, "approaches the asymptote");
+    }
+
+    #[test]
+    fn fig3_rejects_bad_inputs() {
+        assert!(fig3_series(&[10.0], 0.0).is_err());
+        assert!(fig3_series(&[-1.0], 0.04).is_err());
+        assert!(fig3_series(&[f64::NAN], 0.04).is_err());
+    }
+
+    #[test]
+    fn fig5_shape_rises_to_its_peak() {
+        let s = fig5_series(&(1..=12).collect::<Vec<u32>>()).unwrap();
+        let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+        assert!((ys[0] - 1.0).abs() < 1e-12, "k = 1 parity");
+        // Rises monotonically up to the peak at k = 4, and SPMS keeps a
+        // substantial advantage through the plotted range.
+        assert!(ys[..4].windows(2).all(|w| w[0] <= w[1] + 1e-12), "{ys:?}");
+        assert!(ys.iter().all(|&y| y >= 1.0), "{ys:?}");
+        assert!(ys[3] >= *ys.iter().last().unwrap());
+    }
+
+    #[test]
+    fn fig5_empty_input_is_an_error() {
+        assert!(fig5_series(&[]).is_err());
+    }
+
+    #[test]
+    fn series_are_labelled() {
+        let s = fig5_series(&[1, 2]).unwrap();
+        assert!(!s.name.is_empty());
+        assert!(!s.x_label.is_empty());
+        assert!(!s.y_label.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! A closed-form energy model for the §6 inter-zone extension (EXT1).
+//!
+//! The paper gives no analysis for its future-work proposal; this module
+//! extends the §4.2 modelling style to the pipeline scenario so the EXT1
+//! simulation has an analytical shape to check against.
+//!
+//! Setup: a line of `n` nodes at unit spacing, source at one end, one sink
+//! at the other (`L = n − 1` unit hops). A zone-power broadcast costs
+//! `zone_tx_relative` per byte (relative to a minimum-power unit hop) and
+//! is heard by up to `2·zone_hops` line neighbors; every reception costs
+//! `rx_relative` per byte.
+//!
+//! * **Flooding** pushes the DATA everywhere: every node broadcasts the
+//!   `D`-byte payload once at zone power:
+//!   `E_flood = n·D·(ztx + n̄·Er)`, with `n̄ = min(2z, n−1)` listeners.
+//! * **SPMS-IZ** moves metadata instead: the bordercast relays the
+//!   `A`-byte query (on a line virtually every node is a border relay —
+//!   the worst case for the extension), then exactly one copy of the data
+//!   is pulled over minimum-power hops:
+//!   `E_iz = n·A·(ztx + n̄·Er) + (n−1)·(R + D)·(1 + Er)`.
+//!
+//! Both waves share the same transmission pattern, so the ratio
+//! `E_flood : E_iz` starts near the payload-to-metadata size ratio `D/A`
+//! (20 in Table 1) and *declines gently* with pipeline length toward a
+//! positive limit as the pull path's linear term grows — exactly the
+//! shape the EXT1b measurement shows (8.4× at 40 m → 7.3× at 120 m).
+//! The magnitude depends on the zone-broadcast cost model: the MICA2
+//! table's discrete levels give `ztx = 0.1995/0.0125 ≈ 16` and a ≈7×
+//! ratio matching the simulation; the idealized `d^α` continuum
+//! (`4^3.5 = 128`) roughly doubles it.
+
+/// Parameters of the inter-zone pipeline comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterZoneModel {
+    /// Per-byte cost of a zone-power broadcast relative to a minimum-power
+    /// unit hop.
+    pub zone_tx_relative: f64,
+    /// Unit hops covered by a zone-power broadcast (audience sizing; 20 m
+    /// zones on the 5 m grid: 4).
+    pub zone_hops: u32,
+    /// ADV/query size in bytes.
+    pub adv_bytes: f64,
+    /// REQ size in bytes.
+    pub req_bytes: f64,
+    /// DATA size in bytes.
+    pub data_bytes: f64,
+    /// Receive cost per byte relative to the unit-hop transmit cost
+    /// (`Er = Em` → 1.0).
+    pub rx_relative: f64,
+}
+
+impl InterZoneModel {
+    /// Table 1 sizes with the MICA2 discrete power table: the 20 m zone
+    /// level (0.1995 mW) vs the 5.48 m minimum level (0.0125 mW).
+    #[must_use]
+    pub fn mica2_instance() -> Self {
+        InterZoneModel {
+            zone_tx_relative: 0.1995 / 0.0125,
+            zone_hops: 4,
+            adv_bytes: 2.0,
+            req_bytes: 2.0,
+            data_bytes: 40.0,
+            rx_relative: 1.0,
+        }
+    }
+
+    /// Table 1 sizes with the idealized `d^α` continuum of §4.2
+    /// (`ztx = zone_hops^α`).
+    #[must_use]
+    pub fn two_ray_instance(alpha: f64, zone_hops: u32) -> Self {
+        InterZoneModel {
+            zone_tx_relative: f64::from(zone_hops.max(1)).powf(alpha),
+            zone_hops,
+            adv_bytes: 2.0,
+            req_bytes: 2.0,
+            data_bytes: 40.0,
+            rx_relative: 1.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any size or cost is non-positive, or
+    /// `zone_hops` is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.zone_hops == 0 {
+            return Err("zone_hops must be at least 1".into());
+        }
+        for (label, v) in [
+            ("zone_tx_relative", self.zone_tx_relative),
+            ("adv_bytes", self.adv_bytes),
+            ("req_bytes", self.req_bytes),
+            ("data_bytes", self.data_bytes),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{label} {v} must be positive"));
+            }
+        }
+        if !(self.rx_relative.is_finite() && self.rx_relative >= 0.0) {
+            return Err(format!("rx_relative {} must be >= 0", self.rx_relative));
+        }
+        Ok(())
+    }
+
+    /// Mean broadcast audience on the line (`min(2z, n−1)` listeners).
+    fn audience(&self, nodes: u32) -> f64 {
+        f64::from((2 * self.zone_hops).min(nodes.saturating_sub(1)))
+    }
+
+    /// Per-node cost of one zone-power broadcast wave, per byte: the
+    /// transmission plus its receptions.
+    fn wave_cost_per_byte(&self, nodes: u32) -> f64 {
+        self.zone_tx_relative + self.audience(nodes) * self.rx_relative
+    }
+
+    /// Relative flooding energy for one item on an `nodes`-node pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` (no pipeline to cross).
+    #[must_use]
+    pub fn flood_energy(&self, nodes: u32) -> f64 {
+        assert!(nodes >= 2, "a pipeline needs at least two nodes");
+        f64::from(nodes) * self.data_bytes * self.wave_cost_per_byte(nodes)
+    }
+
+    /// Relative SPMS-IZ energy for one item: worst-case bordercast (every
+    /// node relays the query once) plus one min-power pull.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    #[must_use]
+    pub fn izpull_energy(&self, nodes: u32) -> f64 {
+        assert!(nodes >= 2, "a pipeline needs at least two nodes");
+        let n = f64::from(nodes);
+        let query = n * self.adv_bytes * self.wave_cost_per_byte(nodes);
+        let pull =
+            (n - 1.0) * (self.req_bytes + self.data_bytes) * (1.0 + self.rx_relative);
+        query + pull
+    }
+
+    /// `E_flood : E_iz` for the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    #[must_use]
+    pub fn ratio(&self, nodes: u32) -> f64 {
+        self.flood_energy(nodes) / self.izpull_energy(nodes)
+    }
+
+    /// The ratio's long-pipeline limit: per added node the flood pays
+    /// `D·(ztx + 2z·Er)` while the pull pays `A·(ztx + 2z·Er) +
+    /// (R+D)(1+Er)`.
+    #[must_use]
+    pub fn limit_ratio(&self) -> f64 {
+        let wave = self.zone_tx_relative + f64::from(2 * self.zone_hops) * self.rx_relative;
+        self.data_bytes * wave
+            / (self.adv_bytes * wave
+                + (self.req_bytes + self.data_bytes) * (1.0 + self.rx_relative))
+    }
+
+    /// The hard upper bound `D/A`: the two waves share one transmission
+    /// pattern, so only the byte counts differ.
+    #[must_use]
+    pub fn asymptotic_ratio(&self) -> f64 {
+        self.data_bytes / self.adv_bytes
+    }
+
+    /// `(length_in_hops, ratio)` series over pipelines of 2..=`max_nodes`
+    /// nodes — the analytical counterpart of the EXT1b figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the model is invalid or `max_nodes < 2`.
+    pub fn ratio_series(&self, max_nodes: u32) -> Result<Vec<(f64, f64)>, String> {
+        self.validate()?;
+        if max_nodes < 2 {
+            return Err("need at least a two-node pipeline".into());
+        }
+        Ok((2..=max_nodes)
+            .map(|n| (f64::from(n - 1), self.ratio(n)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_valid() {
+        assert!(InterZoneModel::mica2_instance().validate().is_ok());
+        assert!(InterZoneModel::two_ray_instance(3.5, 4).validate().is_ok());
+        assert_eq!(InterZoneModel::mica2_instance().asymptotic_ratio(), 20.0);
+        // The continuum makes zone broadcasts ~8× costlier than MICA2's
+        // discrete table at the same radius.
+        assert!(
+            InterZoneModel::two_ray_instance(3.5, 4).zone_tx_relative
+                > 7.0 * InterZoneModel::mica2_instance().zone_tx_relative
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut m = InterZoneModel::mica2_instance();
+        m.zone_tx_relative = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = InterZoneModel::mica2_instance();
+        m.zone_hops = 0;
+        assert!(m.validate().is_err());
+        let mut m = InterZoneModel::mica2_instance();
+        m.data_bytes = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = InterZoneModel::mica2_instance();
+        m.rx_relative = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn iz_always_beats_flooding_on_multi_zone_pipelines() {
+        for m in [
+            InterZoneModel::mica2_instance(),
+            InterZoneModel::two_ray_instance(3.5, 4),
+        ] {
+            for n in 2..=60 {
+                assert!(
+                    m.ratio(n) > 1.0,
+                    "n={n}: flooding should always cost more, ratio {}",
+                    m.ratio(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_declines_gently_toward_the_limit() {
+        let m = InterZoneModel::mica2_instance();
+        let series = m.ratio_series(60).unwrap();
+        // Once the audience saturates (n > 2z+1), the ratio is monotone
+        // non-increasing and approaches limit_ratio from above.
+        let saturated: Vec<&(f64, f64)> =
+            series.iter().filter(|(l, _)| *l >= 9.0).collect();
+        for w in saturated.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "ratio must not grow: {w:?}");
+        }
+        let limit = m.limit_ratio();
+        for (_, r) in &saturated {
+            assert!(*r >= limit - 1e-9);
+            assert!(*r < m.asymptotic_ratio());
+        }
+        let (_, last) = series.last().copied().unwrap();
+        assert!((last - limit).abs() / limit < 0.15, "last {last} vs limit {limit}");
+    }
+
+    #[test]
+    fn mica2_magnitude_matches_the_ext1_measurement() {
+        // EXT1b measures E_flood/E_iz = 8.4× (40 m, 9 nodes) declining to
+        // 7.3× (120 m, 25 nodes); the MICA2 instance lands in that band
+        // with the same downward trend.
+        let m = InterZoneModel::mica2_instance();
+        let short = m.ratio(9);
+        let long = m.ratio(25);
+        assert!((6.0..11.0).contains(&short), "short {short}");
+        assert!((5.0..10.0).contains(&long), "long {long}");
+        assert!(long < short, "ratio must decline with length");
+    }
+
+    #[test]
+    fn metadata_size_drives_the_advantage() {
+        // Doubling the ADV size shrinks the advantage.
+        let mut big_adv = InterZoneModel::mica2_instance();
+        big_adv.adv_bytes *= 2.0;
+        assert!(big_adv.ratio(40) < InterZoneModel::mica2_instance().ratio(40));
+        // A payload as small as the metadata removes it entirely.
+        let mut tiny_data = InterZoneModel::mica2_instance();
+        tiny_data.data_bytes = tiny_data.adv_bytes;
+        assert!(tiny_data.ratio(40) < 1.5);
+    }
+
+    #[test]
+    fn series_errors_are_reported() {
+        let m = InterZoneModel::mica2_instance();
+        assert!(m.ratio_series(1).is_err());
+        let mut bad = m;
+        bad.zone_tx_relative = -1.0;
+        assert!(bad.ratio_series(10).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Closed-form delay and energy models from Section 4 of the paper.
+//!
+//! The paper compares SPIN and SPMS analytically before simulating them:
+//!
+//! * **Delay** (§4.1) — every protocol step costs
+//!   `MAC contention + transmission + processing`; the contention term is
+//!   `G·n²` with `n` the number of nodes inside the chosen power level's
+//!   radius. Equations (1)–(3) and the failure cases compose those steps.
+//!   This crate expresses each scenario as an explicit step list
+//!   ([`steps::Step`]) so every published equation is readable, testable
+//!   code. The paper's reference instance (`Ttx = 0.05`, `Tproc = 0.02`,
+//!   `A:D = 1:30`, `G = 0.01`, `n1 = 45`, `ns = 5`) gives
+//!   `Delay_SPIN : Delay_SPMS = 2.7865`, reproduced exactly by a unit test.
+//! * **Energy** (§4.2) — transmit energy follows `d^α` with `α = 3.5`
+//!   (2-ray ground); with `k` equally spaced relays and metadata fraction
+//!   `f = A/(A+D+R)`, the ratio is
+//!   `E_SPIN : E_SPMS = (k^3.5 + 1) / (k·f·k^3.5 + (2−f)·k)`.
+//! * **Mobility break-even** (§5.1.3) — how many packets must flow between
+//!   mobility events for SPMS's savings to amortize one DBF re-execution
+//!   (the paper reports ≈239.18 for its instance).
+//!
+//! Figures 3 and 5 are regenerated from these models by
+//! [`figures::fig3_series`] and [`figures::fig5_series`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakeven;
+pub mod delay;
+pub mod energy;
+pub mod figures;
+pub mod interzone;
+pub mod steps;
+
+pub use breakeven::{breakeven_packets, BreakevenInstance};
+pub use interzone::InterZoneModel;
+pub use delay::DelayModel;
+pub use energy::EnergyModel;
+pub use steps::{delay_of, AnalysisParams, Step};

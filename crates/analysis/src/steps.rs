@@ -1,0 +1,170 @@
+//! The cost-step vocabulary of the Section 4 delay analysis.
+
+/// Parameters of the analytical model, in the paper's units (milliseconds
+/// and abstract size units, where `Ttx` is the time to transmit one unit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalysisParams {
+    /// Transmission time per size unit (ms) — `Ttx = 0.05`.
+    pub t_tx: f64,
+    /// Per-packet processing delay (ms) — `Tproc = 0.02`.
+    pub t_proc: f64,
+    /// MAC contention constant (ms) — `G = 0.01`.
+    pub g: f64,
+    /// Nodes within the maximum-power radius — `n1 = 45`.
+    pub n1: usize,
+    /// Nodes within the lowest-power radius — `ns = 5`.
+    pub ns: usize,
+    /// ADV length — `A = 1`.
+    pub a: f64,
+    /// REQ length — `R = 1` (the paper sets `R = A`).
+    pub r: f64,
+    /// DATA length — `D = 30` (`A:D = 1:30` in §4.1).
+    pub d: f64,
+    /// τADV (ms).
+    pub tout_adv: f64,
+    /// τDAT (ms).
+    pub tout_dat: f64,
+}
+
+impl AnalysisParams {
+    /// The sample values of §4.1 used to produce the 2.7865 ratio.
+    #[must_use]
+    pub fn paper_instance() -> Self {
+        AnalysisParams {
+            t_tx: 0.05,
+            t_proc: 0.02,
+            g: 0.01,
+            n1: 45,
+            ns: 5,
+            a: 1.0,
+            r: 1.0,
+            d: 30.0,
+            tout_adv: 1.0,
+            tout_dat: 2.5,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any quantity is negative or non-finite, or a
+    /// node count is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("t_tx", self.t_tx),
+            ("t_proc", self.t_proc),
+            ("g", self.g),
+            ("a", self.a),
+            ("r", self.r),
+            ("d", self.d),
+            ("tout_adv", self.tout_adv),
+            ("tout_dat", self.tout_dat),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if self.n1 == 0 || self.ns == 0 {
+            return Err("node counts must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The quadratic contention delay for `n` contenders: `G·n²` ms.
+    #[must_use]
+    pub fn access(&self, n: usize) -> f64 {
+        self.g * (n as f64) * (n as f64)
+    }
+}
+
+/// One cost step of a protocol scenario.
+///
+/// §4.1: "Delay for any transmission = Delay due to MAC layer contention
+/// for the channel + Transmission delay of the packet + Processing delay."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Step {
+    /// MAC channel access among `n` contenders: `G·n²`.
+    Access(usize),
+    /// Transmitting a packet of the given size: `size × Ttx`.
+    Transmit(f64),
+    /// Per-packet processing at a receiving node: `Tproc`.
+    Process,
+    /// Waiting out a timer.
+    Timeout(f64),
+}
+
+/// Total delay (ms) of a step sequence under `p`.
+///
+/// # Example
+///
+/// ```
+/// use spms_analysis::{delay_of, AnalysisParams, Step};
+///
+/// let p = AnalysisParams::paper_instance();
+/// // One max-power ADV: G·n1² + A·Ttx.
+/// let d = delay_of(&[Step::Access(p.n1), Step::Transmit(p.a)], &p);
+/// assert!((d - (20.25 + 0.05)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn delay_of(steps: &[Step], p: &AnalysisParams) -> f64 {
+    steps
+        .iter()
+        .map(|s| match *s {
+            Step::Access(n) => p.access(n),
+            Step::Transmit(size) => size * p.t_tx,
+            Step::Process => p.t_proc,
+            Step::Timeout(t) => t,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_is_valid() {
+        let p = AnalysisParams::paper_instance();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.n1, 45);
+        assert_eq!(p.ns, 5);
+        assert!((p.d / p.a - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut p = AnalysisParams::paper_instance();
+        p.g = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = AnalysisParams::paper_instance();
+        p.n1 = 0;
+        assert!(p.validate().is_err());
+        let mut p = AnalysisParams::paper_instance();
+        p.t_tx = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn access_is_quadratic() {
+        let p = AnalysisParams::paper_instance();
+        assert!((p.access(45) - 20.25).abs() < 1e-12);
+        assert!((p.access(5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_compose_additively() {
+        let p = AnalysisParams::paper_instance();
+        let d = delay_of(
+            &[
+                Step::Access(5),
+                Step::Transmit(30.0),
+                Step::Process,
+                Step::Timeout(1.0),
+            ],
+            &p,
+        );
+        assert!((d - (0.25 + 1.5 + 0.02 + 1.0)).abs() < 1e-12);
+        assert_eq!(delay_of(&[], &p), 0.0);
+    }
+}

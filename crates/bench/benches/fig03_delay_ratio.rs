@@ -1,0 +1,16 @@
+//! Figure 3: analytical SPIN/SPMS delay ratio vs transmission radius.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_bench::{bench_scale, show};
+use spms_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    show(&figures::fig3(&scale));
+    c.bench_function("fig03_delay_ratio", |b| {
+        b.iter(|| std::hint::black_box(figures::fig3(&scale)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 5: analytical SPIN/SPMS energy ratio vs transmission radius.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_bench::{bench_scale, show};
+use spms_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    show(&figures::fig5(&scale));
+    c.bench_function("fig05_energy_ratio", |b| {
+        b.iter(|| std::hint::black_box(figures::fig5(&scale)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

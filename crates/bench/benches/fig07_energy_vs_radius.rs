@@ -1,0 +1,21 @@
+//! Figure 7: simulated energy per packet vs transmission radius.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_bench::{bench_scale, show};
+use spms_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let (f7, _) = figures::fig7_fig9(&scale, 42);
+    show(&f7);
+    c.bench_function("fig07_energy_vs_radius", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7_fig9(&scale, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

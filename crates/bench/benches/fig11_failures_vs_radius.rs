@@ -1,0 +1,20 @@
+//! Figure 11: delay vs transmission radius with transient failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_bench::{bench_scale, show};
+use spms_workloads::figures;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    show(&figures::fig11(&scale, 42));
+    c.bench_function("fig11_failures_vs_radius", |b| {
+        b.iter(|| std::hint::black_box(figures::fig11(&scale, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the simulation substrates: event queue, PRNG,
+//! zone construction, Dijkstra oracle and distributed Bellman-Ford
+//! convergence. These bound how large a sensor field the simulator can
+//! handle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_kernel::{EventQueue, SimRng, SimTime};
+use spms_net::{dijkstra, placement, NodeId, ZoneTable};
+use spms_phy::RadioProfile;
+use spms_routing::DbfEngine;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let mut rng = SimRng::new(1);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() >> 40), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("kernel/rng_exponential_100k", |b| {
+        let mut rng = SimRng::new(2);
+        let mean = SimTime::from_millis(50);
+        b.iter(|| {
+            let mut acc = SimTime::ZERO;
+            for _ in 0..100_000 {
+                acc = acc.saturating_add(rng.exponential(mean));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_zones(c: &mut Criterion) {
+    let topo = placement::grid(15, 15, 5.0).unwrap();
+    let radio = RadioProfile::mica2();
+    c.bench_function("net/zone_table_225_nodes", |b| {
+        b.iter(|| std::hint::black_box(ZoneTable::build(&topo, &radio, 20.0)))
+    });
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = placement::grid(13, 13, 5.0).unwrap();
+    let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+    c.bench_function("net/dijkstra_center_169_nodes", |b| {
+        b.iter(|| std::hint::black_box(dijkstra(&zones, NodeId::new(84))))
+    });
+}
+
+fn bench_dbf(c: &mut Criterion) {
+    let topo = placement::grid(13, 13, 5.0).unwrap();
+    let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+    c.bench_function("routing/dbf_convergence_169_nodes", |b| {
+        b.iter(|| {
+            let mut dbf = DbfEngine::new(&zones, 2);
+            std::hint::black_box(dbf.run_to_convergence(&zones))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_zones,
+    bench_dijkstra,
+    bench_dbf
+);
+criterion_main!(benches);

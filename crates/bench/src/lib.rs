@@ -1,0 +1,32 @@
+//! Shared helpers for the SPMS benchmark harness.
+//!
+//! Each Criterion bench regenerates one paper artifact (at a reduced scale
+//! so the measurement loop stays tractable) and prints the series it
+//! produced, so `cargo bench` doubles as a figure-regeneration smoke pass.
+//! The full-scale regeneration lives in the `repro` binary
+//! (`cargo run --release -p spms-workloads --bin repro -- all --scale paper`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spms_workloads::{render_markdown, FigureResult};
+
+/// Prints a regenerated figure to the bench log (once, outside the timed
+/// loop).
+pub fn show(fig: &FigureResult) {
+    println!("{}", render_markdown(fig));
+}
+
+/// The scale benches run at.
+#[must_use]
+pub fn bench_scale() -> spms_workloads::Scale {
+    spms_workloads::Scale::smoke()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_scale_is_valid() {
+        assert!(super::bench_scale().validate().is_ok());
+    }
+}

@@ -1,0 +1,221 @@
+//! Protocol packets and transmit descriptors.
+
+use spms_net::NodeId;
+use spms_phy::{EnergyCategory, PowerLevel};
+
+use crate::MetaId;
+
+/// The three packet kinds of the SPIN/SPMS negotiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Metadata advertisement, broadcast zone-wide.
+    Adv,
+    /// Request for data, unicast (directly or along the shortest path).
+    Req,
+    /// The data itself, unicast (directly or along the reverse REQ path).
+    Data,
+}
+
+impl PacketKind {
+    /// The energy category charges for this kind map to.
+    #[must_use]
+    pub fn energy_category(self) -> EnergyCategory {
+        match self {
+            PacketKind::Adv => EnergyCategory::Adv,
+            PacketKind::Req => EnergyCategory::Req,
+            PacketKind::Data => EnergyCategory::Data,
+        }
+    }
+}
+
+/// On-air packet sizes in bytes (Table 1: ADV = REQ = 2 B, DATA:REQ = 20,
+/// i.e. DATA = 40 B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketSizes {
+    /// ADV size in bytes.
+    pub adv: u32,
+    /// REQ size in bytes.
+    pub req: u32,
+    /// DATA size in bytes.
+    pub data: u32,
+}
+
+impl PacketSizes {
+    /// Table 1 values.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        PacketSizes {
+            adv: 2,
+            req: 2,
+            data: 40,
+        }
+    }
+
+    /// Size of a packet of the given kind.
+    #[must_use]
+    pub fn bytes(&self, kind: PacketKind) -> u32 {
+        match kind {
+            PacketKind::Adv => self.adv,
+            PacketKind::Req => self.req,
+            PacketKind::Data => self.data,
+        }
+    }
+
+    /// Validates the sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any size is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.adv == 0 || self.req == 0 || self.data == 0 {
+            return Err("packet sizes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PacketSizes {
+    fn default() -> Self {
+        PacketSizes::paper_defaults()
+    }
+}
+
+/// Kind-specific packet contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Metadata advertisement.
+    Adv,
+    /// Data request.
+    Req {
+        /// The node that wants the data.
+        origin: NodeId,
+        /// The node the request is destined for (the PRONE / source).
+        target: NodeId,
+        /// Nodes traversed so far, starting with `origin`, excluding the
+        /// current holder — the record route the DATA retraces.
+        path: Vec<NodeId>,
+    },
+    /// Data transfer.
+    Data {
+        /// The final consumer.
+        dest: NodeId,
+        /// Remaining relays to visit, in order (empty = this hop is the
+        /// final one).
+        route: Vec<NodeId>,
+    },
+    /// Inter-zone metadata query (SPMS-IZ, the paper's §6 extension): a
+    /// bordercast advertisement re-broadcast across zones by border relays.
+    /// Unlike a plain [`Payload::Adv`], the transmitter does **not**
+    /// necessarily hold the data — only the first node of `path` (the
+    /// source) is guaranteed to.
+    IzAdv {
+        /// Remaining rebroadcast budget in zone hops.
+        ttl: u32,
+        /// Border relays traversed, starting with the source.
+        path: Vec<NodeId>,
+    },
+    /// Inter-zone data request: travels back along the reversed border path
+    /// of the [`Payload::IzAdv`] that triggered it, each leg routed over the
+    /// intra-zone shortest paths.
+    IzReq {
+        /// The node that wants the data.
+        origin: NodeId,
+        /// Remaining border waypoints to visit, ending with the source.
+        legs: Vec<NodeId>,
+        /// Node-level record route (starting with `origin`) the DATA
+        /// retraces.
+        path: Vec<NodeId>,
+    },
+}
+
+impl Payload {
+    /// The packet kind of this payload.
+    #[must_use]
+    pub fn kind(&self) -> PacketKind {
+        match self {
+            Payload::Adv | Payload::IzAdv { .. } => PacketKind::Adv,
+            Payload::Req { .. } | Payload::IzReq { .. } => PacketKind::Req,
+            Payload::Data { .. } => PacketKind::Data,
+        }
+    }
+}
+
+/// One protocol packet as handed to a receiver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// The metadata item the packet concerns.
+    pub meta: MetaId,
+    /// The node that transmitted this frame (the previous hop, not
+    /// necessarily the origin).
+    pub from: NodeId,
+    /// Kind-specific contents.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// The packet kind.
+    #[must_use]
+    pub fn kind(&self) -> PacketKind {
+        self.payload.kind()
+    }
+}
+
+/// Link-layer addressing of an outgoing frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Addressee {
+    /// Every zone neighbor within the chosen power level's range.
+    Broadcast,
+    /// A single node (others ignore the frame; per the paper's accounting,
+    /// they are not charged receive energy for it).
+    Unicast(NodeId),
+}
+
+/// A frame a protocol asks the engine to transmit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutFrame {
+    /// Addressing.
+    pub to: Addressee,
+    /// Transmission power level.
+    pub level: PowerLevel,
+    /// The packet carried.
+    pub packet: Packet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_table1() {
+        let s = PacketSizes::paper_defaults();
+        assert_eq!(s.bytes(PacketKind::Adv), 2);
+        assert_eq!(s.bytes(PacketKind::Req), 2);
+        assert_eq!(s.bytes(PacketKind::Data), 40);
+        assert_eq!(s.data / s.req, 20, "DATA:REQ ratio from Table 1");
+        assert!(s.validate().is_ok());
+        assert!(PacketSizes { adv: 0, req: 2, data: 40 }.validate().is_err());
+    }
+
+    #[test]
+    fn payload_kinds() {
+        assert_eq!(Payload::Adv.kind(), PacketKind::Adv);
+        let req = Payload::Req {
+            origin: NodeId::new(1),
+            target: NodeId::new(2),
+            path: vec![NodeId::new(1)],
+        };
+        assert_eq!(req.kind(), PacketKind::Req);
+        let data = Payload::Data {
+            dest: NodeId::new(1),
+            route: vec![],
+        };
+        assert_eq!(data.kind(), PacketKind::Data);
+    }
+
+    #[test]
+    fn energy_categories_map_by_kind() {
+        assert_eq!(PacketKind::Adv.energy_category(), EnergyCategory::Adv);
+        assert_eq!(PacketKind::Req.energy_category(), EnergyCategory::Req);
+        assert_eq!(PacketKind::Data.energy_category(), EnergyCategory::Data);
+    }
+}

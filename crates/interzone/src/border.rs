@@ -1,0 +1,156 @@
+//! Border-relay computation.
+//!
+//! A *border relay* of node `v` is a zone neighbor `u` whose own zone
+//! contains at least one node that `v` cannot reach — rebroadcasting a
+//! query at `u` therefore reaches new nodes. This is the geometric-zone
+//! analogue of the Zone Routing Protocol's peripheral nodes: ZRP bordercasts
+//! queries to the nodes at the edge of the routing zone; with zones defined
+//! by a transmission radius, the nodes that matter are exactly those whose
+//! coverage extends past the previous transmitter's.
+
+use spms_net::{NodeId, ZoneTable};
+
+/// Number of nodes in `candidate`'s zone that are **not** in `prev`'s zone
+/// (and are not `prev` itself) — how much new coverage a rebroadcast at
+/// `candidate` buys.
+///
+/// Zero means relaying at `candidate` is useless: everyone it can reach
+/// already heard `prev`'s transmission.
+#[must_use]
+pub fn coverage_gain(zones: &ZoneTable, prev: NodeId, candidate: NodeId) -> usize {
+    zones
+        .links(candidate)
+        .iter()
+        .filter(|l| l.neighbor != prev && !zones.in_zone(prev, l.neighbor))
+        .count()
+}
+
+/// `true` if `candidate` is a useful border relay for a query last
+/// transmitted by `prev`: it is in `prev`'s zone (it heard the query) and
+/// its rebroadcast reaches at least one node `prev` could not.
+///
+/// # Example
+///
+/// ```
+/// use spms_interzone::is_border_relay;
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+///
+/// let topo = placement::grid(13, 1, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// // Node 4 (20 m out) extends node 0's coverage; node 1 (5 m) does too,
+/// // because its zone reaches node 5 (25 m from node 0).
+/// assert!(is_border_relay(&zones, NodeId::new(0), NodeId::new(4)));
+/// assert!(is_border_relay(&zones, NodeId::new(0), NodeId::new(1)));
+/// ```
+#[must_use]
+pub fn is_border_relay(zones: &ZoneTable, prev: NodeId, candidate: NodeId) -> bool {
+    zones.in_zone(prev, candidate) && coverage_gain(zones, prev, candidate) > 0
+}
+
+/// All border relays of `node`, in id order (deterministic).
+///
+/// These are the zone neighbors a bordercast query transmitted by `node`
+/// should be re-broadcast from. Interior neighbors — whose zones are wholly
+/// contained in `node`'s — are excluded, which is what keeps bordercast
+/// cheaper than flooding.
+#[must_use]
+pub fn border_relays(zones: &ZoneTable, node: NodeId) -> Vec<NodeId> {
+    zones
+        .links(node)
+        .iter()
+        .map(|l| l.neighbor)
+        .filter(|&nb| coverage_gain(zones, node, nb) > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_net::{placement, Topology};
+    use spms_phy::RadioProfile;
+
+    fn line(n: usize) -> ZoneTable {
+        let topo = placement::grid(n, 1, 5.0).unwrap();
+        ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0)
+    }
+
+    #[test]
+    fn interior_neighbors_of_a_small_cluster_are_not_border_relays() {
+        // 3 nodes 5 m apart: every zone covers everyone, so no relay gains
+        // coverage.
+        let zones = line(3);
+        for a in 0..3u32 {
+            assert!(
+                border_relays(&zones, NodeId::new(a)).is_empty(),
+                "node {a} should have no border relays in a single-cluster field"
+            );
+        }
+    }
+
+    #[test]
+    fn line_edges_extend_coverage() {
+        // 13 nodes over 60 m with 20 m zones: node 0's far neighbors are
+        // border relays, and gains grow with distance from node 0.
+        let zones = line(13);
+        let n0 = NodeId::new(0);
+        let relays = border_relays(&zones, n0);
+        assert!(relays.contains(&NodeId::new(4)), "20 m neighbor extends reach");
+        let g1 = coverage_gain(&zones, n0, NodeId::new(1));
+        let g4 = coverage_gain(&zones, n0, NodeId::new(4));
+        assert!(g4 > g1, "farther relays gain more: g1={g1} g4={g4}");
+    }
+
+    #[test]
+    fn border_relay_requires_zone_membership() {
+        let zones = line(13);
+        // Node 7 is 35 m from node 0: outside the 20 m zone, so never a
+        // border relay for node 0 even though it would extend coverage.
+        assert!(!is_border_relay(&zones, NodeId::new(0), NodeId::new(7)));
+    }
+
+    #[test]
+    fn gain_never_counts_prev_or_shared_nodes() {
+        let zones = line(13);
+        let prev = NodeId::new(2);
+        for l in zones.links(prev) {
+            let gain = coverage_gain(&zones, prev, l.neighbor);
+            // Upper bound: candidate's zone size minus itself.
+            assert!(gain <= zones.links(l.neighbor).len());
+        }
+    }
+
+    #[test]
+    fn relays_are_sorted_and_unique() {
+        let zones = line(13);
+        let relays = border_relays(&zones, NodeId::new(6));
+        let mut sorted = relays.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(relays, sorted);
+    }
+
+    #[test]
+    fn two_node_field_has_no_relays() {
+        let topo = placement::grid(2, 1, 5.0).unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        assert!(border_relays(&zones, NodeId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn disconnected_node_is_not_a_relay() {
+        // 3 nodes: two close, one 95 m away (beyond radio reach).
+        let topo = Topology::new(
+            vec![
+                spms_net::Point::new(0.0, 0.0),
+                spms_net::Point::new(5.0, 0.0),
+                spms_net::Point::new(95.0, 0.0),
+            ],
+            spms_net::Field::new(100.0, 10.0).unwrap(),
+        )
+        .unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        assert!(!is_border_relay(&zones, NodeId::new(0), NodeId::new(2)));
+        assert!(border_relays(&zones, NodeId::new(2)).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Zone-routing substrate for SPMS inter-zone dissemination.
+//!
+//! The SPMS paper's §6 proposes extending the protocol to "disseminate data
+//! when the source and the destination are in separate zones with no
+//! interested nodes in the intermediate zones", using the zone routing of
+//! Haas & Pearlman (reference \[4\] of the paper). This crate provides the
+//! topology-level machinery that extension needs, kept separate from the
+//! protocol state machine in the `spms` crate:
+//!
+//! * [`border`] — which zone neighbors of a node are useful *border relays*
+//!   (they extend radio coverage beyond the node's own zone), the analogue
+//!   of ZRP's peripheral nodes on a geometric zone;
+//! * [`overlay`] — the zone overlay graph whose edges connect a node to its
+//!   border relays, giving zone-hop distances, reachability and the TTL
+//!   bound a bordercast query needs.
+//!
+//! Everything here is derived deterministically from a [`ZoneTable`](spms_net::ZoneTable), so it
+//! can be recomputed after every mobility epoch exactly like the routing
+//! tables are.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_interzone::{border_relays, ZoneOverlay};
+//! use spms_net::{placement, NodeId, ZoneTable};
+//! use spms_phy::RadioProfile;
+//!
+//! // A 60 m line of motes with 20 m zones: three zone-hops end to end.
+//! let topo = placement::grid(13, 1, 5.0).unwrap();
+//! let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+//! let overlay = ZoneOverlay::build(&zones);
+//! let hops = overlay.zone_hops(NodeId::new(0), NodeId::new(12)).unwrap();
+//! assert!(hops >= 2, "far ends need multiple bordercast relays, got {hops}");
+//! assert!(!border_relays(&zones, NodeId::new(6)).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod border;
+pub mod overlay;
+
+pub use border::{border_relays, coverage_gain, is_border_relay};
+pub use overlay::ZoneOverlay;

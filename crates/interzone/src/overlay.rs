@@ -1,0 +1,336 @@
+//! The zone overlay graph: node-level vertices, border-relay edges.
+//!
+//! A bordercast query transmitted by `v` is re-broadcast by `v`'s border
+//! relays, then by *their* border relays, and so on. The overlay graph whose
+//! directed edges run from each node to its border relays therefore
+//! describes exactly how far a query with a given TTL can travel; BFS over
+//! it yields the minimum number of relay rebroadcasts ("zone hops") between
+//! any two nodes, and its eccentricity bounds the TTL an experiment needs.
+
+use std::collections::VecDeque;
+
+use spms_net::{NodeId, ZoneTable};
+
+use crate::border::border_relays;
+
+/// Precomputed overlay over one [`ZoneTable`].
+///
+/// # Example
+///
+/// ```
+/// use spms_interzone::ZoneOverlay;
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+///
+/// let topo = placement::grid(13, 1, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let overlay = ZoneOverlay::build(&zones);
+/// // Same zone: zero relays needed.
+/// assert_eq!(overlay.zone_hops(NodeId::new(0), NodeId::new(4)), Some(0));
+/// // The far end needs a chain of rebroadcasts.
+/// assert!(overlay.zone_hops(NodeId::new(0), NodeId::new(12)).unwrap() >= 2);
+/// assert!(overlay.suggested_ttl() >= 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneOverlay {
+    relays: Vec<Vec<NodeId>>,
+}
+
+impl ZoneOverlay {
+    /// Computes every node's border-relay set.
+    #[must_use]
+    pub fn build(zones: &ZoneTable) -> Self {
+        let relays = (0..zones.len())
+            .map(|i| border_relays(zones, NodeId::new(i as u32)))
+            .collect();
+        ZoneOverlay { relays }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// `true` when the overlay covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// The border relays of `node`, in id order.
+    #[must_use]
+    pub fn relays(&self, node: NodeId) -> &[NodeId] {
+        &self.relays[node.index()]
+    }
+
+    /// Minimum number of relay rebroadcasts for a query from `from` to be
+    /// heard by `to`: `Some(0)` when `to` already hears `from`'s own
+    /// zone-wide broadcast, `None` when no relay chain reaches it.
+    ///
+    /// This equals the TTL a bordercast query needs (a query sent with
+    /// `ttl >= zone_hops` arrives; one hop consumes one TTL unit).
+    #[must_use]
+    pub fn zone_hops(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        // BFS over relay edges; reaching relay r at depth d means r's
+        // broadcast (the d-th rebroadcast) is heard by r's zone.
+        // `to` hears the query at depth d if it is in the zone of a node
+        // reached at depth d — but zone membership is exactly "is a relay
+        // target or interior neighbor", which the relays list alone does
+        // not carry. We therefore BFS on relays and separately test
+        // audibility via the relay sets' complement: a node hears `x` iff
+        // it is a zone neighbor of `x`. The overlay stores only relays, so
+        // audibility is checked through `hears`, computed lazily below.
+        let mut depth = vec![u32::MAX; self.relays.len()];
+        depth[from.index()] = 0;
+        let mut queue = VecDeque::from([from]);
+        let mut best: Option<u32> = None;
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v.index()];
+            if let Some(b) = best {
+                if d >= b {
+                    continue;
+                }
+            }
+            if self.hears(v, to) {
+                best = Some(best.map_or(d, |b| b.min(d)));
+                continue;
+            }
+            for &r in &self.relays[v.index()] {
+                if depth[r.index()] == u32::MAX {
+                    depth[r.index()] = d + 1;
+                    queue.push_back(r);
+                }
+            }
+        }
+        best
+    }
+
+    /// `true` if `listener` hears a zone-wide broadcast from `speaker`.
+    ///
+    /// Derived from the relay structure: every zone neighbor either is a
+    /// relay of `speaker` or appears in some relay's edge set; to stay
+    /// self-contained the overlay keeps the full neighbor test by storing
+    /// relays of *both* endpoints — zone symmetry means `listener` hears
+    /// `speaker` iff `speaker` hears `listener`, and a node always hears
+    /// its own relays.
+    fn hears(&self, speaker: NodeId, listener: NodeId) -> bool {
+        self.relays[speaker.index()].contains(&listener)
+            || self.relays[listener.index()].contains(&speaker)
+            || speaker == listener
+    }
+
+    /// The smallest TTL that lets a query from any node reach every node it
+    /// can reach at all (the overlay's eccentricity bound). Fields that fit
+    /// in one zone report 0.
+    #[must_use]
+    pub fn suggested_ttl(&self) -> u32 {
+        let mut worst = 0;
+        for a in 0..self.relays.len() {
+            for b in 0..self.relays.len() {
+                if let Some(h) = self.zone_hops(
+                    NodeId::new(a as u32),
+                    NodeId::new(b as u32),
+                ) {
+                    worst = worst.max(h);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Builds the overlay together with an explicit audibility check against
+/// the zone table, avoiding the relay-only `hears` approximation. This is
+/// the precise variant protocols use; [`ZoneOverlay`] alone suffices for
+/// relay-set queries.
+#[derive(Clone, Debug)]
+pub struct PreciseOverlay<'a> {
+    zones: &'a ZoneTable,
+    overlay: ZoneOverlay,
+}
+
+impl<'a> PreciseOverlay<'a> {
+    /// Builds the precise overlay for `zones`.
+    #[must_use]
+    pub fn build(zones: &'a ZoneTable) -> Self {
+        PreciseOverlay {
+            zones,
+            overlay: ZoneOverlay::build(zones),
+        }
+    }
+
+    /// The relay-set overlay.
+    #[must_use]
+    pub fn overlay(&self) -> &ZoneOverlay {
+        &self.overlay
+    }
+
+    /// Exact zone-hop distances from `from` to **every** node, in one BFS
+    /// over the relay edges plus one audibility sweep. `hops[b]` is `None`
+    /// when no relay chain makes `b` hear the query.
+    #[must_use]
+    pub fn hops_from(&self, from: NodeId) -> Vec<Option<u32>> {
+        let n = self.overlay.len();
+        // BFS depth of each *relay* (number of rebroadcasts before it
+        // transmits).
+        let mut depth = vec![u32::MAX; n];
+        depth[from.index()] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v.index()];
+            for &r in self.overlay.relays(v) {
+                if depth[r.index()] == u32::MAX {
+                    depth[r.index()] = d + 1;
+                    queue.push_back(r);
+                }
+            }
+        }
+        // A node hears the query at the depth of the shallowest transmitter
+        // whose zone contains it.
+        let mut hears = vec![u32::MAX; n];
+        for v in 0..n {
+            let d = depth[v];
+            if d == u32::MAX {
+                continue;
+            }
+            hears[v] = hears[v].min(d);
+            for l in self.zones.links(NodeId::new(v as u32)) {
+                let h = &mut hears[l.neighbor.index()];
+                *h = (*h).min(d);
+            }
+        }
+        hears
+            .into_iter()
+            .map(|h| if h == u32::MAX { None } else { Some(h) })
+            .collect()
+    }
+
+    /// Exact zone-hop distance using true zone membership for audibility.
+    #[must_use]
+    pub fn zone_hops(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to || self.zones.in_zone(from, to) {
+            return Some(0);
+        }
+        self.hops_from(from)[to.index()]
+    }
+
+    /// Exact TTL bound: the maximum finite zone-hop distance over all pairs
+    /// (the overlay's eccentricity). Runs one BFS per node.
+    #[must_use]
+    pub fn suggested_ttl(&self) -> u32 {
+        let n = self.overlay.len();
+        let mut worst = 0;
+        for a in 0..n {
+            for h in self.hops_from(NodeId::new(a as u32)).into_iter().flatten() {
+                worst = worst.max(h);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_net::placement;
+    use spms_phy::RadioProfile;
+
+    fn line(n: usize) -> ZoneTable {
+        let topo = placement::grid(n, 1, 5.0).unwrap();
+        ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0)
+    }
+
+    #[test]
+    fn single_zone_needs_no_relays() {
+        let zones = line(5); // 20 m line: one zone
+        let precise = PreciseOverlay::build(&zones);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                assert_eq!(
+                    precise.zone_hops(NodeId::new(a), NodeId::new(b)),
+                    Some(0),
+                    "{a}->{b}"
+                );
+            }
+        }
+        assert_eq!(precise.suggested_ttl(), 0);
+    }
+
+    #[test]
+    fn long_line_distances_grow_monotonically() {
+        let zones = line(25); // 120 m line
+        let precise = PreciseOverlay::build(&zones);
+        let from = NodeId::new(0);
+        let mut last = 0;
+        for b in 1..25u32 {
+            let h = precise.zone_hops(from, NodeId::new(b)).unwrap();
+            assert!(h >= last, "hops must not decrease along the line");
+            last = h;
+        }
+        assert!(last >= 3, "120 m needs several 20 m zone hops, got {last}");
+        assert_eq!(precise.suggested_ttl(), last);
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let topo = spms_net::Topology::new(
+            vec![
+                spms_net::Point::new(0.0, 0.0),
+                spms_net::Point::new(5.0, 0.0),
+                spms_net::Point::new(300.0, 0.0),
+            ],
+            spms_net::Field::new(300.0, 10.0).unwrap(),
+        )
+        .unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        let precise = PreciseOverlay::build(&zones);
+        assert_eq!(precise.zone_hops(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(precise.zone_hops(NodeId::new(0), NodeId::new(1)), Some(0));
+    }
+
+    #[test]
+    fn overlay_and_precise_agree_on_reachability() {
+        let zones = line(17);
+        let overlay = ZoneOverlay::build(&zones);
+        let precise = PreciseOverlay::build(&zones);
+        for a in 0..17u32 {
+            for b in 0..17u32 {
+                let o = overlay.zone_hops(NodeId::new(a), NodeId::new(b));
+                let p = precise.zone_hops(NodeId::new(a), NodeId::new(b));
+                assert_eq!(o.is_some(), p.is_some(), "{a}->{b}");
+                if let (Some(o), Some(p)) = (o, p) {
+                    assert!(o >= p, "{a}->{b}: overlay {o} < precise {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relays_match_border_function() {
+        let zones = line(13);
+        let overlay = ZoneOverlay::build(&zones);
+        assert_eq!(overlay.len(), 13);
+        assert!(!overlay.is_empty());
+        for a in 0..13u32 {
+            assert_eq!(
+                overlay.relays(NodeId::new(a)),
+                crate::border_relays(&zones, NodeId::new(a)).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_field_ttl_is_bounded_by_diagonal() {
+        // 9×9 grid at 10 m spacing: 80 m × 80 m, 20 m zones.
+        let topo = placement::grid(9, 9, 10.0).unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        let precise = PreciseOverlay::build(&zones);
+        let ttl = precise.suggested_ttl();
+        // Diagonal ≈ 113 m; one zone hop buys up to ~20 m: TTL in [3, 12].
+        assert!((3..=12).contains(&ttl), "ttl = {ttl}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the inter-zone substrate.
+
+use proptest::prelude::*;
+use spms_interzone::{border_relays, coverage_gain, is_border_relay, ZoneOverlay};
+use spms_interzone::overlay::PreciseOverlay;
+use spms_net::{placement, NodeId, ZoneTable};
+use spms_phy::RadioProfile;
+
+fn zones_for(cols: usize, rows: usize, spacing: f64, radius: f64) -> ZoneTable {
+    let topo = placement::grid(cols, rows, spacing).unwrap();
+    ZoneTable::build(&topo, &RadioProfile::mica2(), radius)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Border relays are always zone neighbors with positive gain.
+    #[test]
+    fn relays_are_zone_neighbors_with_gain(
+        cols in 2usize..12,
+        rows in 1usize..4,
+        radius in 10.0f64..30.0,
+    ) {
+        let zones = zones_for(cols, rows, 5.0, radius);
+        for i in 0..zones.len() {
+            let v = NodeId::new(i as u32);
+            for r in border_relays(&zones, v) {
+                prop_assert!(zones.in_zone(v, r));
+                prop_assert!(coverage_gain(&zones, v, r) > 0);
+                prop_assert!(is_border_relay(&zones, v, r));
+            }
+        }
+    }
+
+    /// Zone-hop distance satisfies the triangle-ish relay inequality:
+    /// hops(a, c) <= hops(a, b) + hops(b, c) + 1 (the +1 accounts for b
+    /// itself needing one rebroadcast to bridge its two zones).
+    #[test]
+    fn zone_hops_quasi_triangle(
+        cols in 4usize..14,
+        radius in 12.0f64..26.0,
+    ) {
+        let zones = zones_for(cols, 1, 5.0, radius);
+        let precise = PreciseOverlay::build(&zones);
+        let n = zones.len() as u32;
+        for a in (0..n).step_by(3) {
+            for b in (0..n).step_by(4) {
+                for c in (0..n).step_by(5) {
+                    let (ab, bc, ac) = (
+                        precise.zone_hops(NodeId::new(a), NodeId::new(b)),
+                        precise.zone_hops(NodeId::new(b), NodeId::new(c)),
+                        precise.zone_hops(NodeId::new(a), NodeId::new(c)),
+                    );
+                    if let (Some(ab), Some(bc)) = (ab, bc) {
+                        let ac = ac.expect("reachable via b");
+                        prop_assert!(ac <= ab + bc + 1,
+                            "{a}->{c}: {ac} > {ab}+{bc}+1");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Growing the zone radius never increases the zone-hop distance.
+    #[test]
+    fn hops_shrink_with_radius(cols in 4usize..14) {
+        let small = zones_for(cols, 1, 5.0, 12.0);
+        let large = zones_for(cols, 1, 5.0, 24.0);
+        let ps = PreciseOverlay::build(&small);
+        let pl = PreciseOverlay::build(&large);
+        let far = NodeId::new(cols as u32 - 1);
+        let hs = ps.zone_hops(NodeId::new(0), far);
+        let hl = pl.zone_hops(NodeId::new(0), far);
+        if let Some(hs) = hs {
+            let hl = hl.expect("larger radius keeps reachability");
+            prop_assert!(hl <= hs, "radius 24: {hl} > radius 12: {hs}");
+        }
+    }
+
+    /// Suggested TTL is achievable: every reachable pair's distance is at
+    /// most the TTL, and some pair attains it.
+    #[test]
+    fn suggested_ttl_is_tight(
+        cols in 3usize..10,
+        rows in 1usize..3,
+    ) {
+        let zones = zones_for(cols, rows, 5.0, 15.0);
+        let precise = PreciseOverlay::build(&zones);
+        let ttl = precise.suggested_ttl();
+        let mut attained = false;
+        for a in 0..zones.len() as u32 {
+            for b in 0..zones.len() as u32 {
+                if let Some(h) = precise.zone_hops(NodeId::new(a), NodeId::new(b)) {
+                    prop_assert!(h <= ttl);
+                    attained |= h == ttl;
+                }
+            }
+        }
+        prop_assert!(attained, "no pair attains the suggested TTL {ttl}");
+    }
+
+    /// The relay-only overlay over-approximates but never under-approximates
+    /// the precise zone-hop distance.
+    #[test]
+    fn overlay_upper_bounds_precise(cols in 3usize..12) {
+        let zones = zones_for(cols, 1, 5.0, 20.0);
+        let overlay = ZoneOverlay::build(&zones);
+        let precise = PreciseOverlay::build(&zones);
+        for a in 0..zones.len() as u32 {
+            for b in 0..zones.len() as u32 {
+                if let (Some(o), Some(p)) = (
+                    overlay.zone_hops(NodeId::new(a), NodeId::new(b)),
+                    precise.zone_hops(NodeId::new(a), NodeId::new(b)),
+                ) {
+                    prop_assert!(o >= p, "{a}->{b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An entry in the queue: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. The sequence number makes simultaneous events FIFO, which is
+        // what makes runs reproducible.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering of simultaneous
+/// events.
+///
+/// This is the heart of the discrete-event kernel: the engine pops the next
+/// `(time, event)` pair, advances the clock to `time`, and handles the event
+/// (which may schedule more events). Determinism follows from two properties:
+///
+/// 1. ordering is `(time, insertion sequence)` — no dependence on heap
+///    internals or hashing, and
+/// 2. `SimTime` is integral, so there are no floating-point ties.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "late");
+/// q.schedule(SimTime::ZERO, "early");
+/// assert_eq!(q.pop(), Some((SimTime::ZERO, "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with space for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events popped over the queue's lifetime.
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops all pending events (lifetime counters are retained).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.next_seq)
+            .field("popped_total", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3u32);
+        q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(2), 2u32);
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(9), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(9), "x")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counters_track_lifetime() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "c");
+        q.schedule(SimTime::from_millis(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(SimTime::from_millis(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

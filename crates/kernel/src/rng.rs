@@ -1,0 +1,381 @@
+//! Seeded pseudo-random number generation and the distributions the paper
+//! uses.
+//!
+//! We implement xoshiro256\*\* (public domain, Blackman & Vigna) seeded
+//! through SplitMix64 rather than depending on an external RNG crate: the
+//! simulator's results must be bit-stable across toolchain and dependency
+//! updates, and the three distributions the paper needs — uniform,
+//! exponential inter-arrival times (packet generation and failure injection)
+//! and uniform repair times — are a handful of lines.
+
+use crate::SimTime;
+
+/// Deterministic simulation RNG (xoshiro256\*\*).
+///
+/// Every stochastic decision in a simulation run draws from a `SimRng`
+/// derived from the run's single seed; see [`SimRng::derive`] for creating
+/// independent, reproducible sub-streams (one per concern: traffic, failures,
+/// mobility, MAC backoff), which keeps runs comparable when one subsystem is
+/// reconfigured.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four words of xoshiro state are expanded from the seed with
+    /// SplitMix64, as recommended by the algorithm's authors.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// Derives an independent sub-stream labelled by `stream`.
+    ///
+    /// Two sub-streams with different labels are statistically independent;
+    /// the same `(seed, label)` pair always produces the same stream. Labels
+    /// are small integers documented at the call site (e.g. traffic = 1,
+    /// failures = 2).
+    #[must_use]
+    pub fn derive(&self, stream: u64) -> SimRng {
+        // Mix the label through SplitMix64 so adjacent labels do not produce
+        // correlated seeds.
+        let mut sm = self
+            .state[0]
+            .wrapping_add(stream.wrapping_mul(0xD134_2543_DE82_EF95));
+        let mut s2 = splitmix64(&mut sm);
+        SimRng::new(splitmix64(&mut s2))
+    }
+
+    /// Next raw 64-bit value (xoshiro256\*\*).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the result is
+    /// unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "SimRng::below requires bound > 0");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only reached with probability < bound / 2^64.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform index in `[0, len)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson packet arrivals (Table 1: λ = 1/ms) and transient
+    /// failure inter-arrival times (mean 50 ms). Sampling is by inversion:
+    /// `-mean · ln(1 - U)`.
+    pub fn exponential(&mut self, mean: SimTime) -> SimTime {
+        let u = self.next_f64();
+        let scaled = -(1.0 - u).ln() * mean.as_nanos() as f64;
+        // ln(1-u) is finite for u in [0,1); clamp defensively anyway.
+        if !scaled.is_finite() || scaled <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_nanos(scaled.min(u64::MAX as f64 / 2.0) as u64)
+    }
+
+    /// A uniformly distributed duration in `[lo, hi)`.
+    ///
+    /// Used for repair times (Table 1: MTTR 10 ms, uniform between
+    /// `repair_min` and `repair_max`).
+    pub fn uniform_time(&mut self, lo: SimTime, hi: SimTime) -> SimTime {
+        if hi <= lo {
+            return lo;
+        }
+        let span = hi.as_nanos() - lo.as_nanos();
+        SimTime::from_nanos(lo.as_nanos() + self.below(span))
+    }
+
+    /// Randomly permutes `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Chooses `k` distinct indices out of `[0, n)` (order unspecified but
+    /// deterministic).
+    ///
+    /// Used by the mobility model to pick the fraction of nodes that move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} of {n}");
+        // Partial Fisher-Yates over an index vector: O(n) setup, O(k) swaps.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// An iterator adapter producing Poisson-process arrival instants.
+///
+/// The paper's workload is "Poisson arrivals for the new packets" (Table 1:
+/// λ = 1 per ms). The process is just exponential inter-arrival times
+/// accumulated onto a clock.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{PoissonProcess, SimRng, SimTime};
+///
+/// let rng = SimRng::new(7);
+/// let arrivals: Vec<_> = PoissonProcess::new(rng, SimTime::from_millis(1))
+///     .take(3)
+///     .collect();
+/// assert!(arrivals[0] < arrivals[1] && arrivals[1] < arrivals[2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PoissonProcess {
+    rng: SimRng,
+    mean: SimTime,
+    now: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given mean inter-arrival time starting at
+    /// time zero.
+    #[must_use]
+    pub fn new(rng: SimRng, mean_interarrival: SimTime) -> Self {
+        PoissonProcess {
+            rng,
+            mean: mean_interarrival,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl Iterator for PoissonProcess {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        // Ensure strictly increasing arrivals even if a sample rounds to 0ns.
+        let gap = self.rng.exponential(self.mean).max(SimTime::from_nanos(1));
+        self.now += gap;
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_stable_and_independent() {
+        let root = SimRng::new(99);
+        let mut s1 = root.derive(1);
+        let mut s1_again = root.derive(1);
+        let mut s2 = root.derive(2);
+        assert_eq!(s1.next_u64(), s1_again.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::new(6);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::new(7);
+        let mean = SimTime::from_millis(50);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exponential(mean).as_millis_f64())
+            .sum();
+        let sample_mean = total / n as f64;
+        assert!(
+            (sample_mean - 50.0).abs() < 1.5,
+            "sample mean {sample_mean} too far from 50"
+        );
+    }
+
+    #[test]
+    fn uniform_time_respects_bounds() {
+        let mut rng = SimRng::new(8);
+        let lo = SimTime::from_millis(5);
+        let hi = SimTime::from_millis(15);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let t = rng.uniform_time(lo, hi);
+            assert!(t >= lo && t < hi);
+            acc += t.as_millis_f64();
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 10.0).abs() < 0.3, "MTTR sample mean {mean}");
+    }
+
+    #[test]
+    fn uniform_time_degenerate_range() {
+        let mut rng = SimRng::new(9);
+        let t = SimTime::from_millis(3);
+        assert_eq!(rng.uniform_time(t, t), t);
+        assert_eq!(rng.uniform_time(t, SimTime::ZERO), t);
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_in_range() {
+        let mut rng = SimRng::new(10);
+        let picked = rng.choose_indices(20, 8);
+        assert_eq!(picked.len(), 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(sorted.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn poisson_process_is_strictly_increasing() {
+        let rng = SimRng::new(11);
+        let mut prev = SimTime::ZERO;
+        for t in PoissonProcess::new(rng, SimTime::from_millis(1)).take(1_000) {
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(12);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let want: Vec<u32> = (0..50).collect();
+        assert_eq!(sorted, want);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(13);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(rng.chance(7.0));
+        assert!(!rng.chance(-2.0));
+    }
+}

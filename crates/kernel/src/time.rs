@@ -1,0 +1,250 @@
+//! Fixed-point simulation time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, stored as whole nanoseconds.
+///
+/// The paper's Table 1 expresses every constant in milliseconds (for example
+/// `Ttx = 0.05 ms/byte`, `TOutADV = 1.0 ms`). Storing nanoseconds keeps those
+/// constants exact and makes event ordering a pure integer comparison — no
+/// floating-point drift can reorder two runs with the same seed.
+///
+/// `SimTime` is used both for absolute instants (time since simulation start)
+/// and durations; the arithmetic provided is the subset that is meaningful
+/// for both.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::SimTime;
+///
+/// let t_tx_per_byte = SimTime::from_micros(50); // 0.05 ms
+/// let frame = t_tx_per_byte * 40;               // 40-byte DATA packet
+/// assert_eq!(frame.as_millis_f64(), 2.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant / zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable time (used as an "infinite" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional milliseconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs saturate to zero.
+    ///
+    /// This is the bridge from the paper's Table 1 constants to kernel time.
+    #[must_use]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((ms * 1.0e6).round() as u64)
+    }
+
+    /// Whole nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds (for reporting; never used for ordering).
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Fractional seconds (for reporting; never used for ordering).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    #[must_use]
+    pub const fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// The larger of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`SimTime::saturating_sub`] when the
+    /// ordering is not statically known.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow"))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6}ms)", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact_for_table1_constants() {
+        assert_eq!(SimTime::from_millis_f64(0.05).as_nanos(), 50_000);
+        assert_eq!(SimTime::from_millis_f64(1.0), SimTime::from_millis(1));
+        assert_eq!(SimTime::from_millis_f64(2.5).as_nanos(), 2_500_000);
+        assert_eq!(SimTime::from_millis_f64(0.1).as_nanos(), 100_000);
+        assert_eq!(SimTime::from_millis_f64(0.02).as_nanos(), 20_000);
+    }
+
+    #[test]
+    fn from_millis_f64_saturates_bad_input() {
+        assert_eq!(SimTime::from_millis_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_millis_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::from_micros(30);
+        let b = SimTime::from_micros(20);
+        assert_eq!(a + b, SimTime::from_micros(50));
+        assert_eq!(a - b, SimTime::from_micros(10));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_micros(90));
+        assert_eq!((a * 3) / 3, a);
+    }
+
+    #[test]
+    fn ordering_is_integer_exact() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_nanos(1);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_millis).sum();
+        assert_eq!(total, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", SimTime::from_millis(2)), "2.000ms");
+        assert!(!format!("{:?}", SimTime::ZERO).is_empty());
+    }
+}

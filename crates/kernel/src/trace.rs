@@ -1,0 +1,201 @@
+//! Bounded simulation trace.
+//!
+//! Protocol debugging in a discrete-event simulator is essentially log
+//! archaeology; this module provides a cheap, bounded, allocation-friendly
+//! trace that examples and tests can inspect (for instance, the
+//! `failure_recovery` example prints the PRONE/SCONE failover sequence from
+//! the paper's Figure 2 walkthrough).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::SimTime;
+
+/// One trace record: a timestamp, a subsystem tag and a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time at which the event was recorded.
+    pub time: SimTime,
+    /// Short subsystem tag (e.g. `"spms"`, `"mac"`, `"dbf"`).
+    pub tag: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12} {:>5}] {}", self.time, self.tag, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When disabled (the default for benchmark runs) recording is a no-op, so
+/// tracing can stay compiled-in without perturbing measurements.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::trace::Trace;
+/// use spms_kernel::SimTime;
+///
+/// let mut trace = Trace::bounded(8);
+/// trace.record(SimTime::ZERO, "spms", "ADV broadcast".to_string());
+/// assert_eq!(trace.events().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace: `record` does nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace retaining at most `capacity` most-recent events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (use [`Trace::disabled`] instead).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace; use Trace::disabled()");
+        Trace {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled). The oldest event is evicted
+    /// once the buffer is full.
+    pub fn record(&mut self, time: SimTime, tag: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { time, tag, message });
+    }
+
+    /// Records lazily: the closure only runs when tracing is enabled, so hot
+    /// paths avoid formatting costs.
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        tag: &'static str,
+        f: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.record(time, tag, f());
+        }
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.events
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events whose tag equals `tag`, oldest first.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Renders the retained events, one per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, "x", "hello".into());
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        t.record(SimTime::from_millis(1), "a", "1".into());
+        t.record(SimTime::from_millis(2), "a", "2".into());
+        t.record(SimTime::from_millis(3), "a", "3".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events()[0].message, "2");
+        assert_eq!(t.events()[1].message, "3");
+    }
+
+    #[test]
+    fn record_with_is_lazy_when_disabled() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record_with(SimTime::ZERO, "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn tag_filter_and_render() {
+        let mut t = Trace::bounded(10);
+        t.record(SimTime::ZERO, "mac", "busy".into());
+        t.record(SimTime::ZERO, "spms", "adv".into());
+        t.record(SimTime::ZERO, "spms", "req".into());
+        assert_eq!(t.with_tag("spms").count(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("busy"));
+        assert!(rendered.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = Trace::bounded(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-node half-duplex transmit serialization.
+
+use spms_kernel::SimTime;
+
+/// Tracks when a node's single radio is next free to transmit.
+///
+/// A mote has one half-duplex radio: transmissions it originates must
+/// serialize. The engine asks the queue to reserve a slot for each frame;
+/// the reservation starts no earlier than `now` and no earlier than the end
+/// of the previous reservation, then adds the MAC access delay and the
+/// on-air time.
+///
+/// Receptions are not serialized here — the paper's contention term `G·n²`
+/// already models neighborhood interference statistically, and modelling
+/// receive-side blocking too would double-count it.
+///
+/// # Example
+///
+/// ```
+/// use spms_mac::HalfDuplexQueue;
+/// use spms_kernel::SimTime;
+///
+/// let mut q = HalfDuplexQueue::new();
+/// let r1 = q.reserve(SimTime::ZERO, SimTime::from_millis(1), SimTime::from_millis(2));
+/// let r2 = q.reserve(SimTime::ZERO, SimTime::from_millis(1), SimTime::from_millis(2));
+/// assert_eq!(r1.ends, SimTime::from_millis(3));
+/// // The second frame waits for the first to finish.
+/// assert_eq!(r2.starts, SimTime::from_millis(4));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HalfDuplexQueue {
+    busy_until: SimTime,
+    frames_sent: u64,
+    total_queue_wait: SimTime,
+}
+
+/// The outcome of reserving the radio for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the frame's transmission begins (after queueing + access delay).
+    pub starts: SimTime,
+    /// When the transmission completes (delivery instant at receivers).
+    pub ends: SimTime,
+    /// Time spent waiting behind earlier frames from the same node.
+    pub queue_wait: SimTime,
+}
+
+impl HalfDuplexQueue {
+    /// A queue whose radio is immediately free.
+    #[must_use]
+    pub fn new() -> Self {
+        HalfDuplexQueue::default()
+    }
+
+    /// Reserves the radio for a frame requested at `now` needing
+    /// `access_delay` of contention and `tx_time` on air.
+    pub fn reserve(
+        &mut self,
+        now: SimTime,
+        access_delay: SimTime,
+        tx_time: SimTime,
+    ) -> Reservation {
+        let queued_at = now.max(self.busy_until);
+        let queue_wait = queued_at - now;
+        let starts = queued_at + access_delay;
+        let ends = starts + tx_time;
+        self.busy_until = ends;
+        self.frames_sent += 1;
+        self.total_queue_wait += queue_wait;
+        Reservation {
+            starts,
+            ends,
+            queue_wait,
+        }
+    }
+
+    /// When the radio next becomes free.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Frames reserved so far.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Cumulative time frames spent waiting behind earlier frames.
+    #[must_use]
+    pub fn total_queue_wait(&self) -> SimTime {
+        self.total_queue_wait
+    }
+
+    /// Clears any pending reservation (used when a node fails: "any
+    /// scheduled packet transfer is cancelled").
+    pub fn cancel_pending(&mut self, now: SimTime) {
+        self.busy_until = self.busy_until.min(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_frames_serialize() {
+        let mut q = HalfDuplexQueue::new();
+        let acc = SimTime::from_micros(250);
+        let tx = SimTime::from_micros(100);
+        let r1 = q.reserve(SimTime::ZERO, acc, tx);
+        let r2 = q.reserve(SimTime::ZERO, acc, tx);
+        let r3 = q.reserve(SimTime::ZERO, acc, tx);
+        assert_eq!(r1.starts, acc);
+        assert_eq!(r2.starts, r1.ends + acc);
+        assert_eq!(r3.starts, r2.ends + acc);
+        assert_eq!(r1.queue_wait, SimTime::ZERO);
+        assert_eq!(r2.queue_wait, r1.ends);
+        assert_eq!(q.frames_sent(), 3);
+    }
+
+    #[test]
+    fn idle_radio_transmits_immediately() {
+        let mut q = HalfDuplexQueue::new();
+        let r = q.reserve(
+            SimTime::from_millis(10),
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+        );
+        assert_eq!(r.starts, SimTime::from_millis(11));
+        assert_eq!(r.ends, SimTime::from_millis(13));
+        assert_eq!(r.queue_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn later_request_after_busy_window_is_unqueued() {
+        let mut q = HalfDuplexQueue::new();
+        q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(5));
+        let r = q.reserve(SimTime::from_millis(50), SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(r.starts, SimTime::from_millis(50));
+        assert_eq!(r.queue_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn cancel_pending_frees_radio() {
+        let mut q = HalfDuplexQueue::new();
+        q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(100));
+        q.cancel_pending(SimTime::from_millis(1));
+        assert_eq!(q.busy_until(), SimTime::from_millis(1));
+        let r = q.reserve(SimTime::from_millis(1), SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(r.starts, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn queue_wait_accumulates() {
+        let mut q = HalfDuplexQueue::new();
+        q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(2));
+        q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(2));
+        q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(2));
+        // Waits: 0, 2, 4 ms.
+        assert_eq!(q.total_queue_wait(), SimTime::from_millis(6));
+    }
+}

@@ -1,0 +1,247 @@
+//! Table 1 timing constants and the channel-access delay law.
+
+use spms_kernel::{SimRng, SimTime};
+
+/// MAC-layer timing constants (Table 1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use spms_mac::MacTiming;
+///
+/// let t = MacTiming::paper_defaults();
+/// // A 40-byte DATA packet takes 2 ms on air.
+/// assert_eq!(t.tx_duration(40).as_millis_f64(), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacTiming {
+    /// Time to transmit one byte (Table 1: 0.05 ms/byte).
+    pub tx_per_byte: SimTime,
+    /// Backoff slot duration (Table 1: 0.1 ms).
+    pub slot_time: SimTime,
+    /// Number of backoff slots (Table 1: 20).
+    pub num_slots: u32,
+    /// Proportionality constant `G` of the quadratic contention law, in
+    /// milliseconds (the Section 4 analysis instantiates `G = 0.01`).
+    pub csma_g_ms: f64,
+}
+
+impl MacTiming {
+    /// The constants used throughout the paper's analysis and simulation.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        MacTiming {
+            tx_per_byte: SimTime::from_micros(50),
+            slot_time: SimTime::from_micros(100),
+            num_slots: 20,
+            csma_g_ms: 0.01,
+        }
+    }
+
+    /// Validates the constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any duration is zero where the model needs it
+    /// positive, or `G` is negative/non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tx_per_byte == SimTime::ZERO {
+            return Err("tx_per_byte must be positive".into());
+        }
+        if !self.csma_g_ms.is_finite() || self.csma_g_ms < 0.0 {
+            return Err(format!("csma G {} must be >= 0", self.csma_g_ms));
+        }
+        Ok(())
+    }
+
+    /// On-air time for a packet of `bytes` bytes.
+    #[must_use]
+    pub fn tx_duration(&self, bytes: u32) -> SimTime {
+        self.tx_per_byte * u64::from(bytes)
+    }
+
+    /// The deterministic quadratic contention term `G·n²` for `n` nodes in
+    /// the transmitter's radius.
+    #[must_use]
+    pub fn quadratic_term(&self, neighbors: usize) -> SimTime {
+        let n = neighbors as f64;
+        SimTime::from_millis_f64(self.csma_g_ms * n * n)
+    }
+}
+
+impl Default for MacTiming {
+    fn default() -> Self {
+        MacTiming::paper_defaults()
+    }
+}
+
+/// The channel-access delay law applied before every transmission.
+///
+/// The paper's analysis uses the deterministic quadratic law; its simulation
+/// additionally has slotted backoff (Table 1 lists slot time and slot
+/// count). `BackoffOnly` removes the quadratic term so the ablation bench
+/// can show it is the dominant cause of SPIN's delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ContentionModel {
+    /// Deterministic `G·n²` (the Section 4 analysis model).
+    Quadratic,
+    /// `G·n²` plus a uniform backoff of `U{0..num_slots}` slots — the
+    /// simulation default.
+    #[default]
+    QuadraticWithBackoff,
+    /// Random backoff only (ablation: removes the density-dependent term).
+    BackoffOnly,
+}
+
+impl ContentionModel {
+    /// Delay between a frame reaching the head of the transmit queue and the
+    /// start of its transmission.
+    ///
+    /// `neighbors` is the number of nodes within the radius of the *chosen*
+    /// power level — the paper's `n` (n1 at max power, ns at minimum).
+    pub fn access_delay(
+        self,
+        timing: &MacTiming,
+        neighbors: usize,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let backoff = |rng: &mut SimRng| {
+            if timing.num_slots == 0 {
+                SimTime::ZERO
+            } else {
+                timing.slot_time * rng.below(u64::from(timing.num_slots))
+            }
+        };
+        match self {
+            ContentionModel::Quadratic => timing.quadratic_term(neighbors),
+            ContentionModel::QuadraticWithBackoff => {
+                timing.quadratic_term(neighbors) + backoff(rng)
+            }
+            ContentionModel::BackoffOnly => backoff(rng),
+        }
+    }
+
+    /// The *expected* access delay under this model — what a protocol
+    /// designer would budget for when sizing timeouts (the paper: "TOutADV
+    /// is adjusted properly so that the timer does not go off before B
+    /// sends ADV").
+    #[must_use]
+    pub fn expected_access_delay(self, timing: &MacTiming, neighbors: usize) -> SimTime {
+        let mean_backoff = timing.slot_time * u64::from(timing.num_slots) / 2;
+        match self {
+            ContentionModel::Quadratic => timing.quadratic_term(neighbors),
+            ContentionModel::QuadraticWithBackoff => {
+                timing.quadratic_term(neighbors) + mean_backoff
+            }
+            ContentionModel::BackoffOnly => mean_backoff,
+        }
+    }
+
+    /// Short label for reports and bench IDs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentionModel::Quadratic => "quadratic",
+            ContentionModel::QuadraticWithBackoff => "quadratic+backoff",
+            ContentionModel::BackoffOnly => "backoff-only",
+        }
+    }
+}
+
+impl std::fmt::Display for ContentionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let t = MacTiming::paper_defaults();
+        assert_eq!(t.tx_per_byte, SimTime::from_micros(50));
+        assert_eq!(t.slot_time, SimTime::from_micros(100));
+        assert_eq!(t.num_slots, 20);
+        assert_eq!(t.csma_g_ms, 0.01);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn tx_duration_scales_with_bytes() {
+        let t = MacTiming::paper_defaults();
+        assert_eq!(t.tx_duration(2), SimTime::from_micros(100)); // ADV/REQ
+        assert_eq!(t.tx_duration(40), SimTime::from_millis(2)); // DATA
+        assert_eq!(t.tx_duration(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn quadratic_term_matches_analysis_values() {
+        let t = MacTiming::paper_defaults();
+        // G·n1² with n1 = 45: 0.01 × 2025 = 20.25 ms.
+        assert!((t.quadratic_term(45).as_millis_f64() - 20.25).abs() < 1e-9);
+        // G·ns² with ns = 5: 0.25 ms.
+        assert!((t.quadratic_term(5).as_millis_f64() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_model_is_deterministic() {
+        let t = MacTiming::paper_defaults();
+        let mut rng = SimRng::new(3);
+        let a = ContentionModel::Quadratic.access_delay(&t, 10, &mut rng);
+        let b = ContentionModel::Quadratic.access_delay(&t, 10, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, SimTime::from_millis_f64(1.0));
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_slot_window() {
+        let t = MacTiming::paper_defaults();
+        let mut rng = SimRng::new(4);
+        let window = t.slot_time * u64::from(t.num_slots);
+        for _ in 0..1_000 {
+            let d = ContentionModel::BackoffOnly.access_delay(&t, 45, &mut rng);
+            assert!(d < window);
+        }
+    }
+
+    #[test]
+    fn combined_model_is_at_least_quadratic() {
+        let t = MacTiming::paper_defaults();
+        let mut rng = SimRng::new(5);
+        let base = t.quadratic_term(45);
+        for _ in 0..100 {
+            let d = ContentionModel::QuadraticWithBackoff.access_delay(&t, 45, &mut rng);
+            assert!(d >= base);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_constants() {
+        let mut t = MacTiming::paper_defaults();
+        t.csma_g_ms = -1.0;
+        assert!(t.validate().is_err());
+        let mut t2 = MacTiming::paper_defaults();
+        t2.tx_per_byte = SimTime::ZERO;
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn zero_slots_means_no_backoff() {
+        let mut t = MacTiming::paper_defaults();
+        t.num_slots = 0;
+        let mut rng = SimRng::new(6);
+        assert_eq!(
+            ContentionModel::BackoffOnly.access_delay(&t, 45, &mut rng),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use ContentionModel::*;
+        let labels = [Quadratic.label(), QuadraticWithBackoff.label(), BackoffOnly.label()];
+        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Transient node-failure injection.
+//!
+//! §5.1.2 of the paper: "Nodes fail with an exponential inter-arrival time
+//! (mean λ) and stay failed for a time drawn from a uniform distribution
+//! (repair_min, repair_max). During the time of repair, any received message
+//! is dropped and any scheduled packet transfer is cancelled. We assume
+//! recovery is always successful." Table 1 sets the failure inter-arrival
+//! mean to 50 ms and the MTTR to 10 ms.
+
+use spms_kernel::{SimRng, SimTime};
+
+use crate::NodeId;
+
+/// Failure-injection parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureConfig {
+    /// Mean of the exponential inter-failure time (Table 1: 50 ms).
+    pub mean_interarrival: SimTime,
+    /// Minimum repair time.
+    pub repair_min: SimTime,
+    /// Maximum repair time (uniform in `[repair_min, repair_max)`).
+    pub repair_max: SimTime,
+}
+
+impl FailureConfig {
+    /// Table 1 values: λ = 50 ms, repairs uniform in [5 ms, 15 ms) so the
+    /// MTTR is the paper's 10 ms.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        FailureConfig {
+            mean_interarrival: SimTime::from_millis(50),
+            repair_min: SimTime::from_millis(5),
+            repair_max: SimTime::from_millis(15),
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the inter-arrival mean is zero or the repair
+    /// window is inverted or zero-width at zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_interarrival == SimTime::ZERO {
+            return Err("failure inter-arrival mean must be positive".into());
+        }
+        if self.repair_max < self.repair_min {
+            return Err("repair_max must be >= repair_min".into());
+        }
+        if self.repair_max == SimTime::ZERO {
+            return Err("repair window must allow a positive repair time".into());
+        }
+        Ok(())
+    }
+
+    /// Mean time to repair implied by the window.
+    #[must_use]
+    pub fn mttr(&self) -> SimTime {
+        SimTime::from_nanos(
+            (self.repair_min.as_nanos() + self.repair_max.as_nanos()) / 2,
+        )
+    }
+}
+
+/// One injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When the node fails.
+    pub at: SimTime,
+    /// Which node fails.
+    pub node: NodeId,
+    /// How long it stays down (repair completes at `at + down_for`).
+    pub down_for: SimTime,
+}
+
+/// Generates the failure schedule on demand.
+///
+/// Each call to [`FailureProcess::next_event`] advances the exponential
+/// arrival clock and picks a uniformly random victim; the engine schedules
+/// the corresponding fail/repair simulator events. (A node may be selected
+/// again while already down; the engine treats that as extending nothing —
+/// matching "recovery is always successful".)
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{SimRng, SimTime};
+/// use spms_net::{FailureConfig, FailureProcess};
+///
+/// let mut failures = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(3));
+/// let e = failures.next_event(25);
+/// assert!(e.at > SimTime::ZERO);
+/// assert!(e.node.index() < 25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FailureProcess {
+    config: FailureConfig,
+    rng: SimRng,
+    clock: SimTime,
+    injected: u64,
+}
+
+impl FailureProcess {
+    /// Creates a process with its own RNG sub-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation — construct configs through
+    /// [`FailureConfig::validate`]-checked paths.
+    #[must_use]
+    pub fn new(config: FailureConfig, rng: SimRng) -> Self {
+        config.validate().expect("invalid failure config");
+        FailureProcess {
+            config,
+            rng,
+            clock: SimTime::ZERO,
+            injected: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> FailureConfig {
+        self.config
+    }
+
+    /// Number of failures generated so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Generates the next failure among `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn next_event(&mut self, num_nodes: usize) -> FailureEvent {
+        assert!(num_nodes > 0, "no nodes to fail");
+        let gap = self
+            .rng
+            .exponential(self.config.mean_interarrival)
+            .max(SimTime::from_nanos(1));
+        self.clock += gap;
+        let node = NodeId::new(self.rng.index(num_nodes) as u32);
+        let down_for = self
+            .rng
+            .uniform_time(self.config.repair_min, self.config.repair_max)
+            .max(SimTime::from_nanos(1));
+        self.injected += 1;
+        FailureEvent {
+            at: self.clock,
+            node,
+            down_for,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        let c = FailureConfig::paper_defaults();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.mttr(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn validation_rejects_bad_windows() {
+        let mut c = FailureConfig::paper_defaults();
+        c.repair_max = SimTime::from_millis(1);
+        assert!(c.validate().is_err());
+        let mut c2 = FailureConfig::paper_defaults();
+        c2.mean_interarrival = SimTime::ZERO;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn events_advance_in_time_with_sane_repairs() {
+        let mut p = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(10));
+        let mut prev = SimTime::ZERO;
+        for _ in 0..500 {
+            let e = p.next_event(169);
+            assert!(e.at > prev);
+            assert!(e.node.index() < 169);
+            assert!(e.down_for >= SimTime::from_millis(5));
+            assert!(e.down_for < SimTime::from_millis(15));
+            prev = e.at;
+        }
+        assert_eq!(p.injected(), 500);
+    }
+
+    #[test]
+    fn mean_interarrival_matches_config() {
+        let mut p = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(11));
+        let n = 20_000;
+        let mut last = SimTime::ZERO;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let e = p.next_event(100);
+            total += (e.at - last).as_millis_f64();
+            last = e.at;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn victims_cover_the_network() {
+        let mut p = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(12));
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[p.next_event(10).node.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(13));
+        let mut b = FailureProcess::new(FailureConfig::paper_defaults(), SimRng::new(13));
+        for _ in 0..50 {
+            assert_eq!(a.next_event(30), b.next_event(30));
+        }
+    }
+}

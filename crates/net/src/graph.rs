@@ -1,0 +1,226 @@
+//! Centralized shortest-path oracle.
+//!
+//! The distributed Bellman-Ford implementation in `spms-routing` must agree
+//! with a trusted oracle; this module provides that oracle (Dijkstra over
+//! the zone graph). It is also used by tests and by the "oracle routing"
+//! fast path for failure-free static experiments where simulating the DBF
+//! message exchange adds runtime without changing results.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{NodeId, ZoneTable};
+
+/// Cost of the best path from a node to a destination.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathCost {
+    /// Sum of link weights (mW) along the path.
+    pub cost: f64,
+    /// Number of hops.
+    pub hops: u32,
+    /// The first hop to take from the node toward the destination.
+    pub next_hop: NodeId,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    hops: u32,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (cost, hops, node id) — node id is the deterministic
+        // tie-break so equal-cost routes resolve identically on every run.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Computes, for every node in `dest`'s zone, the cheapest path **to**
+/// `dest` constrained to intermediate nodes that also have `dest` in their
+/// zone.
+///
+/// The constraint mirrors the protocol: a node only maintains routes for
+/// destinations inside its own zone, so a usable relay must know the
+/// destination too. Returns a dense vector indexed by node: `None` for nodes
+/// with no path (outside the zone, or partitioned within it).
+///
+/// Ties between equal-cost paths break toward fewer hops, then the smaller
+/// node id — the same rule the distributed implementation uses, so the two
+/// agree exactly.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{dijkstra, placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+///
+/// let topo = placement::grid(5, 1, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let to_first = dijkstra(&zones, NodeId::new(0));
+/// // The node 4 hops away routes through its 5 m neighbor.
+/// let pc = to_first[4].unwrap();
+/// assert_eq!(pc.hops, 4);
+/// assert_eq!(pc.next_hop, NodeId::new(3));
+/// ```
+#[must_use]
+pub fn dijkstra(zones: &ZoneTable, dest: NodeId) -> Vec<Option<PathCost>> {
+    let n = zones.len();
+    let mut best: Vec<Option<PathCost>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+
+    // Work outward from the destination over symmetric links. `next_hop`
+    // for a node u is the neighbor v that u forwards to; when we relax
+    // u ← v (v already settled), u's next hop is v — unless v IS the
+    // destination, in which case the hop is direct.
+    best[dest.index()] = Some(PathCost {
+        cost: 0.0,
+        hops: 0,
+        next_hop: dest,
+    });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        hops: 0,
+        node: dest,
+    });
+
+    while let Some(HeapEntry { cost, hops, node }) = heap.pop() {
+        let settled = best[node.index()].expect("pushed implies set");
+        if cost > settled.cost + 1e-12 {
+            continue; // stale entry
+        }
+        for link in zones.links(node) {
+            let u = link.neighbor;
+            // Relay constraint: u must have dest in its zone (or be dest's
+            // direct neighbor, which the same predicate covers since node
+            // iterates outward from dest).
+            if u != dest && !zones.in_zone(u, dest) {
+                continue;
+            }
+            let cand_cost = cost + link.weight;
+            let cand_hops = hops + 1;
+            let cand = PathCost {
+                cost: cand_cost,
+                hops: cand_hops,
+                next_hop: node,
+            };
+            let better = match best[u.index()] {
+                None => true,
+                Some(cur) => {
+                    cand_cost < cur.cost - 1e-12
+                        || ((cand_cost - cur.cost).abs() <= 1e-12
+                            && (cand_hops, node) < (cur.hops, cur.next_hop))
+                }
+            };
+            if better {
+                best[u.index()] = Some(cand);
+                heap.push(HeapEntry {
+                    cost: cand_cost,
+                    hops: cand_hops,
+                    node: u,
+                });
+            }
+        }
+    }
+
+    // The destination's self-entry is an artifact of the search; callers
+    // want per-source routes only.
+    best[dest.index()] = None;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+    use spms_phy::RadioProfile;
+
+    fn zones(cols: usize, rows: usize, radius: f64) -> ZoneTable {
+        let topo = placement::grid(cols, rows, 5.0).unwrap();
+        ZoneTable::build(&topo, &RadioProfile::mica2(), radius)
+    }
+
+    #[test]
+    fn line_routes_hop_by_hop() {
+        let z = zones(5, 1, 20.0);
+        let to0 = dijkstra(&z, NodeId::new(0));
+        for (i, slot) in to0.iter().enumerate().skip(1) {
+            let pc = slot.unwrap();
+            assert_eq!(pc.hops as usize, i);
+            assert_eq!(pc.next_hop, NodeId::new(i as u32 - 1));
+            // Cost = i × min power.
+            assert!((pc.cost - 0.0125 * i as f64).abs() < 1e-9);
+        }
+        assert!(to0[0].is_none(), "no self route");
+    }
+
+    #[test]
+    fn multihop_beats_direct_in_cost() {
+        let z = zones(5, 1, 20.0);
+        let to0 = dijkstra(&z, NodeId::new(0));
+        let four_hops = to0[4].unwrap().cost;
+        // Direct at 20 m needs level 3 power (0.1995 mW) — more than 4 min
+        // hops (4 × 0.0125 = 0.05 mW).
+        assert!(four_hops < 0.1995);
+    }
+
+    #[test]
+    fn out_of_zone_nodes_have_no_route() {
+        let z = zones(9, 1, 20.0);
+        let to0 = dijkstra(&z, NodeId::new(0));
+        // Node 8 is 40 m away: outside node 0's 20 m zone.
+        assert!(to0[8].is_none());
+        assert!(to0[4].is_some());
+        assert!(to0[5].is_none());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        // Square grid: two equal-cost two-hop routes exist between diagonal
+        // neighbors; the tie must resolve to the lower-id relay.
+        let z = zones(2, 2, 20.0);
+        let to3 = dijkstra(&z, NodeId::new(3));
+        let via = to3[0].unwrap().next_hop;
+        assert_eq!(via, NodeId::new(1), "ties should pick the lower relay id");
+    }
+
+    #[test]
+    fn direct_neighbor_routes_directly() {
+        let z = zones(3, 1, 20.0);
+        let to0 = dijkstra(&z, NodeId::new(0));
+        assert_eq!(to0[1].unwrap().next_hop, NodeId::new(0));
+        assert_eq!(to0[1].unwrap().hops, 1);
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let z = zones(7, 7, 20.0);
+        let a = dijkstra(&z, NodeId::new(24));
+        let b = dijkstra(&z, NodeId::new(24));
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.next_hop, q.next_hop);
+                    assert_eq!(p.hops, q.hops);
+                    assert!((p.cost - q.cost).abs() < 1e-15);
+                }
+                _ => panic!("mismatch"),
+            }
+        }
+    }
+}

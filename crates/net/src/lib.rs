@@ -1,0 +1,43 @@
+//! Sensor-field topology substrate for the SPMS reproduction.
+//!
+//! The paper evaluates on "a sensor field with uniform density of nodes"
+//! whose area grows with the node count, with three dynamic processes layered
+//! on top: zone formation (the set of nodes reachable at maximum power),
+//! node mobility ("at some discrete times in the simulator clock, a
+//! predefined fraction of nodes move"), and transient node failures
+//! ("exponential inter-arrival time … stay failed for a time drawn from a
+//! uniform distribution").
+//!
+//! This crate provides those pieces:
+//!
+//! * [`NodeId`] / [`Point`] — identity and 2-D geometry,
+//! * [`placement`] — uniform-grid (the paper's uniform-density field) and
+//!   uniform-random placement,
+//! * [`Topology`] — positions plus range queries,
+//! * [`ZoneTable`] — per-node zone neighbor lists with the minimum power
+//!   level and link weight for each neighbor (the weighted graph DBF runs
+//!   on),
+//! * [`MobilityProcess`] — the epoch-based random relocation model,
+//! * [`FailureProcess`] — the transient-failure injection schedule,
+//! * [`dijkstra`] — a centralized shortest-path oracle used to verify the
+//!   distributed Bellman-Ford implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod failure;
+mod graph;
+mod mobility;
+mod node;
+pub mod placement;
+mod point;
+mod topology;
+mod zone;
+
+pub use failure::{FailureConfig, FailureEvent, FailureProcess};
+pub use graph::{dijkstra, PathCost};
+pub use mobility::{MobilityConfig, MobilityEpoch, MobilityProcess};
+pub use node::NodeId;
+pub use point::Point;
+pub use topology::{Field, Topology};
+pub use zone::{ZoneLink, ZoneTable};

@@ -1,0 +1,204 @@
+//! Epoch-based node mobility.
+//!
+//! §5.1.3 of the paper: "At some discrete times in the simulator clock, a
+//! predefined fraction of nodes move. The nodes which are to move and their
+//! destination are chosen randomly. Once the routing tables converge, the
+//! data transmission starts all over again."
+
+use spms_kernel::{SimRng, SimTime};
+
+use crate::{NodeId, Point, Topology};
+
+/// Mobility parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MobilityConfig {
+    /// Time between mobility epochs.
+    pub interval: SimTime,
+    /// Fraction of nodes (0..=1) relocated at each epoch.
+    pub fraction: f64,
+}
+
+impl MobilityConfig {
+    /// Creates a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `interval` is zero or `fraction` is outside
+    /// `[0, 1]`.
+    pub fn new(interval: SimTime, fraction: f64) -> Result<Self, String> {
+        if interval == SimTime::ZERO {
+            return Err("mobility interval must be positive".into());
+        }
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(format!("mobility fraction {fraction} outside [0, 1]"));
+        }
+        Ok(MobilityConfig { interval, fraction })
+    }
+}
+
+/// One mobility epoch: the instant and the set of relocations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MobilityEpoch {
+    /// When the epoch occurs.
+    pub at: SimTime,
+    /// `(node, new position)` pairs, in node-id order for determinism.
+    pub moves: Vec<(NodeId, Point)>,
+}
+
+/// Generates mobility epochs on demand.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{SimRng, SimTime};
+/// use spms_net::{placement, MobilityConfig, MobilityProcess};
+///
+/// let topo = placement::grid(5, 5, 5.0).unwrap();
+/// let config = MobilityConfig::new(SimTime::from_millis(100), 0.2).unwrap();
+/// let mut mobility = MobilityProcess::new(config, SimRng::new(9));
+/// let epoch = mobility.next_epoch(SimTime::ZERO, &topo);
+/// assert_eq!(epoch.at, SimTime::from_millis(100));
+/// assert_eq!(epoch.moves.len(), 5); // 20% of 25
+/// ```
+#[derive(Clone, Debug)]
+pub struct MobilityProcess {
+    config: MobilityConfig,
+    rng: SimRng,
+}
+
+impl MobilityProcess {
+    /// Creates a process with its own RNG sub-stream.
+    #[must_use]
+    pub fn new(config: MobilityConfig, rng: SimRng) -> Self {
+        MobilityProcess { config, rng }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> MobilityConfig {
+        self.config
+    }
+
+    /// Produces the next epoch after `now`: picks `fraction × N` nodes
+    /// (rounded, at least one when `fraction > 0`) and uniform destinations
+    /// within the field.
+    pub fn next_epoch(&mut self, now: SimTime, topology: &Topology) -> MobilityEpoch {
+        let at = now + self.config.interval;
+        let n = topology.len();
+        let count = if self.config.fraction == 0.0 {
+            0
+        } else {
+            ((self.config.fraction * n as f64).round() as usize).clamp(1, n)
+        };
+        let mut picked = self.rng.choose_indices(n, count);
+        picked.sort_unstable(); // node-id order for deterministic application
+        let field = topology.field();
+        let moves = picked
+            .into_iter()
+            .map(|i| {
+                let dest = Point::new(
+                    self.rng.uniform_f64(0.0, field.width),
+                    self.rng.uniform_f64(0.0, field.height),
+                );
+                (NodeId::new(i as u32), dest)
+            })
+            .collect();
+        MobilityEpoch { at, moves }
+    }
+
+    /// Applies an epoch's relocations to `topology`.
+    pub fn apply(epoch: &MobilityEpoch, topology: &mut Topology) {
+        for (node, dest) in &epoch.moves {
+            topology.move_node(*node, *dest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+
+    fn topo() -> Topology {
+        placement::grid(5, 5, 5.0).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MobilityConfig::new(SimTime::from_millis(1), 0.5).is_ok());
+        assert!(MobilityConfig::new(SimTime::ZERO, 0.5).is_err());
+        assert!(MobilityConfig::new(SimTime::from_millis(1), 1.5).is_err());
+        assert!(MobilityConfig::new(SimTime::from_millis(1), -0.1).is_err());
+    }
+
+    #[test]
+    fn epoch_times_advance_by_interval() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.1).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(1));
+        let t = topo();
+        let e1 = p.next_epoch(SimTime::ZERO, &t);
+        let e2 = p.next_epoch(e1.at, &t);
+        assert_eq!(e1.at, SimTime::from_millis(100));
+        assert_eq!(e2.at, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn moves_are_distinct_sorted_and_in_field() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.3).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(2));
+        let t = topo();
+        let e = p.next_epoch(SimTime::ZERO, &t);
+        assert_eq!(e.moves.len(), 8); // round(0.3 × 25)
+        let ids: Vec<u32> = e.moves.iter().map(|(n, _)| n.raw()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "moves must be sorted and distinct");
+        for (_, dest) in &e.moves {
+            assert!(t.field().contains(*dest));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_moves_nobody() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.0).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(3));
+        let e = p.next_epoch(SimTime::ZERO, &topo());
+        assert!(e.moves.is_empty());
+    }
+
+    #[test]
+    fn tiny_positive_fraction_moves_at_least_one() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.001).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(4));
+        let e = p.next_epoch(SimTime::ZERO, &topo());
+        assert_eq!(e.moves.len(), 1);
+    }
+
+    #[test]
+    fn apply_relocates_nodes() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.2).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(5));
+        let mut t = topo();
+        let before = t.clone();
+        let e = p.next_epoch(SimTime::ZERO, &t);
+        MobilityProcess::apply(&e, &mut t);
+        for (node, dest) in &e.moves {
+            assert_eq!(t.position(*node), *dest);
+        }
+        let unmoved = t
+            .nodes()
+            .filter(|n| e.moves.iter().all(|(m, _)| m != n))
+            .all(|n| t.position(n) == before.position(n));
+        assert!(unmoved);
+    }
+
+    #[test]
+    fn same_seed_same_epochs() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(50), 0.4).unwrap();
+        let t = topo();
+        let e1 = MobilityProcess::new(cfg, SimRng::new(6)).next_epoch(SimTime::ZERO, &t);
+        let e2 = MobilityProcess::new(cfg, SimRng::new(6)).next_epoch(SimTime::ZERO, &t);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of a sensor node: a dense index into the topology's node
+/// arrays.
+///
+/// Dense indices (rather than opaque handles) let every per-node table in
+/// the simulator be a `Vec` indexed by `NodeId::index`, which keeps
+/// iteration order — and therefore simulation results — deterministic.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::NodeId;
+///
+/// let n = NodeId::new(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(format!("{n}"), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw u32 value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_formats() {
+        let n = NodeId::new(12);
+        assert_eq!(n.index(), 12);
+        assert_eq!(n.raw(), 12);
+        assert_eq!(NodeId::from(12u32), n);
+        assert_eq!(format!("{n}"), "n12");
+        assert_eq!(format!("{n:?}"), "n12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

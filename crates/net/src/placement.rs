@@ -1,0 +1,172 @@
+//! Node placement strategies.
+//!
+//! The paper's experiments "use a sensor field with uniform density of
+//! nodes. This implies that as the number of nodes increases, the sensor
+//! field area increases." Its analytical section further assumes a unit grid
+//! ("grid granularity of 1 unit and a node on every grid point"). We provide
+//! that grid placement — the default for all figure reproductions, with 5 m
+//! spacing so the lowest MICA2 power level (5.48 m) exactly reaches grid
+//! neighbors — plus uniform-random placement for robustness tests.
+
+use spms_kernel::SimRng;
+
+use crate::{Field, Point, Topology};
+
+/// Places `cols × rows` nodes on a square grid with `spacing_m` metres
+/// between adjacent nodes.
+///
+/// Node ids are assigned row-major, so node `r·cols + c` sits at
+/// `(c·spacing, r·spacing)`.
+///
+/// # Errors
+///
+/// Returns a message if either dimension is zero or the spacing is not
+/// positive and finite.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::placement;
+///
+/// // The paper's reference configuration: 169 nodes = 13×13 grid.
+/// let topo = placement::grid(13, 13, 5.0).unwrap();
+/// assert_eq!(topo.len(), 169);
+/// ```
+pub fn grid(cols: usize, rows: usize, spacing_m: f64) -> Result<Topology, String> {
+    if cols == 0 || rows == 0 {
+        return Err("grid needs at least 1×1 nodes".into());
+    }
+    if !spacing_m.is_finite() || spacing_m <= 0.0 {
+        return Err(format!("bad grid spacing {spacing_m}"));
+    }
+    let field = Field::new(
+        spacing_m * (cols.max(2) - 1) as f64,
+        spacing_m * (rows.max(2) - 1) as f64,
+    )?;
+    let mut positions = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push(Point::new(c as f64 * spacing_m, r as f64 * spacing_m));
+        }
+    }
+    Topology::new(positions, field)
+}
+
+/// Places a square grid of `n` nodes (`n` must be a perfect square) — the
+/// shape used for the paper's node-count sweeps (25, 49, 100, 169, 225).
+///
+/// # Errors
+///
+/// Returns a message if `n` is not a perfect square or the spacing is
+/// invalid.
+pub fn square_grid(n: usize, spacing_m: f64) -> Result<Topology, String> {
+    let side = (n as f64).sqrt().round() as usize;
+    if side * side != n {
+        return Err(format!("{n} is not a perfect square"));
+    }
+    grid(side, side, spacing_m)
+}
+
+/// Places `n` nodes uniformly at random in a field sized to keep the same
+/// average density as a grid with the given spacing.
+///
+/// # Errors
+///
+/// Returns a message if `n == 0` or the spacing is invalid.
+pub fn uniform_random(
+    n: usize,
+    spacing_m: f64,
+    rng: &mut SimRng,
+) -> Result<Topology, String> {
+    if n == 0 {
+        return Err("need at least one node".into());
+    }
+    if !spacing_m.is_finite() || spacing_m <= 0.0 {
+        return Err(format!("bad spacing {spacing_m}"));
+    }
+    // Same density as a grid: one node per spacing² square.
+    let side = spacing_m * (n as f64).sqrt();
+    let field = Field::new(side, side)?;
+    let positions = (0..n)
+        .map(|_| {
+            Point::new(
+                rng.uniform_f64(0.0, field.width),
+                rng.uniform_f64(0.0, field.height),
+            )
+        })
+        .collect();
+    Topology::new(positions, field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn grid_positions_are_row_major() {
+        let t = grid(3, 2, 5.0).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.position(NodeId::new(0)), Point::new(0.0, 0.0));
+        assert_eq!(t.position(NodeId::new(2)), Point::new(10.0, 0.0));
+        assert_eq!(t.position(NodeId::new(3)), Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn grid_validates() {
+        assert!(grid(0, 3, 5.0).is_err());
+        assert!(grid(3, 3, 0.0).is_err());
+        assert!(grid(3, 3, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn square_grid_checks_perfect_square() {
+        assert!(square_grid(169, 5.0).is_ok());
+        assert!(square_grid(170, 5.0).is_err());
+        assert_eq!(square_grid(25, 5.0).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn single_node_grid_is_allowed() {
+        let t = grid(1, 1, 5.0).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn uniform_random_respects_density_and_bounds() {
+        let mut rng = SimRng::new(42);
+        let t = uniform_random(100, 5.0, &mut rng).unwrap();
+        assert_eq!(t.len(), 100);
+        // Field side = 5 × √100 = 50 m; density = 100 / 2500 = 1/25.
+        assert!((t.field().width - 50.0).abs() < 1e-9);
+        assert!((t.density() - 0.04).abs() < 1e-9);
+        for n in t.nodes() {
+            assert!(t.field().contains(t.position(n)));
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_seed_deterministic() {
+        let a = uniform_random(20, 5.0, &mut SimRng::new(7)).unwrap();
+        let b = uniform_random(20, 5.0, &mut SimRng::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_zone_sizes_emerge_from_5m_grid() {
+        // With 5 m spacing and a 20 m transmission radius the central zone
+        // holds ≈45 nodes (n1 = 45 in the paper's analysis) and the lowest
+        // power level (5.48 m) reaches ≈5 (ns = 5, counting self + 4
+        // orthogonal neighbors).
+        let t = grid(13, 13, 5.0).unwrap();
+        let center = NodeId::new(6 * 13 + 6);
+        let zone = t.nodes_within(t.position(center), 20.0);
+        assert!(
+            (41..=49).contains(&zone.len()),
+            "zone size {} not ≈45",
+            zone.len()
+        );
+        let close = t.nodes_within(t.position(center), 5.48);
+        assert_eq!(close.len(), 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! 2-D geometry.
+
+use std::fmt;
+
+/// A position in the sensor field, metres.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared distance (avoids the square root in range predicates).
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// `true` when `other` lies within `radius` metres (inclusive).
+    #[must_use]
+    pub fn within(self, other: Point, radius: f64) -> bool {
+        self.distance_sq(other) <= radius * radius
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 0.0);
+        assert!(a.within(b, 5.0));
+        assert!(!a.within(b, 4.999));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Point::new(1.5, 2.0)), "(1.50, 2.00)");
+    }
+}

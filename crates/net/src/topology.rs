@@ -1,0 +1,224 @@
+//! Node positions and range queries.
+
+use crate::{NodeId, Point};
+
+/// The rectangular extent of the sensor field, metres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    /// Width (m).
+    pub width: f64,
+    /// Height (m).
+    pub height: f64,
+}
+
+impl Field {
+    /// Creates a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message unless both dimensions are positive and finite.
+    pub fn new(width: f64, height: f64) -> Result<Self, String> {
+        if !width.is_finite() || !height.is_finite() || width <= 0.0 || height <= 0.0 {
+            return Err(format!("bad field dimensions {width}×{height}"));
+        }
+        Ok(Field { width, height })
+    }
+
+    /// Field area in m².
+    #[must_use]
+    pub fn area(self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Clamps a point into the field.
+    #[must_use]
+    pub fn clamp(self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// `true` if `p` lies inside the field (inclusive of edges).
+    #[must_use]
+    pub fn contains(self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+/// Node positions in a sensor field.
+///
+/// The topology is mutable only through [`Topology::move_node`] — the
+/// mobility process relocates nodes, after which zone tables and routing
+/// state must be rebuilt (the engine orchestrates that, mirroring the
+/// paper's "no packet transfer can take place until the routing tables
+/// converge").
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{placement, Topology};
+///
+/// let topo = placement::grid(3, 3, 5.0).unwrap();
+/// assert_eq!(topo.len(), 9);
+/// // Center node sees 4 orthogonal neighbors within 5 m (plus itself at 0).
+/// let center = spms_net::NodeId::new(4);
+/// let near = topo.nodes_within(topo.position(center), 5.0);
+/// assert_eq!(near.len(), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    positions: Vec<Point>,
+    field: Field,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `positions` is empty or any position lies
+    /// outside the field.
+    pub fn new(positions: Vec<Point>, field: Field) -> Result<Self, String> {
+        if positions.is_empty() {
+            return Err("topology needs at least one node".into());
+        }
+        for (i, p) in positions.iter().enumerate() {
+            if !p.x.is_finite() || !p.y.is_finite() {
+                return Err(format!("node {i} has non-finite position"));
+            }
+            if !field.contains(*p) {
+                return Err(format!("node {i} at {p} outside field"));
+            }
+        }
+        Ok(Topology { positions, field })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `false` — a topology always has at least one node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The field extent.
+    #[must_use]
+    pub fn field(&self) -> Field {
+        self.field
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    /// All node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Distance between two nodes in metres.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance(self.position(b))
+    }
+
+    /// Ids of all nodes within `radius` of `center` (inclusive), in index
+    /// order. A node at exactly `center` is included.
+    #[must_use]
+    pub fn nodes_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
+        let r2 = radius * radius;
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(center) <= r2)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    /// Moves `node` to `to` (clamped into the field). Returns the previous
+    /// position.
+    pub fn move_node(&mut self, node: NodeId, to: Point) -> Point {
+        let clamped = self.field.clamp(to);
+        std::mem::replace(&mut self.positions[node.index()], clamped)
+    }
+
+    /// Average node density in nodes per m².
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.positions.len() as f64 / self.field.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> Topology {
+        let field = Field::new(20.0, 20.0).unwrap();
+        Topology::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+            field,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let field = Field::new(10.0, 10.0).unwrap();
+        assert!(Topology::new(vec![], field).is_err());
+        assert!(Topology::new(vec![Point::new(11.0, 0.0)], field).is_err());
+        assert!(Topology::new(vec![Point::new(f64::NAN, 0.0)], field).is_err());
+        assert!(Field::new(-1.0, 5.0).is_err());
+        assert!(Field::new(0.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn range_query_inclusive_and_ordered() {
+        let t = line3();
+        let near = t.nodes_within(Point::new(0.0, 0.0), 5.0);
+        assert_eq!(near, vec![NodeId::new(0), NodeId::new(1)]);
+        let all = t.nodes_within(Point::new(5.0, 0.0), 5.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn distances() {
+        let t = line3();
+        assert_eq!(t.distance(NodeId::new(0), NodeId::new(2)), 10.0);
+        assert_eq!(t.distance(NodeId::new(1), NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn move_node_clamps_and_returns_old() {
+        let mut t = line3();
+        let old = t.move_node(NodeId::new(0), Point::new(-5.0, 100.0));
+        assert_eq!(old, Point::new(0.0, 0.0));
+        assert_eq!(t.position(NodeId::new(0)), Point::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn density_is_n_over_area() {
+        let t = line3();
+        assert!((t.density() - 3.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_iterator_is_dense() {
+        let t = line3();
+        let ids: Vec<usize> = t.nodes().map(|n| n.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(!t.is_empty());
+    }
+}

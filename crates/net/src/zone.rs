@@ -1,0 +1,275 @@
+//! Zone computation: the weighted graph the routing layer operates on.
+
+use spms_phy::{PowerLevel, RadioProfile};
+
+use crate::{NodeId, Topology};
+
+/// One link from a node to a zone neighbor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZoneLink {
+    /// The neighbor's id.
+    pub neighbor: NodeId,
+    /// Distance in metres.
+    pub distance_m: f64,
+    /// The cheapest power level that reaches the neighbor.
+    pub level: PowerLevel,
+    /// Link weight for shortest-path routing: the transmit power (mW) of
+    /// `level`. The paper: "the weight w on an edge (i,j) denotes the
+    /// minimum power at which i needs to transmit to reach j".
+    pub weight: f64,
+}
+
+/// Per-node zone neighbor lists plus the per-level density counts the MAC
+/// model needs.
+///
+/// A *zone* is "the region that the node can reach by transmitting at the
+/// maximum power level" — here parameterized by the experiment's
+/// transmission radius, which selects that maximum level from the radio's
+/// table. The table is rebuilt whenever nodes move.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+///
+/// let topo = placement::grid(13, 13, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let center = NodeId::new(6 * 13 + 6);
+/// // Grid neighbors 5 m away are reached at the cheapest level.
+/// let cheapest = zones
+///     .links(center)
+///     .iter()
+///     .filter(|l| l.level.index() == 4)
+///     .count();
+/// assert_eq!(cheapest, 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZoneTable {
+    zone_radius_m: f64,
+    adv_level: PowerLevel,
+    links: Vec<Vec<ZoneLink>>,
+    /// `level_counts[node][level]` = number of nodes (including the node
+    /// itself) within that level's range — the MAC contention `n`.
+    level_counts: Vec<Vec<u32>>,
+}
+
+impl ZoneTable {
+    /// Builds zone tables for every node.
+    ///
+    /// `zone_radius_m` is the experiment's transmission radius; the ADV
+    /// broadcast level is the cheapest level covering it (saturating at the
+    /// radio's maximum). Neighbors beyond the radio's absolute reach are
+    /// excluded even if inside the configured radius.
+    #[must_use]
+    pub fn build(topology: &Topology, radio: &RadioProfile, zone_radius_m: f64) -> Self {
+        let adv_level = radio.level_for_radius_saturating(zone_radius_m);
+        let n = topology.len();
+        let mut links = Vec::with_capacity(n);
+        let mut level_counts = vec![vec![0u32; radio.num_levels()]; n];
+        for a in topology.nodes() {
+            let pa = topology.position(a);
+            let mut row = Vec::new();
+            for b in topology.nodes() {
+                let d = pa.distance(topology.position(b));
+                // Per-level density counts (including self at d = 0). The
+                // contention domain is capped at the zone radius: only zone
+                // members participate in the protocol with this node, which
+                // is also what makes the paper's n1 ≈ 45 at a 20 m radius.
+                if d <= zone_radius_m {
+                    if let Some(lvl) = radio.level_for_distance(d) {
+                        // A node within level ℓ's range is also within the
+                        // range of every stronger level.
+                        for count in &mut level_counts[a.index()][..=lvl.index()] {
+                            *count += 1;
+                        }
+                    }
+                }
+                if a == b || d > zone_radius_m {
+                    continue;
+                }
+                if let Some(level) = radio.level_for_distance(d) {
+                    row.push(ZoneLink {
+                        neighbor: b,
+                        distance_m: d,
+                        level,
+                        weight: radio.power_mw(level),
+                    });
+                }
+            }
+            links.push(row);
+        }
+        ZoneTable {
+            zone_radius_m,
+            adv_level,
+            links,
+            level_counts,
+        }
+    }
+
+    /// The configured zone (transmission) radius in metres.
+    #[must_use]
+    pub fn zone_radius_m(&self) -> f64 {
+        self.zone_radius_m
+    }
+
+    /// The power level used for zone-wide (ADV) broadcasts.
+    #[must_use]
+    pub fn adv_level(&self) -> PowerLevel {
+        self.adv_level
+    }
+
+    /// Number of nodes in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when the table is empty (never, for a valid topology).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The zone links of `node` (its zone neighbors), in id order.
+    #[must_use]
+    pub fn links(&self, node: NodeId) -> &[ZoneLink] {
+        &self.links[node.index()]
+    }
+
+    /// Looks up the link from `node` to `neighbor`, if the latter is a zone
+    /// neighbor.
+    #[must_use]
+    pub fn link_to(&self, node: NodeId, neighbor: NodeId) -> Option<&ZoneLink> {
+        self.links[node.index()]
+            .iter()
+            .find(|l| l.neighbor == neighbor)
+    }
+
+    /// `true` if `b` is in `a`'s zone. Symmetric for a shared radio profile.
+    #[must_use]
+    pub fn in_zone(&self, a: NodeId, b: NodeId) -> bool {
+        self.link_to(a, b).is_some()
+    }
+
+    /// Zone size of `node` **including itself** — the paper's `n1` when the
+    /// radius is the zone radius.
+    #[must_use]
+    pub fn zone_size(&self, node: NodeId) -> usize {
+        self.links[node.index()].len() + 1
+    }
+
+    /// Number of nodes (including self) within `level`'s range of `node` —
+    /// the `n` in the MAC contention term `G·n²`.
+    #[must_use]
+    pub fn density_at_level(&self, node: NodeId, level: PowerLevel) -> u32 {
+        self.level_counts[node.index()][level.index()]
+    }
+
+    /// Mean zone size across nodes (including self) — reported by
+    /// experiments for context.
+    #[must_use]
+    pub fn mean_zone_size(&self) -> f64 {
+        let total: usize = (0..self.links.len())
+            .map(|i| self.links[i].len() + 1)
+            .sum();
+        total as f64 / self.links.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement;
+
+    fn zones_13x13() -> (Topology, ZoneTable) {
+        let topo = placement::grid(13, 13, 5.0).unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        (topo, zones)
+    }
+
+    #[test]
+    fn adv_level_matches_radius() {
+        let (_, zones) = zones_13x13();
+        // 20 m radius needs level index 2 (22.86 m).
+        assert_eq!(zones.adv_level().index(), 2);
+        assert_eq!(zones.zone_radius_m(), 20.0);
+    }
+
+    #[test]
+    fn zone_membership_is_symmetric() {
+        let (topo, zones) = zones_13x13();
+        for a in topo.nodes() {
+            for l in zones.links(a) {
+                assert!(zones.in_zone(l.neighbor, a), "{a}↔{} asymmetric", l.neighbor);
+            }
+        }
+    }
+
+    #[test]
+    fn links_exclude_self_and_far_nodes() {
+        let (topo, zones) = zones_13x13();
+        let corner = NodeId::new(0);
+        for l in zones.links(corner) {
+            assert_ne!(l.neighbor, corner);
+            assert!(l.distance_m <= 20.0);
+            assert!(topo.distance(corner, l.neighbor) <= 20.0);
+        }
+    }
+
+    #[test]
+    fn center_densities_match_paper_analysis() {
+        let (_, zones) = zones_13x13();
+        let center = NodeId::new(6 * 13 + 6);
+        let radio = RadioProfile::mica2();
+        // ns (lowest level, 5.48 m): self + 4 orthogonal neighbors.
+        assert_eq!(zones.density_at_level(center, radio.min_power_level()), 5);
+        // n at the ADV level (22.86 m) ≈ the paper's n1 = 45.
+        let n1 = zones.density_at_level(center, radio.level(2).unwrap());
+        assert!((41..=57).contains(&n1), "n1 = {n1}");
+        // Stronger levels see at least as many nodes.
+        let counts: Vec<u32> = radio
+            .levels()
+            .map(|l| zones.density_at_level(center, l))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn weights_are_min_power_to_reach() {
+        let (_, zones) = zones_13x13();
+        let center = NodeId::new(6 * 13 + 6);
+        let radio = RadioProfile::mica2();
+        for l in zones.links(center) {
+            assert_eq!(l.weight, radio.power_mw(l.level));
+            assert!(radio.range_m(l.level) >= l.distance_m);
+            // The next level down (if any) must NOT reach.
+            if let Some(cheaper) = radio.level(l.level.index() + 1) {
+                assert!(radio.range_m(cheaper) < l.distance_m);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_size_includes_self() {
+        let topo = placement::grid(2, 1, 5.0).unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+        assert_eq!(zones.zone_size(NodeId::new(0)), 2);
+        assert_eq!(zones.links(NodeId::new(0)).len(), 1);
+        assert!(zones.mean_zone_size() > 1.9);
+    }
+
+    #[test]
+    fn radius_beyond_radio_reach_drops_links() {
+        // Two nodes 100 m apart: inside a 150 m configured radius but beyond
+        // the radio's 91.44 m maximum: no link.
+        let topo = Topology::new(
+            vec![crate::Point::new(0.0, 0.0), crate::Point::new(100.0, 0.0)],
+            crate::Field::new(100.0, 10.0).unwrap(),
+        )
+        .unwrap();
+        let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 150.0);
+        assert!(zones.links(NodeId::new(0)).is_empty());
+        assert_eq!(zones.adv_level().index(), 0);
+    }
+}

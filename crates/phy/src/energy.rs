@@ -1,0 +1,344 @@
+//! Energy accounting.
+//!
+//! The engine charges every transmission and reception to a per-node
+//! [`EnergyMeter`], categorized so experiments can attribute costs the way
+//! the paper discusses them (ADV vs DATA vs routing-table formation — the
+//! latter is what erodes SPMS's advantage under mobility in Figure 12).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use spms_kernel::SimTime;
+
+/// An amount of energy in microjoules.
+///
+/// `1 mW · 1 ms = 1 µJ`, which makes the paper's Table 1 units compose
+/// directly: transmitting `b` bytes at a level with power `P` mW for
+/// `b × Ttx` ms consumes `P · b · Ttx` µJ.
+///
+/// # Example
+///
+/// ```
+/// use spms_phy::MicroJoules;
+/// use spms_kernel::SimTime;
+///
+/// // 0.1995 mW for 2 bytes × 0.05 ms/byte = 0.01995 µJ.
+/// let e = MicroJoules::from_power_duration(0.1995, SimTime::from_micros(100));
+/// assert!((e.value() - 0.01995).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct MicroJoules(f64);
+
+impl MicroJoules {
+    /// Zero energy.
+    pub const ZERO: MicroJoules = MicroJoules(0.0);
+
+    /// Creates an amount from a raw µJ value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `uj` is negative or non-finite.
+    #[must_use]
+    pub fn new(uj: f64) -> Self {
+        debug_assert!(uj.is_finite() && uj >= 0.0, "bad energy {uj}");
+        MicroJoules(uj.max(0.0))
+    }
+
+    /// Energy drawn by a `power_mw` milliwatt load over `duration`.
+    #[must_use]
+    pub fn from_power_duration(power_mw: f64, duration: SimTime) -> Self {
+        MicroJoules::new(power_mw * duration.as_millis_f64())
+    }
+
+    /// The raw µJ value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to milliwatt-hours — unused by experiments but handy for
+    /// relating results to mote battery capacities.
+    #[must_use]
+    pub fn as_mwh(self) -> f64 {
+        self.0 / 3.6e6
+    }
+}
+
+impl Add for MicroJoules {
+    type Output = MicroJoules;
+
+    fn add(self, rhs: MicroJoules) -> MicroJoules {
+        MicroJoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MicroJoules {
+    fn add_assign(&mut self, rhs: MicroJoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MicroJoules {
+    type Output = MicroJoules;
+
+    /// Saturates at zero (energy totals never go negative).
+    fn sub(self, rhs: MicroJoules) -> MicroJoules {
+        MicroJoules((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for MicroJoules {
+    fn sum<I: Iterator<Item = MicroJoules>>(iter: I) -> MicroJoules {
+        iter.fold(MicroJoules::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for MicroJoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}µJ", self.0)
+    }
+}
+
+/// What an energy expenditure was for.
+///
+/// Categories mirror the protocol phases of the paper: metadata
+/// advertisement, request, data transfer, routing-table formation (DBF), and
+/// reception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnergyCategory {
+    /// Transmitting ADV packets.
+    Adv,
+    /// Transmitting REQ packets.
+    Req,
+    /// Transmitting DATA packets.
+    Data,
+    /// Transmitting routing-protocol (distributed Bellman-Ford) packets.
+    Routing,
+    /// Receiving any packet.
+    Receive,
+    /// Idle listening (optional accounting; real motes draw receive-level
+    /// current whenever the radio is on, which compresses protocol-level
+    /// energy ratios — see the idle-listening ablation).
+    Idle,
+}
+
+impl EnergyCategory {
+    /// All categories in display order.
+    pub const ALL: [EnergyCategory; 6] = [
+        EnergyCategory::Adv,
+        EnergyCategory::Req,
+        EnergyCategory::Data,
+        EnergyCategory::Routing,
+        EnergyCategory::Receive,
+        EnergyCategory::Idle,
+    ];
+
+    /// Short label for report columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyCategory::Adv => "adv",
+            EnergyCategory::Req => "req",
+            EnergyCategory::Data => "data",
+            EnergyCategory::Routing => "routing",
+            EnergyCategory::Receive => "rx",
+            EnergyCategory::Idle => "idle",
+        }
+    }
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Energy totals split by [`EnergyCategory`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    totals: [MicroJoules; 6],
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    fn slot(category: EnergyCategory) -> usize {
+        match category {
+            EnergyCategory::Adv => 0,
+            EnergyCategory::Req => 1,
+            EnergyCategory::Data => 2,
+            EnergyCategory::Routing => 3,
+            EnergyCategory::Receive => 4,
+            EnergyCategory::Idle => 5,
+        }
+    }
+
+    /// Adds `amount` to `category`.
+    pub fn charge(&mut self, category: EnergyCategory, amount: MicroJoules) {
+        self.totals[Self::slot(category)] += amount;
+    }
+
+    /// The total for one category.
+    #[must_use]
+    pub fn get(&self, category: EnergyCategory) -> MicroJoules {
+        self.totals[Self::slot(category)]
+    }
+
+    /// The grand total across categories.
+    #[must_use]
+    pub fn total(&self) -> MicroJoules {
+        self.totals.iter().copied().sum()
+    }
+
+    /// Total transmit energy (everything except reception and idle
+    /// listening).
+    #[must_use]
+    pub fn tx_total(&self) -> MicroJoules {
+        self.total() - self.get(EnergyCategory::Receive) - self.get(EnergyCategory::Idle)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for (mine, theirs) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *mine += *theirs;
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cat) in EnergyCategory::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{}={}", cat.label(), self.get(*cat))?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-node energy meter.
+///
+/// The simulation engine owns one meter per node and charges it at transmit
+/// and receive points; protocol code never touches energy directly, which
+/// keeps the accounting uniform across SPIN, SPMS and flooding.
+///
+/// # Example
+///
+/// ```
+/// use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.charge(EnergyCategory::Adv, MicroJoules::new(0.5));
+/// meter.charge(EnergyCategory::Receive, MicroJoules::new(0.1));
+/// assert!((meter.breakdown().total().value() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EnergyMeter {
+    breakdown: EnergyBreakdown,
+    events: u64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Charges `amount` of energy to `category`.
+    pub fn charge(&mut self, category: EnergyCategory, amount: MicroJoules) {
+        self.breakdown.charge(category, amount);
+        self.events += 1;
+    }
+
+    /// The categorized totals so far.
+    #[must_use]
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+
+    /// Number of charge events recorded (transmissions + receptions).
+    #[must_use]
+    pub fn charge_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Resets the meter to zero (used between mobility epochs when
+    /// measuring per-epoch costs).
+    pub fn reset(&mut self) {
+        *self = EnergyMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microjoules_compose_mw_ms() {
+        // 3.1622 mW × 2 bytes × 0.05 ms = 0.31622 µJ.
+        let dur = SimTime::from_micros(100);
+        let e = MicroJoules::from_power_duration(3.1622, dur);
+        assert!((e.value() - 0.31622).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microjoules_arithmetic() {
+        let a = MicroJoules::new(2.0);
+        let b = MicroJoules::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((b - a).value(), 0.0); // saturating
+        let total: MicroJoules = [a, b, b].into_iter().sum();
+        assert_eq!(total.value(), 3.0);
+        assert!(format!("{a}").contains("µJ"));
+    }
+
+    #[test]
+    fn breakdown_categories_are_independent() {
+        let mut bd = EnergyBreakdown::new();
+        bd.charge(EnergyCategory::Adv, MicroJoules::new(1.0));
+        bd.charge(EnergyCategory::Data, MicroJoules::new(2.0));
+        bd.charge(EnergyCategory::Receive, MicroJoules::new(0.25));
+        assert_eq!(bd.get(EnergyCategory::Adv).value(), 1.0);
+        assert_eq!(bd.get(EnergyCategory::Req).value(), 0.0);
+        assert_eq!(bd.total().value(), 3.25);
+        assert_eq!(bd.tx_total().value(), 3.0);
+    }
+
+    #[test]
+    fn breakdown_merge_adds() {
+        let mut a = EnergyBreakdown::new();
+        a.charge(EnergyCategory::Routing, MicroJoules::new(1.0));
+        let mut b = EnergyBreakdown::new();
+        b.charge(EnergyCategory::Routing, MicroJoules::new(2.0));
+        b.charge(EnergyCategory::Adv, MicroJoules::new(0.5));
+        a.merge(&b);
+        assert_eq!(a.get(EnergyCategory::Routing).value(), 3.0);
+        assert_eq!(a.get(EnergyCategory::Adv).value(), 0.5);
+    }
+
+    #[test]
+    fn meter_counts_events_and_resets() {
+        let mut m = EnergyMeter::new();
+        m.charge(EnergyCategory::Req, MicroJoules::new(0.1));
+        m.charge(EnergyCategory::Receive, MicroJoules::new(0.1));
+        assert_eq!(m.charge_events(), 2);
+        m.reset();
+        assert_eq!(m.charge_events(), 0);
+        assert_eq!(m.breakdown().total(), MicroJoules::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut bd = EnergyBreakdown::new();
+        bd.charge(EnergyCategory::Adv, MicroJoules::new(1.0));
+        let s = format!("{bd}");
+        assert!(s.contains("adv=") && s.contains("rx="));
+    }
+}

@@ -1,0 +1,38 @@
+//! Radio (PHY-layer) model for the SPMS reproduction.
+//!
+//! The paper's simulator takes its physical-layer inputs from the MICA2
+//! Berkeley mote datasheet: five discrete transmission power levels with
+//! their corresponding outdoor ranges (Table 1), a `d^α` path-loss law with
+//! `α ≈ 3.5` beyond 7 m (2-ray ground propagation), and receive energy equal
+//! to the energy of the lowest transmit power level (`Er = Em`, citing
+//! Savvides & Srivastava). This crate provides:
+//!
+//! * [`PowerLevel`] / [`RadioProfile`] — the discrete level table and
+//!   distance → minimum-level lookup,
+//! * [`PathLoss`] — the continuous `d^α` model used by the Section 4
+//!   analysis,
+//! * [`energy`] — per-node energy metering with a per-category breakdown
+//!   (ADV/REQ/DATA/routing/receive) so experiments can attribute costs.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_phy::RadioProfile;
+//!
+//! let radio = RadioProfile::mica2();
+//! // Reaching a node 20 m away needs level index 2 (22.86 m range).
+//! let level = radio.level_for_distance(20.0).unwrap();
+//! assert_eq!(level.index(), 2);
+//! assert!(radio.range_m(level) >= 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+mod pathloss;
+mod power;
+
+pub use energy::{EnergyBreakdown, EnergyCategory, EnergyMeter, MicroJoules};
+pub use pathloss::PathLoss;
+pub use power::{PowerLevel, RadioProfile};

@@ -1,0 +1,142 @@
+//! Continuous path-loss model used by the Section 4 analysis.
+
+/// The `d^α` path-loss law.
+///
+/// Section 3.2 of the paper: "energy spent in wireless communication is
+/// proportional to `d^α`, where `d` is the distance between the source and
+/// the destination and `α` is a constant between 2 and 4". Section 4.2 uses
+/// `α = 3.5` ("the 2-ray ground propagation model α is close to 3.5 beyond
+/// 7 meters").
+///
+/// The simulator proper uses the discrete MICA2 level table; this model backs
+/// the closed-form analysis (Figure 5) and the test oracle that checks the
+/// discrete table is consistent with a power law.
+///
+/// # Example
+///
+/// ```
+/// use spms_phy::PathLoss;
+///
+/// let pl = PathLoss::two_ray();
+/// // Halving the hop distance with 2 hops costs less than one long hop:
+/// let one_hop = pl.relative_energy(10.0);
+/// let two_hops = 2.0 * pl.relative_energy(5.0);
+/// assert!(two_hops < one_hop);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathLoss {
+    alpha: f64,
+}
+
+impl PathLoss {
+    /// Creates a model with the given exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message unless `1.0 <= alpha <= 6.0` (the physically
+    /// plausible band; the paper uses values in `[2, 4]`).
+    pub fn new(alpha: f64) -> Result<Self, String> {
+        if !alpha.is_finite() || !(1.0..=6.0).contains(&alpha) {
+            return Err(format!("path-loss exponent {alpha} outside [1, 6]"));
+        }
+        Ok(PathLoss { alpha })
+    }
+
+    /// The paper's 2-ray ground model beyond 7 m: `α = 3.5`.
+    #[must_use]
+    pub fn two_ray() -> Self {
+        PathLoss { alpha: 3.5 }
+    }
+
+    /// Free-space propagation: `α = 2`.
+    #[must_use]
+    pub fn free_space() -> Self {
+        PathLoss { alpha: 2.0 }
+    }
+
+    /// The exponent α.
+    #[must_use]
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// Relative transmit energy to cover `distance_m` (unit energy at 1 m).
+    ///
+    /// Only ratios of this quantity are meaningful.
+    #[must_use]
+    pub fn relative_energy(self, distance_m: f64) -> f64 {
+        debug_assert!(distance_m >= 0.0);
+        distance_m.max(0.0).powf(self.alpha)
+    }
+
+    /// The ratio of one direct transmission over `total_m` to `hops` equal
+    /// multi-hop transmissions covering the same distance.
+    ///
+    /// This is the quantity that motivates SPMS: for `α > 1` the ratio
+    /// exceeds 1 and grows as `hops^(α-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops == 0`.
+    #[must_use]
+    pub fn direct_over_multihop(self, total_m: f64, hops: u32) -> f64 {
+        assert!(hops > 0, "at least one hop required");
+        let direct = self.relative_energy(total_m);
+        let per_hop = self.relative_energy(total_m / f64::from(hops));
+        direct / (f64::from(hops) * per_hop)
+    }
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss::two_ray()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_validation() {
+        assert!(PathLoss::new(3.5).is_ok());
+        assert!(PathLoss::new(0.5).is_err());
+        assert!(PathLoss::new(f64::NAN).is_err());
+        assert!(PathLoss::new(7.0).is_err());
+    }
+
+    #[test]
+    fn two_ray_matches_paper() {
+        assert_eq!(PathLoss::two_ray().alpha(), 3.5);
+        assert_eq!(PathLoss::free_space().alpha(), 2.0);
+        assert_eq!(PathLoss::default(), PathLoss::two_ray());
+    }
+
+    #[test]
+    fn energy_grows_with_distance() {
+        let pl = PathLoss::two_ray();
+        assert!(pl.relative_energy(10.0) > pl.relative_energy(5.0));
+        assert_eq!(pl.relative_energy(0.0), 0.0);
+        assert_eq!(pl.relative_energy(1.0), 1.0);
+    }
+
+    #[test]
+    fn multihop_gain_is_hops_to_alpha_minus_one() {
+        let pl = PathLoss::two_ray();
+        // k equal hops: direct / multihop = k^(α-1).
+        for k in [2u32, 4, 8] {
+            let got = pl.direct_over_multihop(40.0, k);
+            let want = f64::from(k).powf(2.5);
+            assert!(
+                (got - want).abs() / want < 1e-12,
+                "k={k}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_hop_ratio_is_one() {
+        let pl = PathLoss::free_space();
+        assert!((pl.direct_over_multihop(25.0, 1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! Discrete transmission power levels (MICA2 table) and level selection.
+
+use std::fmt;
+
+/// One of a radio's discrete transmission power levels.
+///
+/// Levels are indexed from 0 (the **highest** power / longest range) upward,
+/// matching the paper's "Power level (1-5)" row read left to right. A
+/// `PowerLevel` is only meaningful relative to the [`RadioProfile`] that
+/// produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PowerLevel(u8);
+
+impl PowerLevel {
+    /// The zero-based index into the radio's level table (0 = max power).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PowerLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0 + 1)
+    }
+}
+
+/// A radio's discrete power-level table: transmit power (mW) and the range
+/// (m) each level reaches.
+///
+/// The defaults come from Table 1 of the paper (MICA2 Berkeley mote
+/// datasheet):
+///
+/// | level | power (mW) | range (m) |
+/// |-------|-----------|-----------|
+/// | 1     | 3.1622    | 91.44     |
+/// | 2     | 0.7943    | 45.72     |
+/// | 3     | 0.1995    | 22.86     |
+/// | 4     | 0.05      | 11.28     |
+/// | 5     | 0.0125    | 5.48      |
+///
+/// # Example
+///
+/// ```
+/// use spms_phy::RadioProfile;
+///
+/// let radio = RadioProfile::mica2();
+/// assert_eq!(radio.num_levels(), 5);
+/// let min = radio.min_power_level();
+/// assert!((radio.power_mw(min) - 0.0125).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RadioProfile {
+    /// Transmit power per level, mW, strictly decreasing.
+    power_mw: Vec<f64>,
+    /// Range per level, metres, strictly decreasing.
+    range_m: Vec<f64>,
+    /// Receive power draw, mW. The paper sets `Er = Em` (lowest tx level).
+    rx_power_mw: f64,
+}
+
+impl RadioProfile {
+    /// The MICA2 mote profile from Table 1 of the paper.
+    #[must_use]
+    pub fn mica2() -> Self {
+        RadioProfile::new(
+            vec![3.1622, 0.7943, 0.1995, 0.05, 0.0125],
+            vec![91.44, 45.72, 22.86, 11.28, 5.48],
+        )
+        .expect("MICA2 constants are valid")
+    }
+
+    /// Creates a profile from parallel power/range tables (level 0 first,
+    /// highest power first).
+    ///
+    /// Receive power defaults to the lowest transmit power (`Er = Em`, the
+    /// paper's simplification "valid for many sensor nodes").
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the tables are empty, of unequal length, contain
+    /// non-positive entries, or are not strictly decreasing.
+    pub fn new(power_mw: Vec<f64>, range_m: Vec<f64>) -> Result<Self, String> {
+        if power_mw.is_empty() {
+            return Err("power table is empty".into());
+        }
+        if power_mw.len() != range_m.len() {
+            return Err(format!(
+                "power table has {} levels but range table has {}",
+                power_mw.len(),
+                range_m.len()
+            ));
+        }
+        if power_mw.len() > 64 {
+            return Err("more than 64 power levels is not supported".into());
+        }
+        for table in [&power_mw, &range_m] {
+            if table.iter().any(|&x| !x.is_finite() || x <= 0.0) {
+                return Err("tables must contain positive finite values".into());
+            }
+            if table.windows(2).any(|w| w[0] <= w[1]) {
+                return Err("tables must be strictly decreasing".into());
+            }
+        }
+        let rx_power_mw = *power_mw.last().expect("non-empty");
+        Ok(RadioProfile {
+            power_mw,
+            range_m,
+            rx_power_mw,
+        })
+    }
+
+    /// Overrides the receive power draw (mW).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `rx_mw` is not positive and finite.
+    pub fn with_rx_power(mut self, rx_mw: f64) -> Result<Self, String> {
+        if !rx_mw.is_finite() || rx_mw <= 0.0 {
+            return Err("receive power must be positive and finite".into());
+        }
+        self.rx_power_mw = rx_mw;
+        Ok(self)
+    }
+
+    /// Number of discrete levels.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.power_mw.len()
+    }
+
+    /// The maximum-power level (index 0).
+    #[must_use]
+    pub fn max_power_level(&self) -> PowerLevel {
+        PowerLevel(0)
+    }
+
+    /// The minimum-power level (last index).
+    #[must_use]
+    pub fn min_power_level(&self) -> PowerLevel {
+        PowerLevel((self.num_levels() - 1) as u8)
+    }
+
+    /// The level with the given index, if it exists.
+    #[must_use]
+    pub fn level(&self, index: usize) -> Option<PowerLevel> {
+        if index < self.num_levels() {
+            Some(PowerLevel(index as u8))
+        } else {
+            None
+        }
+    }
+
+    /// Transmit power of `level` in mW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` came from a profile with more levels.
+    #[must_use]
+    pub fn power_mw(&self, level: PowerLevel) -> f64 {
+        self.power_mw[level.index()]
+    }
+
+    /// Range of `level` in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` came from a profile with more levels.
+    #[must_use]
+    pub fn range_m(&self, level: PowerLevel) -> f64 {
+        self.range_m[level.index()]
+    }
+
+    /// Receive power draw in mW (`Er` in the paper's notation; energy per
+    /// unit receive time).
+    #[must_use]
+    pub fn rx_power_mw(&self) -> f64 {
+        self.rx_power_mw
+    }
+
+    /// The **cheapest** (lowest-power) level whose range covers `distance_m`,
+    /// or `None` if even maximum power cannot reach it.
+    ///
+    /// This is the paper's core mechanism: "sensor nodes can operate at
+    /// multiple power levels", and SPMS always transmits at the lowest level
+    /// that reaches the next hop.
+    #[must_use]
+    pub fn level_for_distance(&self, distance_m: f64) -> Option<PowerLevel> {
+        if !distance_m.is_finite() || distance_m < 0.0 {
+            return None;
+        }
+        // Ranges are strictly decreasing, so scan from the cheapest level up.
+        for idx in (0..self.num_levels()).rev() {
+            if self.range_m[idx] >= distance_m {
+                return Some(PowerLevel(idx as u8));
+            }
+        }
+        None
+    }
+
+    /// The cheapest level covering `radius_m`, capped at the profile maximum;
+    /// used to interpret an experiment's "transmission radius" sweep value.
+    ///
+    /// Unlike [`RadioProfile::level_for_distance`] this saturates at maximum
+    /// power instead of returning `None`, because a configured radius beyond
+    /// the radio's reach simply means "use maximum power".
+    #[must_use]
+    pub fn level_for_radius_saturating(&self, radius_m: f64) -> PowerLevel {
+        self.level_for_distance(radius_m)
+            .unwrap_or_else(|| self.max_power_level())
+    }
+
+    /// Iterator over all levels, max power first.
+    pub fn levels(&self) -> impl Iterator<Item = PowerLevel> + '_ {
+        (0..self.num_levels()).map(|i| PowerLevel(i as u8))
+    }
+}
+
+impl Default for RadioProfile {
+    fn default() -> Self {
+        RadioProfile::mica2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mica2_matches_table1() {
+        let r = RadioProfile::mica2();
+        assert_eq!(r.num_levels(), 5);
+        assert_eq!(r.power_mw(r.max_power_level()), 3.1622);
+        assert_eq!(r.range_m(r.max_power_level()), 91.44);
+        assert_eq!(r.power_mw(r.min_power_level()), 0.0125);
+        assert_eq!(r.range_m(r.min_power_level()), 5.48);
+        // Er = Em by default.
+        assert_eq!(r.rx_power_mw(), 0.0125);
+    }
+
+    #[test]
+    fn level_for_distance_picks_cheapest_covering() {
+        let r = RadioProfile::mica2();
+        assert_eq!(r.level_for_distance(5.0).unwrap().index(), 4);
+        assert_eq!(r.level_for_distance(5.48).unwrap().index(), 4);
+        assert_eq!(r.level_for_distance(5.49).unwrap().index(), 3);
+        assert_eq!(r.level_for_distance(20.0).unwrap().index(), 2);
+        assert_eq!(r.level_for_distance(91.44).unwrap().index(), 0);
+        assert_eq!(r.level_for_distance(91.45), None);
+        assert_eq!(r.level_for_distance(0.0).unwrap().index(), 4);
+    }
+
+    #[test]
+    fn level_for_distance_rejects_bad_input() {
+        let r = RadioProfile::mica2();
+        assert_eq!(r.level_for_distance(-1.0), None);
+        assert_eq!(r.level_for_distance(f64::NAN), None);
+    }
+
+    #[test]
+    fn saturating_radius_never_fails() {
+        let r = RadioProfile::mica2();
+        assert_eq!(r.level_for_radius_saturating(1_000.0).index(), 0);
+        assert_eq!(r.level_for_radius_saturating(10.0).index(), 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_tables() {
+        assert!(RadioProfile::new(vec![], vec![]).is_err());
+        assert!(RadioProfile::new(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(RadioProfile::new(vec![1.0, 2.0], vec![2.0, 1.0]).is_err());
+        assert!(RadioProfile::new(vec![2.0, -1.0], vec![2.0, 1.0]).is_err());
+        assert!(RadioProfile::new(vec![2.0, 1.0], vec![2.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn rx_power_override() {
+        let r = RadioProfile::mica2().with_rx_power(0.5).unwrap();
+        assert_eq!(r.rx_power_mw(), 0.5);
+        assert!(RadioProfile::mica2().with_rx_power(-1.0).is_err());
+    }
+
+    #[test]
+    fn levels_iterates_in_order() {
+        let r = RadioProfile::mica2();
+        let idx: Vec<usize> = r.levels().map(PowerLevel::index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+        assert_eq!(format!("{}", r.max_power_level()), "L1");
+    }
+}

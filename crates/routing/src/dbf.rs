@@ -1,0 +1,349 @@
+//! The distributed Bellman-Ford exchange.
+//!
+//! DBF runs in synchronous rounds: every node whose table changed since its
+//! last broadcast sends its distance vector to its zone neighbors (at the
+//! zone/ADV power level); receivers relax their tables; the exchange
+//! quiesces when a round produces no changes. The paper quotes the classic
+//! `O(n·e)` convergence bound and argues zone sizes (5–50 nodes) keep it
+//! affordable — our stats let experiments verify that claim directly.
+
+use spms_net::{NodeId, ZoneTable};
+
+use crate::{DbfWireFormat, RouteEntry, RoutingTable};
+
+/// A node's broadcast distance vector: its best known cost and hop count to
+/// each destination it maintains.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DbfVector {
+    /// The sender.
+    pub from: NodeId,
+    /// `(destination, best cost, best hops)` triples in destination order.
+    pub entries: Vec<(NodeId, f64, u32)>,
+}
+
+/// Cost accounting for one DBF execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DbfStats {
+    /// Synchronous rounds until quiescence (including the final silent one).
+    pub rounds: u32,
+    /// Vector broadcasts sent.
+    pub messages: u64,
+    /// Total vector entries across all broadcasts.
+    pub entries_sent: u64,
+    /// Total bytes on air, per the configured wire format.
+    pub bytes_total: u64,
+    /// Bytes broadcast by each node (for per-node energy charging).
+    pub per_node_bytes: Vec<u64>,
+}
+
+/// The distributed Bellman-Ford engine: one routing table per node.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+/// use spms_routing::DbfEngine;
+///
+/// let topo = placement::grid(3, 3, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let mut dbf = DbfEngine::new(&zones, 2);
+/// dbf.run_to_convergence(&zones);
+/// // The corner reaches the opposite corner through an adjacent node.
+/// let best = dbf.table(NodeId::new(0)).best(NodeId::new(8)).unwrap();
+/// assert!(best.hops >= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DbfEngine {
+    tables: Vec<RoutingTable>,
+    k: usize,
+    wire: DbfWireFormat,
+}
+
+impl DbfEngine {
+    /// Creates an engine with direct (one-hop) routes installed for every
+    /// zone link, keeping `k` alternatives per destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(zones: &ZoneTable, k: usize) -> Self {
+        let mut engine = DbfEngine {
+            tables: (0..zones.len()).map(|_| RoutingTable::new(k)).collect(),
+            k,
+            wire: DbfWireFormat::default(),
+        };
+        engine.reset(zones, &vec![true; zones.len()]);
+        engine
+    }
+
+    /// Overrides the wire format used for byte accounting.
+    #[must_use]
+    pub fn with_wire_format(mut self, wire: DbfWireFormat) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// The number of route alternatives kept per destination.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reinstalls direct routes from scratch, skipping dead nodes — the
+    /// paper's "re-execution of the DBF" after mobility or failure.
+    pub fn reset(&mut self, zones: &ZoneTable, alive: &[bool]) {
+        assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
+        for table in &mut self.tables {
+            table.clear();
+        }
+        for a in 0..zones.len() {
+            if !alive[a] {
+                continue;
+            }
+            let node = NodeId::new(a as u32);
+            for link in zones.links(node) {
+                if !alive[link.neighbor.index()] {
+                    continue;
+                }
+                self.tables[a].offer(
+                    link.neighbor,
+                    RouteEntry {
+                        via: link.neighbor,
+                        cost: link.weight,
+                        hops: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The routing table of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn table(&self, node: NodeId) -> &RoutingTable {
+        &self.tables[node.index()]
+    }
+
+    /// All tables, indexed by node (consumed by the simulation engine).
+    #[must_use]
+    pub fn into_tables(self) -> Vec<RoutingTable> {
+        self.tables
+    }
+
+    /// Builds the distance vector `node` would broadcast now.
+    #[must_use]
+    pub fn vector_of(&self, node: NodeId) -> DbfVector {
+        let table = &self.tables[node.index()];
+        let entries = table
+            .destinations()
+            .filter_map(|d| table.best(d).map(|e| (d, e.cost, e.hops)))
+            .collect();
+        DbfVector {
+            from: node,
+            entries,
+        }
+    }
+
+    /// Applies a received vector at `at`: relaxes `at`'s table with routes
+    /// via the sender. Returns `true` if the table changed.
+    pub fn receive(&mut self, at: NodeId, vector: &DbfVector, zones: &ZoneTable) -> bool {
+        let Some(link) = zones.link_to(at, vector.from) else {
+            return false; // sender out of zone (stale broadcast after a move)
+        };
+        let w = link.weight;
+        let mut changed = false;
+        for &(dest, cost, hops) in &vector.entries {
+            if dest == at {
+                continue;
+            }
+            // Zone scoping: `at` only maintains destinations in its own zone.
+            if !zones.in_zone(at, dest) {
+                continue;
+            }
+            changed |= self.tables[at.index()].offer(
+                dest,
+                RouteEntry {
+                    via: vector.from,
+                    cost: w + cost,
+                    hops: hops + 1,
+                },
+            );
+        }
+        changed
+    }
+
+    /// Runs synchronous rounds until quiescence with every node alive.
+    pub fn run_to_convergence(&mut self, zones: &ZoneTable) -> DbfStats {
+        self.run_to_convergence_masked(zones, &vec![true; zones.len()])
+    }
+
+    /// Runs synchronous rounds until quiescence, excluding dead nodes.
+    ///
+    /// Triggered-update semantics: in round 1 every (alive) node broadcasts;
+    /// thereafter only nodes whose table changed in the previous round do.
+    /// Vectors within a round are snapshotted first, so the exchange is
+    /// order-independent and deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alive mask length does not match, or if the exchange
+    /// fails to converge within a generous bound (which would indicate a
+    /// negative-cost or bookkeeping bug, as positive-weight DBF always
+    /// converges).
+    pub fn run_to_convergence_masked(
+        &mut self,
+        zones: &ZoneTable,
+        alive: &[bool],
+    ) -> DbfStats {
+        assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
+        let n = zones.len();
+        let mut stats = DbfStats {
+            per_node_bytes: vec![0; n],
+            ..DbfStats::default()
+        };
+        let mut pending: Vec<bool> = alive.to_vec();
+        // Positive weights: path costs strictly increase with hops, so
+        // convergence takes at most diameter+2 rounds; n+4 is a safe bound.
+        let max_rounds = (n as u32).max(8) + 4;
+
+        for _round in 0..max_rounds {
+            stats.rounds += 1;
+            if pending.iter().all(|&p| !p) {
+                return stats; // quiescent: nobody has updates to send
+            }
+            // Snapshot the vectors of every broadcasting node.
+            let vectors: Vec<DbfVector> = (0..n)
+                .filter(|&i| pending[i] && alive[i])
+                .map(|i| self.vector_of(NodeId::new(i as u32)))
+                .collect();
+            let mut next_pending = vec![false; n];
+            for v in &vectors {
+                stats.messages += 1;
+                stats.entries_sent += v.entries.len() as u64;
+                let bytes = u64::from(self.wire.message_bytes(v.entries.len()));
+                stats.bytes_total += bytes;
+                stats.per_node_bytes[v.from.index()] += bytes;
+                for link in zones.links(v.from) {
+                    let to = link.neighbor;
+                    if !alive[to.index()] {
+                        continue;
+                    }
+                    if self.receive(to, v, zones) {
+                        next_pending[to.index()] = true;
+                    }
+                }
+            }
+            pending = next_pending;
+        }
+        panic!("DBF failed to converge within {max_rounds} rounds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_net::placement;
+    use spms_phy::RadioProfile;
+
+    fn zones(cols: usize, rows: usize) -> ZoneTable {
+        let topo = placement::grid(cols, rows, 5.0).unwrap();
+        ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0)
+    }
+
+    #[test]
+    fn line_converges_to_min_hop_chain() {
+        let z = zones(5, 1);
+        let mut dbf = DbfEngine::new(&z, 2);
+        let stats = dbf.run_to_convergence(&z);
+        assert!(stats.messages > 0);
+        let t4 = dbf.table(NodeId::new(4));
+        let best = t4.best(NodeId::new(0)).unwrap();
+        assert_eq!(best.via, NodeId::new(3));
+        assert_eq!(best.hops, 4);
+        assert!((best.cost - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_routes_exist_before_any_exchange() {
+        let z = zones(3, 1);
+        let dbf = DbfEngine::new(&z, 2);
+        let t0 = dbf.table(NodeId::new(0));
+        assert_eq!(t0.best(NodeId::new(1)).unwrap().hops, 1);
+        assert_eq!(t0.best(NodeId::new(2)).unwrap().hops, 1);
+    }
+
+    #[test]
+    fn second_route_provides_failover() {
+        // 3×3 grid: center-to-corner has two equal shortest paths, so k=2
+        // tables hold a genuine alternative.
+        let z = zones(3, 3);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        let t0 = dbf.table(NodeId::new(0));
+        let routes = t0.routes_to(NodeId::new(8));
+        assert_eq!(routes.len(), 2);
+        assert_ne!(routes[0].via, routes[1].via);
+    }
+
+    #[test]
+    fn masked_run_ignores_dead_nodes() {
+        let z = zones(3, 1);
+        let mut dbf = DbfEngine::new(&z, 2);
+        let mut alive = vec![true; 3];
+        alive[1] = false;
+        dbf.reset(&z, &alive);
+        dbf.run_to_convergence_masked(&z, &alive);
+        let t0 = dbf.table(NodeId::new(0));
+        // Node 2 is still reachable directly (10 m), never via dead node 1.
+        let best = t0.best(NodeId::new(2)).unwrap();
+        assert_eq!(best.via, NodeId::new(2));
+        assert_eq!(t0.routes_to(NodeId::new(2)).len(), 1);
+        assert!(t0.best(NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn stats_account_messages_and_bytes() {
+        let z = zones(4, 4);
+        let mut dbf = DbfEngine::new(&z, 2);
+        let stats = dbf.run_to_convergence(&z);
+        assert_eq!(stats.per_node_bytes.len(), 16);
+        let per_node_sum: u64 = stats.per_node_bytes.iter().sum();
+        assert_eq!(per_node_sum, stats.bytes_total);
+        assert!(stats.entries_sent >= stats.messages); // vectors are non-trivial
+        let wire = DbfWireFormat::default();
+        assert!(
+            stats.bytes_total
+                >= stats.messages * u64::from(wire.header_bytes)
+        );
+        // Convergence should be far below the panic bound.
+        assert!(stats.rounds <= 8, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn rerun_after_reset_is_idempotent() {
+        let z = zones(4, 1);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        let before = dbf.table(NodeId::new(0)).clone();
+        dbf.reset(&z, &[true; 4]);
+        dbf.run_to_convergence(&z);
+        assert_eq!(*dbf.table(NodeId::new(0)), before);
+    }
+
+    #[test]
+    fn receive_from_out_of_zone_sender_is_ignored() {
+        let z = zones(9, 1);
+        let mut dbf = DbfEngine::new(&z, 2);
+        // Node 8 is 40 m from node 0: out of zone.
+        let fake = DbfVector {
+            from: NodeId::new(8),
+            entries: vec![(NodeId::new(1), 0.01, 1)],
+        };
+        assert!(!dbf.receive(NodeId::new(0), &fake, &z));
+    }
+}

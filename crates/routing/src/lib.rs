@@ -1,0 +1,52 @@
+//! Zone routing for SPMS: distributed Bellman-Ford with k-route tables.
+//!
+//! §3.2 of the paper: "The Distributed Bellman Ford (DBF) algorithm is
+//! executed in each zone to form the routes. Each entry of the routing table
+//! at each node has a destination field and the cost of going to the
+//! destination through each of its neighbors. Maintaining n entries for each
+//! destination enables the protocol to tolerate concurrent failures of n
+//! intermediate nodes."
+//!
+//! This crate provides:
+//!
+//! * [`RoutingTable`] / [`RouteEntry`] — per-destination lists of up to `k`
+//!   next-hop alternatives ordered by cost (the paper's implementation keeps
+//!   the shortest and second-shortest path, `k = 2`),
+//! * [`DbfEngine`] — the distance-vector exchange itself, run in synchronous
+//!   rounds until quiescence, with message/byte accounting so the simulation
+//!   can charge the routing-table-formation energy the paper includes in its
+//!   mobility results (Figure 12),
+//! * [`oracle_tables`] — centralized construction of the same tables from
+//!   the Dijkstra oracle, used to cross-check the distributed algorithm and
+//!   as a fast path for static failure-free experiments,
+//! * [`DbfWireFormat`] — the byte-size model for distance-vector packets.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_net::{placement, NodeId, ZoneTable};
+//! use spms_phy::RadioProfile;
+//! use spms_routing::DbfEngine;
+//!
+//! let topo = placement::grid(5, 1, 5.0).unwrap();
+//! let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+//! let mut dbf = DbfEngine::new(&zones, 2);
+//! let stats = dbf.run_to_convergence(&zones);
+//! assert!(stats.rounds >= 2);
+//! // Node 4 reaches node 0 through its 5 m neighbor, node 3.
+//! let best = dbf.table(NodeId::new(4)).best(NodeId::new(0)).unwrap();
+//! assert_eq!(best.via, NodeId::new(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dbf;
+mod oracle;
+mod table;
+mod wire;
+
+pub use dbf::{DbfEngine, DbfStats, DbfVector};
+pub use oracle::oracle_tables;
+pub use table::{RouteEntry, RoutingTable};
+pub use wire::DbfWireFormat;

@@ -1,0 +1,163 @@
+//! Centralized construction of the converged routing tables.
+//!
+//! For every destination `d`, a converged DBF gives each node `a` one entry
+//! per zone neighbor `j`: cost `w(a,j) + dist(j,d)` where `dist` is the
+//! zone-constrained shortest-path cost. Building the same tables from the
+//! Dijkstra oracle provides (a) an independent implementation to test the
+//! distributed exchange against, and (b) a fast path for static failure-free
+//! experiments where simulating the message exchange changes nothing.
+
+use spms_net::{dijkstra, NodeId, ZoneTable};
+
+use crate::{RouteEntry, RoutingTable};
+
+/// Builds the routing table of every node directly from the shortest-path
+/// oracle, keeping `k` alternatives per destination.
+///
+/// The result is exactly what [`crate::DbfEngine::run_to_convergence`]
+/// produces (verified by property tests), at `O(n · zone·log zone)` cost
+/// without simulating message rounds.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+/// use spms_routing::oracle_tables;
+///
+/// let topo = placement::grid(5, 1, 5.0).unwrap();
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let tables = oracle_tables(&zones, 2);
+/// assert_eq!(
+///     tables[4].best(NodeId::new(0)).unwrap().via,
+///     NodeId::new(3)
+/// );
+/// ```
+#[must_use]
+pub fn oracle_tables(zones: &ZoneTable, k: usize) -> Vec<RoutingTable> {
+    assert!(k > 0, "k must be at least 1");
+    let n = zones.len();
+    let mut tables: Vec<RoutingTable> = (0..n).map(|_| RoutingTable::new(k)).collect();
+
+    for d_idx in 0..n {
+        let dest = NodeId::new(d_idx as u32);
+        let dist = dijkstra(zones, dest);
+        for (a_idx, table) in tables.iter_mut().enumerate() {
+            if a_idx == d_idx {
+                continue;
+            }
+            let a = NodeId::new(a_idx as u32);
+            // Only nodes with `dest` in their zone maintain routes to it.
+            if !zones.in_zone(a, dest) {
+                continue;
+            }
+            for link in zones.links(a) {
+                let j = link.neighbor;
+                let (tail_cost, tail_hops) = if j == dest {
+                    (0.0, 0)
+                } else {
+                    match dist[j.index()] {
+                        Some(pc) => (pc.cost, pc.hops),
+                        None => continue, // j cannot reach dest
+                    }
+                };
+                table.offer(
+                    dest,
+                    RouteEntry {
+                        via: j,
+                        cost: link.weight + tail_cost,
+                        hops: tail_hops + 1,
+                    },
+                );
+            }
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DbfEngine;
+    use spms_net::placement;
+    use spms_phy::RadioProfile;
+
+    fn zones(cols: usize, rows: usize, radius: f64) -> ZoneTable {
+        let topo = placement::grid(cols, rows, 5.0).unwrap();
+        ZoneTable::build(&topo, &RadioProfile::mica2(), radius)
+    }
+
+    /// Structural agreement between the distributed and centralized builds.
+    fn assert_tables_agree(zones: &ZoneTable, k: usize) {
+        let oracle = oracle_tables(zones, k);
+        let mut dbf = DbfEngine::new(zones, k);
+        dbf.run_to_convergence(zones);
+        for (i, a) in oracle.iter().enumerate() {
+            let node = NodeId::new(i as u32);
+            let b = dbf.table(node);
+            let da: Vec<NodeId> = a.destinations().collect();
+            let db: Vec<NodeId> = b.destinations().collect();
+            assert_eq!(da, db, "node {node}: destination sets differ");
+            for d in da {
+                let ra = a.routes_to(d);
+                let rb = b.routes_to(d);
+                assert_eq!(ra.len(), rb.len(), "node {node} dest {d}: route counts");
+                for (x, y) in ra.iter().zip(rb.iter()) {
+                    assert_eq!(x.via, y.via, "node {node} dest {d}");
+                    assert_eq!(x.hops, y.hops, "node {node} dest {d}");
+                    assert!(
+                        (x.cost - y.cost).abs() < 1e-9,
+                        "node {node} dest {d}: {} vs {}",
+                        x.cost,
+                        y.cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_dbf_on_line() {
+        assert_tables_agree(&zones(6, 1, 20.0), 2);
+    }
+
+    #[test]
+    fn oracle_matches_dbf_on_grid() {
+        assert_tables_agree(&zones(5, 5, 20.0), 2);
+    }
+
+    #[test]
+    fn oracle_matches_dbf_with_k3() {
+        assert_tables_agree(&zones(4, 4, 20.0), 3);
+    }
+
+    #[test]
+    fn oracle_matches_dbf_small_radius() {
+        // 10 m zones: sparser graphs, fewer relays.
+        assert_tables_agree(&zones(5, 5, 10.0), 2);
+    }
+
+    #[test]
+    fn oracle_best_equals_dijkstra_cost() {
+        let z = zones(5, 5, 20.0);
+        let tables = oracle_tables(&z, 2);
+        for d_idx in 0..z.len() {
+            let dest = NodeId::new(d_idx as u32);
+            let dist = dijkstra(&z, dest);
+            for (a_idx, table) in tables.iter().enumerate() {
+                if let Some(best) = table.best(dest) {
+                    let want = dist[a_idx].expect("route implies reachable");
+                    assert!(
+                        (best.cost - want.cost).abs() < 1e-9,
+                        "node {a_idx} → {dest}"
+                    );
+                    assert_eq!(best.hops, want.hops);
+                }
+            }
+        }
+    }
+}

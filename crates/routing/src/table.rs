@@ -1,0 +1,279 @@
+//! Per-node routing tables with k next-hop alternatives per destination.
+
+use std::collections::BTreeMap;
+
+use spms_net::NodeId;
+
+/// One route alternative: reach the destination through neighbor `via` at
+/// total cost `cost` over `hops` hops.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteEntry {
+    /// The next-hop zone neighbor.
+    pub via: NodeId,
+    /// Total path cost (sum of per-link minimum transmit powers, mW).
+    pub cost: f64,
+    /// Path length in hops.
+    pub hops: u32,
+}
+
+/// A node's routing table: for each in-zone destination, up to `k` route
+/// alternatives sorted best-first.
+///
+/// Entries are keyed by next-hop neighbor: at most one entry per `via` per
+/// destination, mirroring the paper's "cost of going to the destination
+/// through each of its neighbors" (truncated to the best `k`).
+///
+/// # Example
+///
+/// ```
+/// use spms_net::NodeId;
+/// use spms_routing::{RouteEntry, RoutingTable};
+///
+/// let mut t = RoutingTable::new(2);
+/// let d = NodeId::new(9);
+/// t.offer(d, RouteEntry { via: NodeId::new(1), cost: 0.5, hops: 2 });
+/// t.offer(d, RouteEntry { via: NodeId::new(2), cost: 0.2, hops: 3 });
+/// assert_eq!(t.best(d).unwrap().via, NodeId::new(2));
+/// assert_eq!(t.alternative(d, 1).unwrap().via, NodeId::new(1));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingTable {
+    routes: BTreeMap<NodeId, Vec<RouteEntry>>,
+    k: usize,
+}
+
+impl RoutingTable {
+    /// Creates an empty table keeping at most `k` alternatives per
+    /// destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        RoutingTable {
+            routes: BTreeMap::new(),
+            k,
+        }
+    }
+
+    /// The configured number of alternatives.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Offers a route to `dest`; returns `true` if the table changed (the
+    /// trigger condition for re-broadcasting a distance vector).
+    ///
+    /// If an entry via the same neighbor exists it is replaced when the new
+    /// route differs; the list is then re-sorted and truncated to `k`.
+    pub fn offer(&mut self, dest: NodeId, entry: RouteEntry) -> bool {
+        let k = self.k;
+        let list = self.routes.entry(dest).or_default();
+        // Build the updated candidate list: the route via this neighbor is
+        // *replaced* (distance vectors report the neighbor's current truth,
+        // not an improvement offer), then the best k are retained.
+        let mut updated: Vec<RouteEntry> = list
+            .iter()
+            .copied()
+            .filter(|e| e.via != entry.via)
+            .collect();
+        updated.push(entry);
+        // Costs within 1e-12 are ties (floating-point sums of identical
+        // link weights can differ by an ULP depending on the path); ties
+        // break toward fewer hops, then the smaller neighbor id — the same
+        // rule as the Dijkstra oracle, so the two constructions agree
+        // exactly.
+        updated.sort_by(|a, b| {
+            if (a.cost - b.cost).abs() <= 1e-12 {
+                a.hops.cmp(&b.hops).then_with(|| a.via.cmp(&b.via))
+            } else {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        });
+        updated.truncate(k);
+        // Only a change to the *retained* list counts — an offer that does
+        // not make the top k must not trigger another broadcast round, or
+        // the exchange would never quiesce.
+        let changed = updated.len() != list.len()
+            || updated.iter().zip(list.iter()).any(|(a, b)| {
+                a.via != b.via || a.hops != b.hops || (a.cost - b.cost).abs() > 1e-12
+            });
+        if changed {
+            *list = updated;
+        }
+        changed
+    }
+
+    /// The best route to `dest`, if any.
+    #[must_use]
+    pub fn best(&self, dest: NodeId) -> Option<&RouteEntry> {
+        self.routes.get(&dest).and_then(|l| l.first())
+    }
+
+    /// The `i`-th best route to `dest` (0 = best).
+    #[must_use]
+    pub fn alternative(&self, dest: NodeId, i: usize) -> Option<&RouteEntry> {
+        self.routes.get(&dest).and_then(|l| l.get(i))
+    }
+
+    /// All alternatives to `dest`, best first.
+    #[must_use]
+    pub fn routes_to(&self, dest: NodeId) -> &[RouteEntry] {
+        self.routes.get(&dest).map_or(&[], |l| l.as_slice())
+    }
+
+    /// The best route to `dest` that does not go through `avoid` — the
+    /// lookup used when a next hop is suspected failed.
+    #[must_use]
+    pub fn best_avoiding(&self, dest: NodeId, avoid: NodeId) -> Option<&RouteEntry> {
+        self.routes
+            .get(&dest)?
+            .iter()
+            .find(|e| e.via != avoid)
+    }
+
+    /// Destinations with at least one route, in id order.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Number of destinations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` when no destinations are known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Total entries across destinations (for wire-size accounting).
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.routes.values().map(Vec::len).sum()
+    }
+
+    /// Removes every route whose next hop is `via`; returns `true` if
+    /// anything was removed. Destinations left with no routes are dropped.
+    pub fn purge_via(&mut self, via: NodeId) -> bool {
+        let mut changed = false;
+        self.routes.retain(|_, list| {
+            let before = list.len();
+            list.retain(|e| e.via != via);
+            changed |= list.len() != before;
+            !list.is_empty()
+        });
+        changed
+    }
+
+    /// Clears the table (used when DBF re-executes from scratch).
+    pub fn clear(&mut self) {
+        self.routes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(via: u32, cost: f64, hops: u32) -> RouteEntry {
+        RouteEntry {
+            via: NodeId::new(via),
+            cost,
+            hops,
+        }
+    }
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let mut t = RoutingTable::new(2);
+        let d = NodeId::new(100);
+        assert!(t.offer(d, e(1, 3.0, 1)));
+        assert!(t.offer(d, e(2, 1.0, 2)));
+        assert!(t.offer(d, e(3, 2.0, 2)));
+        assert_eq!(t.routes_to(d).len(), 2);
+        assert_eq!(t.best(d).unwrap().via, NodeId::new(2));
+        assert_eq!(t.alternative(d, 1).unwrap().via, NodeId::new(3));
+        assert!(t.alternative(d, 2).is_none());
+    }
+
+    #[test]
+    fn replaces_route_via_same_neighbor() {
+        let mut t = RoutingTable::new(2);
+        let d = NodeId::new(5);
+        assert!(t.offer(d, e(1, 3.0, 2)));
+        // Same neighbor, same route: no change.
+        assert!(!t.offer(d, e(1, 3.0, 2)));
+        // Same neighbor, worse cost: replaced (vector reports current truth).
+        assert!(t.offer(d, e(1, 4.0, 2)));
+        assert_eq!(t.best(d).unwrap().cost, 4.0);
+        // And improvement also replaces.
+        assert!(t.offer(d, e(1, 2.0, 2)));
+        assert_eq!(t.best(d).unwrap().cost, 2.0);
+        assert_eq!(t.routes_to(d).len(), 1);
+    }
+
+    #[test]
+    fn tie_breaks_on_hops_then_id() {
+        let mut t = RoutingTable::new(3);
+        let d = NodeId::new(7);
+        t.offer(d, e(9, 1.0, 3));
+        t.offer(d, e(4, 1.0, 2));
+        t.offer(d, e(2, 1.0, 3));
+        let vias: Vec<u32> = t.routes_to(d).iter().map(|r| r.via.raw()).collect();
+        assert_eq!(vias, vec![4, 2, 9]);
+    }
+
+    #[test]
+    fn best_avoiding_skips_failed_neighbor() {
+        let mut t = RoutingTable::new(2);
+        let d = NodeId::new(7);
+        t.offer(d, e(1, 1.0, 1));
+        t.offer(d, e(2, 2.0, 2));
+        assert_eq!(t.best_avoiding(d, NodeId::new(1)).unwrap().via, NodeId::new(2));
+        assert!(t.best_avoiding(d, NodeId::new(1)).is_some());
+        t.purge_via(NodeId::new(2));
+        assert!(t.best_avoiding(d, NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn purge_via_drops_empty_destinations() {
+        let mut t = RoutingTable::new(2);
+        t.offer(NodeId::new(7), e(1, 1.0, 1));
+        t.offer(NodeId::new(8), e(1, 1.0, 1));
+        t.offer(NodeId::new(8), e(2, 2.0, 2));
+        assert!(t.purge_via(NodeId::new(1)));
+        assert_eq!(t.len(), 1);
+        assert!(t.best(NodeId::new(7)).is_none());
+        assert_eq!(t.best(NodeId::new(8)).unwrap().via, NodeId::new(2));
+        assert!(!t.purge_via(NodeId::new(9)));
+    }
+
+    #[test]
+    fn accounting_helpers() {
+        let mut t = RoutingTable::new(2);
+        assert!(t.is_empty());
+        t.offer(NodeId::new(1), e(2, 1.0, 1));
+        t.offer(NodeId::new(3), e(2, 1.0, 1));
+        t.offer(NodeId::new(3), e(4, 2.0, 2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_entries(), 3);
+        let dests: Vec<u32> = t.destinations().map(NodeId::raw).collect();
+        assert_eq!(dests, vec![1, 3]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let _ = RoutingTable::new(0);
+    }
+}

@@ -1,0 +1,261 @@
+//! A world-coordinate character canvas.
+//!
+//! The canvas maps a rectangular world region onto a fixed character grid
+//! (y grows upward in world space, downward on screen) and offers the
+//! primitive plotting operations the field renderers build on. Later draws
+//! overwrite earlier ones, so overlays are painted back-to-front.
+
+/// A character grid addressed in world coordinates.
+///
+/// # Example
+///
+/// ```
+/// use spms_viz::Canvas;
+///
+/// let mut c = Canvas::new(0.0, 0.0, 10.0, 10.0, 21, 11)?;
+/// c.plot(0.0, 0.0, 'a');
+/// c.plot(10.0, 10.0, 'b');
+/// let s = c.render();
+/// assert!(s.lines().next().unwrap().ends_with('b'), "top-right is b");
+/// assert!(s.lines().last().unwrap().starts_with('a'), "bottom-left is a");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Canvas {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Creates a canvas covering the world rectangle `[x0, x1] × [y0, y1]`
+    /// with the given character dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the rectangle is degenerate or non-finite, or
+    /// either dimension is zero.
+    pub fn new(
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        cols: usize,
+        rows: usize,
+    ) -> Result<Self, String> {
+        if ![x0, y0, x1, y1].iter().all(|v| v.is_finite()) {
+            return Err("canvas bounds must be finite".into());
+        }
+        if x1 <= x0 || y1 <= y0 {
+            return Err(format!("degenerate canvas [{x0},{x1}]×[{y0},{y1}]"));
+        }
+        if cols == 0 || rows == 0 {
+            return Err("canvas needs at least one row and column".into());
+        }
+        Ok(Canvas {
+            x0,
+            y0,
+            x1,
+            y1,
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+        })
+    }
+
+    /// Character columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Character rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Maps a world point to a cell, or `None` when outside the canvas.
+    #[must_use]
+    pub fn cell_of(&self, x: f64, y: f64) -> Option<(usize, usize)> {
+        if !(x.is_finite() && y.is_finite()) {
+            return None;
+        }
+        if x < self.x0 || x > self.x1 || y < self.y0 || y > self.y1 {
+            return None;
+        }
+        let fx = (x - self.x0) / (self.x1 - self.x0);
+        let fy = (y - self.y0) / (self.y1 - self.y0);
+        let col = ((fx * (self.cols - 1) as f64).round() as usize).min(self.cols - 1);
+        let row_up = ((fy * (self.rows - 1) as f64).round() as usize).min(self.rows - 1);
+        Some((col, self.rows - 1 - row_up))
+    }
+
+    /// Plots one world point. Out-of-bounds points are ignored.
+    pub fn plot(&mut self, x: f64, y: f64, ch: char) {
+        if let Some((c, r)) = self.cell_of(x, y) {
+            self.cells[r * self.cols + c] = ch;
+        }
+    }
+
+    /// Plots one world point only if its cell is still blank — lets a
+    /// background layer fill in around existing overlays.
+    pub fn plot_if_empty(&mut self, x: f64, y: f64, ch: char) {
+        if let Some((c, r)) = self.cell_of(x, y) {
+            let cell = &mut self.cells[r * self.cols + c];
+            if *cell == ' ' {
+                *cell = ch;
+            }
+        }
+    }
+
+    /// Draws a straight world-space segment by dense sampling (robust for
+    /// any aspect ratio; the canvas is small, so oversampling is free).
+    pub fn line(&mut self, xa: f64, ya: f64, xb: f64, yb: f64, ch: char) {
+        let steps = (self.cols + self.rows) * 2;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            self.plot(xa + (xb - xa) * t, ya + (yb - ya) * t, ch);
+        }
+    }
+
+    /// Draws a world-space circle outline around `(cx, cy)`.
+    pub fn circle(&mut self, cx: f64, cy: f64, radius: f64, ch: char) {
+        if !(radius.is_finite() && radius > 0.0) {
+            return;
+        }
+        let steps = (self.cols + self.rows) * 2;
+        for i in 0..steps {
+            let a = std::f64::consts::TAU * i as f64 / steps as f64;
+            self.plot(cx + radius * a.cos(), cy + radius * a.sin(), ch);
+        }
+    }
+
+    /// Writes a label starting at a world point, running right in screen
+    /// space; characters falling outside are clipped.
+    pub fn label(&mut self, x: f64, y: f64, text: &str) {
+        let Some((c0, r)) = self.cell_of(x, y) else {
+            return;
+        };
+        for (i, ch) in text.chars().enumerate() {
+            let c = c0 + i;
+            if c >= self.cols {
+                break;
+            }
+            self.cells[r * self.cols + c] = ch;
+        }
+    }
+
+    /// Renders the canvas as `rows` newline-separated lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            let row: String = self.cells[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .collect();
+            out.push_str(row.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_canvas() -> Canvas {
+        Canvas::new(0.0, 0.0, 10.0, 10.0, 11, 11).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(Canvas::new(0.0, 0.0, 0.0, 1.0, 5, 5).is_err());
+        assert!(Canvas::new(0.0, 1.0, 1.0, 1.0, 5, 5).is_err());
+        assert!(Canvas::new(0.0, 0.0, 1.0, 1.0, 0, 5).is_err());
+        assert!(Canvas::new(f64::NAN, 0.0, 1.0, 1.0, 5, 5).is_err());
+        assert!(Canvas::new(0.0, 0.0, 1.0, 1.0, 5, 5).is_ok());
+    }
+
+    #[test]
+    fn world_y_grows_upward() {
+        let mut c = unit_canvas();
+        c.plot(0.0, 0.0, 'a'); // bottom-left
+        c.plot(0.0, 10.0, 'b'); // top-left
+        let rendered = c.render();
+        let lines: Vec<&str> = rendered.lines().map(str::trim_end).collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with('b'));
+        assert!(lines[10].starts_with('a'));
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_ignored() {
+        let mut c = unit_canvas();
+        c.plot(-1.0, 5.0, 'x');
+        c.plot(5.0, 11.0, 'x');
+        c.plot(f64::NAN, 5.0, 'x');
+        assert!(!c.render().contains('x'));
+    }
+
+    #[test]
+    fn lines_connect_their_endpoints() {
+        let mut c = unit_canvas();
+        c.line(0.0, 0.0, 10.0, 10.0, '.');
+        let s = c.render();
+        // The diagonal has one mark per row.
+        assert_eq!(s.matches('.').count(), 11);
+        assert_eq!(c.cell_of(0.0, 0.0), Some((0, 10)));
+        assert_eq!(c.cell_of(10.0, 10.0), Some((10, 0)));
+    }
+
+    #[test]
+    fn circle_stays_at_radius() {
+        let mut c = Canvas::new(0.0, 0.0, 20.0, 20.0, 41, 41).unwrap();
+        c.circle(10.0, 10.0, 5.0, 'o');
+        // Center stays empty; the ring is present.
+        let (cc, cr) = c.cell_of(10.0, 10.0).unwrap();
+        let rendered: Vec<Vec<char>> = c
+            .render()
+            .lines()
+            .map(|l| {
+                let mut v: Vec<char> = l.chars().collect();
+                v.resize(41, ' ');
+                v
+            })
+            .collect();
+        assert_ne!(rendered[cr][cc], 'o');
+        assert!(c.render().contains('o'));
+        // Degenerate radii are a no-op.
+        let before = c.render();
+        c.circle(10.0, 10.0, -1.0, 'x');
+        c.circle(10.0, 10.0, f64::NAN, 'x');
+        assert_eq!(before, c.render());
+    }
+
+    #[test]
+    fn labels_clip_at_the_edge() {
+        let mut c = unit_canvas();
+        c.label(9.0, 5.0, "wide-label");
+        let s = c.render();
+        assert!(s.contains("wi"), "{s}");
+        assert!(!s.contains("wide-l"), "must clip: {s}");
+        // Labels anchored off-canvas vanish entirely.
+        c.label(20.0, 5.0, "gone");
+        assert!(!c.render().contains("gone"));
+    }
+
+    #[test]
+    fn render_trims_trailing_spaces() {
+        let mut c = unit_canvas();
+        c.plot(0.0, 5.0, 'x');
+        for line in c.render().lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Sensor-field maps: node positions with zone and route overlays.
+
+use spms_net::{NodeId, Topology, ZoneTable};
+
+use crate::canvas::Canvas;
+
+/// Default glyph for an unmarked node.
+const NODE_GLYPH: char = '·';
+
+/// A field map under construction (builder style: overlays first, marks
+/// last, so marks stay visible).
+///
+/// # Example
+///
+/// ```
+/// use spms_net::{placement, NodeId, ZoneTable};
+/// use spms_phy::RadioProfile;
+/// use spms_viz::FieldMap;
+///
+/// let topo = placement::grid(9, 1, 5.0)?;
+/// let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+/// let art = FieldMap::new(&topo, 50, 7)?
+///     .zone(&zones, NodeId::new(0))
+///     .route(&[NodeId::new(0), NodeId::new(4), NodeId::new(8)])
+///     .mark(NodeId::new(0), 'S')
+///     .mark(NodeId::new(8), 'D')
+///     .render();
+/// assert!(art.contains('S') && art.contains('D'));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FieldMap<'a> {
+    topology: &'a Topology,
+    canvas: Canvas,
+    marks: Vec<(NodeId, char)>,
+}
+
+impl<'a> FieldMap<'a> {
+    /// Starts a map of `topology` on a `cols × rows` canvas with a small
+    /// world margin so border nodes stay visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the canvas dimensions are zero.
+    pub fn new(topology: &'a Topology, cols: usize, rows: usize) -> Result<Self, String> {
+        let field = topology.field();
+        let margin = (field.width.max(field.height)) * 0.03;
+        let canvas = Canvas::new(
+            -margin,
+            -margin,
+            field.width + margin,
+            field.height + margin,
+            cols,
+            rows,
+        )?;
+        Ok(FieldMap {
+            topology,
+            canvas,
+            marks: Vec::new(),
+        })
+    }
+
+    /// Overlays the zone of `node`: its reach circle (at the zone radius)
+    /// and a `+` on every zone neighbor.
+    #[must_use]
+    pub fn zone(mut self, zones: &ZoneTable, node: NodeId) -> Self {
+        let p = self.topology.position(node);
+        self.canvas.circle(p.x, p.y, zones.zone_radius_m(), '~');
+        for link in zones.links(node) {
+            let q = self.topology.position(link.neighbor);
+            self.canvas.plot(q.x, q.y, '+');
+        }
+        self
+    }
+
+    /// Overlays a multi-hop route as line segments between consecutive
+    /// nodes.
+    #[must_use]
+    pub fn route(mut self, path: &[NodeId]) -> Self {
+        for pair in path.windows(2) {
+            let a = self.topology.position(pair[0]);
+            let b = self.topology.position(pair[1]);
+            self.canvas.line(a.x, a.y, b.x, b.y, '*');
+        }
+        self
+    }
+
+    /// Marks one node with a glyph (drawn last, over any overlay).
+    #[must_use]
+    pub fn mark(mut self, node: NodeId, glyph: char) -> Self {
+        self.marks.push((node, glyph));
+        self
+    }
+
+    /// Renders the map: all nodes, overlays, then marks.
+    #[must_use]
+    pub fn render(mut self) -> String {
+        for node in self.topology.nodes() {
+            let p = self.topology.position(node);
+            // Overlay glyphs (zone members, routes) keep their cells.
+            self.canvas.plot_if_empty(p.x, p.y, NODE_GLYPH);
+        }
+        for &(node, glyph) in &self.marks {
+            let p = self.topology.position(node);
+            self.canvas.plot(p.x, p.y, glyph);
+        }
+        self.canvas.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_net::placement;
+    use spms_phy::RadioProfile;
+
+    fn topo() -> Topology {
+        placement::grid(9, 3, 5.0).unwrap()
+    }
+
+    #[test]
+    fn all_nodes_appear() {
+        let t = topo();
+        let art = FieldMap::new(&t, 60, 12).unwrap().render();
+        assert_eq!(
+            art.chars().filter(|&c| c == NODE_GLYPH).count(),
+            27,
+            "{art}"
+        );
+    }
+
+    #[test]
+    fn marks_override_node_glyphs() {
+        let t = topo();
+        let art = FieldMap::new(&t, 60, 12)
+            .unwrap()
+            .mark(NodeId::new(0), 'S')
+            .mark(NodeId::new(26), 'D')
+            .render();
+        assert!(art.contains('S'));
+        assert!(art.contains('D'));
+        assert_eq!(art.chars().filter(|&c| c == NODE_GLYPH).count(), 25);
+    }
+
+    #[test]
+    fn zone_overlay_draws_ring_and_members() {
+        let t = topo();
+        let zones = ZoneTable::build(&t, &RadioProfile::mica2(), 10.0);
+        let art = FieldMap::new(&t, 80, 20)
+            .unwrap()
+            .zone(&zones, NodeId::new(13))
+            .render();
+        assert!(art.contains('~'), "ring expected:\n{art}");
+        assert!(art.contains('+'), "zone members expected:\n{art}");
+    }
+
+    #[test]
+    fn route_overlay_connects_hops() {
+        let t = topo();
+        let art = FieldMap::new(&t, 60, 12)
+            .unwrap()
+            .route(&[NodeId::new(0), NodeId::new(4), NodeId::new(8)])
+            .render();
+        assert!(art.matches('*').count() >= 3, "{art}");
+        // An empty or single-node route draws nothing.
+        let clean = FieldMap::new(&t, 60, 12)
+            .unwrap()
+            .route(&[NodeId::new(0)])
+            .render();
+        assert!(!clean.contains('*'));
+    }
+
+    #[test]
+    fn tiny_canvas_is_rejected() {
+        let t = topo();
+        assert!(FieldMap::new(&t, 0, 5).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-node scalar heatmaps and sparklines.
+
+use spms_net::Topology;
+
+use crate::canvas::Canvas;
+
+/// Intensity ramp from cold to hot. The first character (space) encodes
+/// "exactly zero", so untouched nodes disappear from the picture.
+pub const INTENSITY_RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn ramp_char(frac: f64) -> char {
+    let frac = frac.clamp(0.0, 1.0);
+    if frac == 0.0 {
+        return INTENSITY_RAMP[0];
+    }
+    // Nonzero values always render visibly: skip the blank level.
+    let hot = &INTENSITY_RAMP[1..];
+    let idx = ((frac * hot.len() as f64).ceil() as usize).clamp(1, hot.len());
+    hot[idx - 1]
+}
+
+/// Renders per-node values (indexed by node id, e.g.
+/// `RunMetrics::per_node_energy_uj`) as a spatial heatmap over the
+/// topology, normalized to the maximum value. Includes a legend line.
+///
+/// # Errors
+///
+/// Returns a message if `values` does not have one entry per node, any
+/// value is negative/non-finite, or the canvas dimensions are zero.
+///
+/// # Example
+///
+/// ```
+/// use spms_net::placement;
+/// use spms_viz::node_heatmap;
+///
+/// let topo = placement::grid(5, 1, 5.0)?;
+/// let art = node_heatmap(&topo, &[0.0, 1.0, 2.0, 3.0, 4.0], 30, 3)?;
+/// assert!(art.contains('@'), "hottest node uses the top ramp char");
+/// # Ok::<(), String>(())
+/// ```
+pub fn node_heatmap(
+    topology: &Topology,
+    values: &[f64],
+    cols: usize,
+    rows: usize,
+) -> Result<String, String> {
+    if values.len() != topology.len() {
+        return Err(format!(
+            "{} values for {} nodes",
+            values.len(),
+            topology.len()
+        ));
+    }
+    if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+        return Err(format!("heatmap values must be finite and >= 0, got {bad}"));
+    }
+    let field = topology.field();
+    let margin = field.width.max(field.height) * 0.03;
+    let mut canvas = Canvas::new(
+        -margin,
+        -margin,
+        field.width + margin,
+        field.height + margin,
+        cols,
+        rows,
+    )?;
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    for node in topology.nodes() {
+        let v = values[node.index()];
+        let frac = if max > 0.0 { v / max } else { 0.0 };
+        let p = topology.position(node);
+        canvas.plot(p.x, p.y, ramp_char(frac));
+    }
+    let mut out = canvas.render();
+    out.push_str(&format!(
+        "legend: '{}' = 0, '{}' > 0 … '{}' = max ({max:.3})\n",
+        INTENSITY_RAMP[0],
+        INTENSITY_RAMP[1],
+        INTENSITY_RAMP[INTENSITY_RAMP.len() - 1],
+    ));
+    Ok(out)
+}
+
+/// Renders a numeric series as a one-line sparkline using the intensity
+/// ramp, normalized to the series maximum. Empty input gives an empty
+/// string; negative or non-finite values are an error.
+///
+/// # Errors
+///
+/// Returns a message if any value is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use spms_viz::sparkline;
+///
+/// let line = sparkline(&[0.0, 1.0, 2.0, 4.0, 8.0])?;
+/// assert_eq!(line.chars().count(), 5);
+/// assert!(line.ends_with('@'));
+/// # Ok::<(), String>(())
+/// ```
+pub fn sparkline(values: &[f64]) -> Result<String, String> {
+    if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
+        return Err(format!("sparkline values must be finite and >= 0, got {bad}"));
+    }
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    Ok(values
+        .iter()
+        .map(|&v| ramp_char(if max > 0.0 { v / max } else { 0.0 }))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spms_net::placement;
+
+    #[test]
+    fn ramp_is_monotone_and_total() {
+        let mut last = 0usize;
+        for i in 0..=100 {
+            let c = ramp_char(i as f64 / 100.0);
+            let pos = INTENSITY_RAMP.iter().position(|&r| r == c).unwrap();
+            assert!(pos >= last, "ramp must not cool down");
+            last = pos;
+        }
+        assert_eq!(ramp_char(0.0), ' ');
+        assert_ne!(ramp_char(1e-9), ' ', "tiny nonzero values stay visible");
+        assert_eq!(ramp_char(1.0), '@');
+    }
+
+    #[test]
+    fn heatmap_shows_hot_and_cold_nodes() {
+        let topo = placement::grid(5, 1, 5.0).unwrap();
+        let art = node_heatmap(&topo, &[0.0, 0.1, 1.0, 5.0, 10.0], 30, 3).unwrap();
+        assert!(art.contains('@'));
+        assert!(art.contains("legend"));
+        // The zero node renders blank — only 4 visible intensity marks.
+        let marks = art
+            .lines()
+            .take(3)
+            .flat_map(str::chars)
+            .filter(|c| INTENSITY_RAMP[1..].contains(c))
+            .count();
+        assert_eq!(marks, 4, "{art}");
+    }
+
+    #[test]
+    fn heatmap_validates_inputs() {
+        let topo = placement::grid(3, 1, 5.0).unwrap();
+        assert!(node_heatmap(&topo, &[1.0, 2.0], 10, 3).is_err());
+        assert!(node_heatmap(&topo, &[1.0, -2.0, 3.0], 10, 3).is_err());
+        assert!(node_heatmap(&topo, &[1.0, f64::NAN, 3.0], 10, 3).is_err());
+        assert!(node_heatmap(&topo, &[1.0, 2.0, 3.0], 0, 3).is_err());
+        // An all-zero map is fine (everything cold).
+        let art = node_heatmap(&topo, &[0.0, 0.0, 0.0], 10, 3).unwrap();
+        assert!(art.contains("legend"));
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]).unwrap(), "");
+        let flat = sparkline(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(flat, "@@@");
+        let zeros = sparkline(&[0.0, 0.0]).unwrap();
+        assert_eq!(zeros, "  ");
+        assert!(sparkline(&[1.0, f64::INFINITY]).is_err());
+        assert!(sparkline(&[-0.5]).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Terminal visualization for the SPMS simulator.
+//!
+//! Three renderers, all pure string builders (no terminal control codes, so
+//! output is pipe- and log-friendly):
+//!
+//! * [`canvas`] — a world-coordinate character canvas with point, line and
+//!   circle plotting (the drawing substrate);
+//! * [`field`] — sensor-field maps: node positions, one node's zone, a
+//!   multi-hop route overlay;
+//! * [`heatmap`] — per-node scalar intensity maps (energy hot-spots, zone
+//!   sizes) plus a horizontal sparkline for quick series.
+//!
+//! # Example
+//!
+//! ```
+//! use spms_net::{placement, NodeId};
+//! use spms_viz::FieldMap;
+//!
+//! let topo = placement::grid(5, 3, 5.0)?;
+//! let map = FieldMap::new(&topo, 40, 9)?
+//!     .mark(NodeId::new(0), 'S')
+//!     .mark(NodeId::new(14), 'D');
+//! let art = map.render();
+//! assert!(art.contains('S') && art.contains('D'));
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod field;
+pub mod heatmap;
+
+pub use canvas::Canvas;
+pub use field::FieldMap;
+pub use heatmap::{node_heatmap, sparkline, INTENSITY_RAMP};

@@ -1,0 +1,92 @@
+//! Property-based tests for the visualization substrate.
+
+use proptest::prelude::*;
+use spms_viz::{node_heatmap, sparkline, Canvas, FieldMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every in-bounds world point maps to a valid cell; out-of-bounds
+    /// points map to none.
+    #[test]
+    fn cell_mapping_is_total_and_bounded(
+        w in 1.0f64..500.0,
+        h in 1.0f64..500.0,
+        cols in 1usize..120,
+        rows in 1usize..60,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+    ) {
+        let c = Canvas::new(0.0, 0.0, w, h, cols, rows).unwrap();
+        let (col, row) = c.cell_of(fx * w, fy * h).expect("in bounds");
+        prop_assert!(col < cols);
+        prop_assert!(row < rows);
+        prop_assert_eq!(c.cell_of(-1.0, fy * h), None);
+        prop_assert_eq!(c.cell_of(fx * w, h + 1.0), None);
+    }
+
+    /// Rendering always yields exactly `rows` lines, each at most `cols`
+    /// characters, whatever was drawn.
+    #[test]
+    fn render_dimensions_are_stable(
+        cols in 1usize..80,
+        rows in 1usize..40,
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..50),
+    ) {
+        let mut c = Canvas::new(0.0, 0.0, 100.0, 100.0, cols, rows).unwrap();
+        for &(x, y) in &points {
+            c.plot(x, y, '#');
+        }
+        c.line(0.0, 0.0, 100.0, 100.0, '.');
+        c.circle(50.0, 50.0, 25.0, 'o');
+        let s = c.render();
+        prop_assert_eq!(s.lines().count(), rows);
+        for line in s.lines() {
+            prop_assert!(line.chars().count() <= cols);
+        }
+    }
+
+    /// Sparklines are length-preserving, use only ramp characters, and the
+    /// maximum element always renders hottest.
+    #[test]
+    fn sparkline_invariants(values in prop::collection::vec(0.0f64..1e6, 1..64)) {
+        let line = sparkline(&values).unwrap();
+        prop_assert_eq!(line.chars().count(), values.len());
+        for ch in line.chars() {
+            prop_assert!(spms_viz::INTENSITY_RAMP.contains(&ch));
+        }
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        if max > 0.0 {
+            let arg_max = values.iter().position(|&v| v == max).unwrap();
+            prop_assert_eq!(line.chars().nth(arg_max), Some('@'));
+        }
+    }
+
+    /// Heatmaps render for any non-negative value assignment and always
+    /// carry a legend.
+    #[test]
+    fn heatmap_is_total_over_valid_inputs(
+        cols in 2usize..10,
+        values in prop::collection::vec(0.0f64..1e3, 6..30),
+    ) {
+        let n = values.len();
+        let rows_in_grid = n / cols + usize::from(n % cols != 0);
+        let total = cols * rows_in_grid;
+        let mut values = values;
+        values.resize(total, 0.0);
+        let topo = spms_net::placement::grid(cols, rows_in_grid, 5.0).unwrap();
+        let art = node_heatmap(&topo, &values, 40, 12).unwrap();
+        prop_assert!(art.contains("legend"));
+    }
+
+    /// Field maps draw every node exactly once when the canvas is large
+    /// enough that no two nodes share a cell.
+    #[test]
+    fn field_maps_show_every_node(cols in 2usize..8, rows in 1usize..5) {
+        let topo = spms_net::placement::grid(cols, rows, 5.0).unwrap();
+        let art = FieldMap::new(&topo, cols * 12, rows * 4 + 1)
+            .unwrap()
+            .render();
+        prop_assert_eq!(art.chars().filter(|&c| c == '·').count(), cols * rows);
+    }
+}

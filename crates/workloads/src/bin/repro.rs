@@ -1,0 +1,232 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|table1|breakeven|all]...
+//!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR]
+//! ```
+//!
+//! Markdown goes to stdout; CSVs are written under `--out` (default
+//! `results/`). With `--seeds R` (R > 1) every simulation figure is
+//! replicated over R seeds and reported as mean ± 95% CI (analytical
+//! figures are seed-free and unaffected). Run with `--release`; the paper
+//! scale sweeps take minutes.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use spms_workloads::figures;
+use spms_workloads::{
+    render_ascii_chart, render_csv, render_markdown, render_replicated_csv,
+    render_replicated_markdown, replicate, FigureResult, Scale,
+};
+
+struct Args {
+    targets: BTreeSet<String>,
+    scale: Scale,
+    scale_name: String,
+    seed: u64,
+    seeds: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = BTreeSet::new();
+    let mut scale_name = "quick".to_string();
+    let mut seed = 42u64;
+    let mut seeds = 1usize;
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale_name = argv.next().ok_or("--scale needs a value")?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--seeds" => {
+                seeds = argv
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad replication count: {e}"))?;
+                if seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [FIGURES|all] [--scale smoke|quick|paper] \
+                            [--seed N] [--seeds R] [--out DIR]"
+                    .into())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => {
+                targets.insert(other.to_string());
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.insert("all".to_string());
+    }
+    let scale = match scale_name.as_str() {
+        "smoke" => Scale::smoke(),
+        "quick" => Scale::quick(),
+        "paper" => Scale::paper(),
+        other => return Err(format!("unknown scale {other}")),
+    };
+    Ok(Args {
+        targets,
+        scale,
+        scale_name,
+        seed,
+        seeds,
+        out,
+    })
+}
+
+fn wants(targets: &BTreeSet<String>, id: &str) -> bool {
+    targets.contains("all") || targets.contains(id)
+}
+
+fn emit(fig: &FigureResult, out_dir: &PathBuf) {
+    print!("{}", render_markdown(fig));
+    println!("{}", render_ascii_chart(fig, 48));
+    write_file(out_dir, &format!("{}.csv", fig.id), &render_csv(fig));
+}
+
+/// Emits a simulation figure, replicated over `args.seeds` seeds when more
+/// than one was requested.
+fn emit_sim(args: &Args, generate: impl Fn(u64) -> FigureResult) {
+    if args.seeds <= 1 {
+        emit(&generate(args.seed), &args.out);
+        return;
+    }
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.seed + i).collect();
+    match replicate(&seeds, generate) {
+        Ok(rep) => {
+            print!("{}", render_replicated_markdown(&rep));
+            write_file(
+                &args.out,
+                &format!("{}_ci.csv", rep.id),
+                &render_replicated_csv(&rep),
+            );
+        }
+        Err(e) => eprintln!("replication failed: {e}"),
+    }
+}
+
+fn write_file(out_dir: &PathBuf, name: &str, contents: &str) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let t = &args.targets;
+    eprintln!(
+        "repro: scale={} seed={} targets={:?}",
+        args.scale_name, args.seed, t
+    );
+
+    if wants(t, "table1") {
+        println!("{}", figures::table1());
+    }
+    if wants(t, "fig3") {
+        emit(&figures::fig3(&args.scale), &args.out);
+    }
+    if wants(t, "fig5") {
+        emit(&figures::fig5(&args.scale), &args.out);
+    }
+    // Paired generators share one sweep per call; under replication each
+    // member re-runs the sweep, trading CPU for generator reuse.
+    if wants(t, "fig6") || wants(t, "fig8") {
+        if args.seeds <= 1 {
+            let (f6, f8) = figures::fig6_fig8(&args.scale, args.seed);
+            if wants(t, "fig6") {
+                emit(&f6, &args.out);
+            }
+            if wants(t, "fig8") {
+                emit(&f8, &args.out);
+            }
+        } else {
+            if wants(t, "fig6") {
+                emit_sim(&args, |s| figures::fig6_fig8(&args.scale, s).0);
+            }
+            if wants(t, "fig8") {
+                emit_sim(&args, |s| figures::fig6_fig8(&args.scale, s).1);
+            }
+        }
+    }
+    if wants(t, "fig7") || wants(t, "fig9") {
+        if args.seeds <= 1 {
+            let (f7, f9) = figures::fig7_fig9(&args.scale, args.seed);
+            if wants(t, "fig7") {
+                emit(&f7, &args.out);
+            }
+            if wants(t, "fig9") {
+                emit(&f9, &args.out);
+            }
+        } else {
+            if wants(t, "fig7") {
+                emit_sim(&args, |s| figures::fig7_fig9(&args.scale, s).0);
+            }
+            if wants(t, "fig9") {
+                emit_sim(&args, |s| figures::fig7_fig9(&args.scale, s).1);
+            }
+        }
+    }
+    if wants(t, "fig10") {
+        emit_sim(&args, |s| figures::fig10(&args.scale, s));
+    }
+    if wants(t, "fig11") {
+        emit_sim(&args, |s| figures::fig11(&args.scale, s));
+    }
+    if wants(t, "fig12") {
+        emit_sim(&args, |s| figures::fig12(&args.scale, s));
+    }
+    if wants(t, "fig13") {
+        emit_sim(&args, |s| figures::fig13(&args.scale, s));
+    }
+    if wants(t, "ext1") {
+        if args.seeds <= 1 {
+            let (a, b) = figures::ext1(&args.scale, args.seed);
+            emit(&a, &args.out);
+            emit(&b, &args.out);
+        } else {
+            emit_sim(&args, |s| figures::ext1(&args.scale, s).0);
+            emit_sim(&args, |s| figures::ext1(&args.scale, s).1);
+        }
+    }
+    if wants(t, "ext2") {
+        emit_sim(&args, |s| figures::ext2(&args.scale, s));
+    }
+    if wants(t, "ext3") {
+        emit_sim(&args, |s| figures::ext3(&args.scale, s));
+    }
+    if wants(t, "breakeven") {
+        println!("{}", figures::breakeven_report());
+    }
+}

@@ -1,0 +1,40 @@
+//! Workloads, experiments and figure regeneration for the SPMS
+//! reproduction.
+//!
+//! This crate turns the `spms` engine into the paper's evaluation section:
+//!
+//! * [`traffic`] — builders for the two communication patterns of §5:
+//!   all-to-all with Poisson arrivals, and cluster-based hierarchical
+//!   traffic with 5% bystander interest,
+//! * [`experiment`] — run specifications and a parallel sweep runner,
+//! * [`figures`] — one generator per paper figure (3, 5, 6–13), each
+//!   returning a [`FigureResult`] with the same series the paper plots,
+//!   plus the EXT1 (inter-zone) and EXT2 (network-lifetime) extension
+//!   experiments,
+//! * [`replication`] — multi-seed aggregation with Student-t 95%
+//!   confidence intervals,
+//! * [`report`] — markdown and CSV rendering for those results.
+//!
+//! The `repro` binary regenerates everything:
+//!
+//! ```text
+//! cargo run --release -p spms-workloads --bin repro -- all --scale quick
+//! cargo run --release -p spms-workloads --bin repro -- fig6 fig8 --scale paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod replication;
+pub mod report;
+pub mod traffic;
+
+pub use experiment::{run_specs, RunSpec, Scale};
+pub use figures::{FigureResult, SeriesData};
+pub use replication::{
+    render_replicated_csv, render_replicated_markdown, replicate, ReplicatedFigure,
+    ReplicatedSeries,
+};
+pub use report::{render_ascii_chart, render_csv, render_markdown};

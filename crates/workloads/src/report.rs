@@ -1,0 +1,234 @@
+//! Rendering figure results as markdown tables and CSV.
+
+use std::fmt::Write as _;
+
+use crate::figures::FigureResult;
+
+/// Renders a figure as a markdown section with one row per x value and one
+/// column per series.
+///
+/// # Example
+///
+/// ```
+/// use spms_workloads::{render_markdown, SeriesData, FigureResult};
+///
+/// let fig = FigureResult {
+///     id: "figX",
+///     title: "demo".into(),
+///     x_label: "x",
+///     y_label: "y",
+///     series: vec![SeriesData { name: "A".into(), points: vec![(1.0, 2.0)] }],
+///     notes: vec!["note".into()],
+/// };
+/// let md = render_markdown(&fig);
+/// assert!(md.contains("| x | A |"));
+/// ```
+#[must_use]
+pub fn render_markdown(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} — {}", fig.id, fig.title);
+    let _ = writeln!(out);
+    // Header.
+    let mut header = format!("| {} |", fig.x_label);
+    let mut rule = String::from("|---|");
+    for s in &fig.series {
+        let _ = write!(header, " {} |", s.name);
+        rule.push_str("---|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    // Rows keyed by the x values of the first series.
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = format!("| {x:.1} |");
+        for s in &fig.series {
+            match s.points.get(i) {
+                Some((_, y)) => {
+                    let _ = write!(row, " {y:.3} |");
+                }
+                None => row.push_str(" – |"),
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "*y-axis: {}*", fig.y_label);
+    for n in &fig.notes {
+        let _ = writeln!(out, "- {n}");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders a figure as CSV: `x, series1, series2, …`.
+#[must_use]
+pub fn render_csv(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let mut header = vec![fig.x_label.to_string()];
+    header.extend(fig.series.iter().map(|s| s.name.clone()));
+    let _ = writeln!(out, "{}", header.join(","));
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![format!("{x}")];
+        for s in &fig.series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|(_, y)| format!("{y}"))
+                    .unwrap_or_default(),
+            );
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Renders a figure as a side-by-side ASCII bar chart (one row per x, one
+/// bar per series), for eyeballing shapes in terminal output.
+///
+/// # Example
+///
+/// ```
+/// use spms_workloads::{render_ascii_chart, FigureResult, SeriesData};
+///
+/// let fig = FigureResult {
+///     id: "figX",
+///     title: "demo".into(),
+///     x_label: "x",
+///     y_label: "y",
+///     series: vec![SeriesData { name: "A".into(), points: vec![(1.0, 2.0), (2.0, 4.0)] }],
+///     notes: vec![],
+/// };
+/// let chart = render_ascii_chart(&fig, 20);
+/// assert!(chart.contains('█'));
+/// ```
+#[must_use]
+pub fn render_ascii_chart(fig: &FigureResult, width: usize) -> String {
+    let width = width.clamp(8, 120);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {} (bar = {})", fig.id, fig.title, fig.y_label);
+    let max = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        let _ = writeln!(out, "(no positive values)");
+        return out;
+    }
+    let xs: Vec<f64> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        for s in &fig.series {
+            let Some(&(_, y)) = s.points.get(i) else {
+                continue;
+            };
+            let bars = ((y / max) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{x:>8.1} {:<8} |{}{} {y:.2}",
+                s.name,
+                "█".repeat(bars),
+                " ".repeat(width.saturating_sub(bars)),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SeriesData;
+
+    fn fig() -> FigureResult {
+        FigureResult {
+            id: "figT",
+            title: "test figure".into(),
+            x_label: "n",
+            y_label: "µJ",
+            series: vec![
+                SeriesData {
+                    name: "SPMS".into(),
+                    points: vec![(25.0, 1.5), (49.0, 2.5)],
+                },
+                SeriesData {
+                    name: "SPIN".into(),
+                    points: vec![(25.0, 3.0), (49.0, 6.0)],
+                },
+            ],
+            notes: vec!["a note".into()],
+        }
+    }
+
+    #[test]
+    fn markdown_has_header_rows_and_notes() {
+        let md = render_markdown(&fig());
+        assert!(md.contains("### figT — test figure"));
+        assert!(md.contains("| n | SPMS | SPIN |"));
+        assert!(md.contains("| 25.0 | 1.500 | 3.000 |"));
+        assert!(md.contains("- a note"));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = render_csv(&fig());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,SPMS,SPIN");
+        assert_eq!(lines[1], "25,1.5,3");
+        assert_eq!(lines[2], "49,2.5,6");
+    }
+
+    #[test]
+    fn ascii_chart_scales_bars_to_max() {
+        let chart = render_ascii_chart(&fig(), 20);
+        // SPIN at x=49 is the maximum (6.0) → full-width bar.
+        assert!(chart.contains(&"█".repeat(20)));
+        // SPMS at x=25 (1.5) is a quarter of the max → 5 bars.
+        assert!(chart.contains(&format!("|{}", "█".repeat(5))));
+        assert!(chart.contains("figT"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_degenerate_inputs() {
+        let f = FigureResult {
+            id: "fig0",
+            title: "zeros".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec![SeriesData {
+                name: "Z".into(),
+                points: vec![(1.0, 0.0)],
+            }],
+            notes: vec![],
+        };
+        assert!(render_ascii_chart(&f, 20).contains("no positive values"));
+        // Width is clamped, not trusted.
+        assert!(!render_ascii_chart(&fig(), 0).is_empty());
+    }
+
+    #[test]
+    fn empty_series_renders_without_panic() {
+        let f = FigureResult {
+            id: "fig0",
+            title: "empty".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec![],
+            notes: vec![],
+        };
+        assert!(render_markdown(&f).contains("fig0"));
+        assert!(render_csv(&f).starts_with("x"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Cluster-based hierarchical monitoring (§5.2): sensor readings flow to
+//! cluster heads; nearby nodes eavesdrop with 5% probability.
+//!
+//! Models the paper's motivating deployment — a field instrumented for
+//! environmental monitoring where designated collectors aggregate data.
+//!
+//! ```text
+//! cargo run --release -p spms-workloads --example cluster_monitoring
+//! ```
+
+use spms::{ProtocolKind, SimConfig, Simulation};
+use spms_kernel::SimTime;
+use spms_net::placement;
+use spms_phy::RadioProfile;
+use spms_workloads::traffic::{self, cluster_assignment};
+
+fn main() -> Result<(), String> {
+    let radius = 20.0;
+    let topology = placement::grid(10, 10, 5.0)?;
+    let clustering = cluster_assignment(&topology, radius)?;
+    println!(
+        "100-mote field, {} clusters, heads: {:?}\n",
+        clustering.heads.len(),
+        clustering.heads
+    );
+
+    // Every mote reports 2 readings; its cluster head collects them; each
+    // zone neighbor is independently interested with probability 5%.
+    let plan = traffic::cluster_hierarchical(
+        &topology,
+        &RadioProfile::mica2(),
+        radius,
+        2,
+        SimTime::from_millis(300),
+        0.05,
+        2024,
+    )?;
+    println!(
+        "workload: {} readings, {} expected deliveries\n",
+        plan.len(),
+        plan.expected_deliveries(topology.len())
+    );
+
+    for protocol in [ProtocolKind::Spms, ProtocolKind::Spin] {
+        let mut config = SimConfig::paper_defaults(protocol, 2024);
+        config.zone_radius_m = radius;
+        let m = Simulation::run_with(config, topology.clone(), plan.clone())?;
+        println!("{}", m.summary());
+        println!("  energy: {}\n", m.energy);
+    }
+
+    println!("SPMS routes member→head traffic over minimum-power hops, which is");
+    println!("where the paper's 35%–59% cluster-mode savings come from (Figure 13).");
+    Ok(())
+}

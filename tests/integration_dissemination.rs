@@ -1,0 +1,192 @@
+//! Cross-crate end-to-end dissemination tests: every protocol delivers the
+//! right data to the right nodes over real multi-hop topologies.
+
+use spms::{ProtocolKind, RoutingMode, SimConfig, Simulation};
+use spms_kernel::SimTime;
+use spms_net::{placement, NodeId};
+use spms_workloads::traffic;
+
+fn run(
+    protocol: ProtocolKind,
+    cols: usize,
+    rows: usize,
+    radius: f64,
+    seed: u64,
+) -> spms::RunMetrics {
+    let topo = placement::grid(cols, rows, 5.0).unwrap();
+    let n = topo.len();
+    let mut config = SimConfig::paper_defaults(protocol, seed);
+    config.zone_radius_m = radius;
+    let plan = traffic::all_to_all(n, 1, SimTime::from_millis(250), seed).unwrap();
+    Simulation::run_with(config, topo, plan).unwrap()
+}
+
+#[test]
+fn all_protocols_achieve_full_delivery_on_grid() {
+    for protocol in [ProtocolKind::Spms, ProtocolKind::Spin, ProtocolKind::Flooding] {
+        let m = run(protocol, 5, 5, 20.0, 7);
+        assert_eq!(
+            m.deliveries, m.deliveries_expected,
+            "{protocol} delivered {}/{}",
+            m.deliveries, m.deliveries_expected
+        );
+        assert_eq!(m.delivery_ratio(), 1.0);
+    }
+}
+
+#[test]
+fn spms_beats_spin_on_energy_at_every_tested_radius() {
+    for radius in [10.0, 15.0, 20.0] {
+        let spin = run(ProtocolKind::Spin, 5, 5, radius, 3);
+        let spms = run(ProtocolKind::Spms, 5, 5, radius, 3);
+        assert!(
+            spms.energy.total() < spin.energy.total(),
+            "radius {radius}: SPMS {} >= SPIN {}",
+            spms.energy.total(),
+            spin.energy.total()
+        );
+    }
+}
+
+#[test]
+fn multi_zone_line_requires_relay_chains() {
+    // A 1×9 line at 5 m spacing spans 40 m: beyond one 20 m zone, so data
+    // must cross zone boundaries through re-advertisement.
+    let m = run(ProtocolKind::Spms, 9, 1, 20.0, 11);
+    assert_eq!(m.delivery_ratio(), 1.0);
+    // Multi-hop REQ/DATA means strictly more REQ sends than metas.
+    assert!(m.messages.req.value() >= m.packets_generated);
+}
+
+#[test]
+fn spms_data_travels_at_lower_power_than_spin() {
+    use spms_phy::EnergyCategory;
+    let spin = run(ProtocolKind::Spin, 5, 5, 20.0, 5);
+    let spms = run(ProtocolKind::Spms, 5, 5, 20.0, 5);
+    // The DATA category is where the multi-hop low-power savings live.
+    let spin_data = spin.energy.get(EnergyCategory::Data).value();
+    let spms_data = spms.energy.get(EnergyCategory::Data).value();
+    assert!(
+        spms_data < spin_data / 2.0,
+        "SPMS data energy {spms_data} vs SPIN {spin_data}"
+    );
+    // ADV energy is comparable (both broadcast zone-wide once per holder).
+    let spin_adv = spin.energy.get(EnergyCategory::Adv).value();
+    let spms_adv = spms.energy.get(EnergyCategory::Adv).value();
+    assert!((spms_adv / spin_adv - 1.0).abs() < 0.25);
+}
+
+#[test]
+fn flooding_shows_implosion_spin_shows_fewer_duplicates() {
+    let flood = run(ProtocolKind::Flooding, 4, 4, 20.0, 9);
+    let spin = run(ProtocolKind::Spin, 4, 4, 20.0, 9);
+    assert!(flood.duplicates > 0, "flooding must implode");
+    assert!(
+        spin.duplicates <= flood.duplicates,
+        "negotiation must reduce duplicates: SPIN {} vs flooding {}",
+        spin.duplicates,
+        flood.duplicates
+    );
+}
+
+#[test]
+fn oracle_and_distributed_routing_agree_on_outcomes() {
+    let topo = placement::grid(4, 4, 5.0).unwrap();
+    let plan = traffic::single_source(NodeId::new(5), 2, SimTime::from_millis(300)).unwrap();
+    let mut oracle_cfg = SimConfig::paper_defaults(ProtocolKind::Spms, 21);
+    oracle_cfg.routing_mode = RoutingMode::Oracle;
+    let mut dist_cfg = SimConfig::paper_defaults(ProtocolKind::Spms, 21);
+    dist_cfg.routing_mode = RoutingMode::Distributed;
+    let a = Simulation::run_with(oracle_cfg, topo.clone(), plan.clone()).unwrap();
+    let b = Simulation::run_with(dist_cfg, topo, plan).unwrap();
+    // Same converged routes ⇒ same protocol-level message pattern; the
+    // distributed run additionally pays routing energy and a pause.
+    assert_eq!(a.deliveries, b.deliveries);
+    assert_eq!(a.messages.data.value(), b.messages.data.value());
+    assert!(b.routing.messages > 0);
+    assert_eq!(a.routing.messages, 0);
+    assert!(b.energy.total() > a.energy.total());
+}
+
+#[test]
+fn wider_zones_raise_adv_cost() {
+    let narrow = run(ProtocolKind::Spms, 6, 6, 10.0, 13);
+    let wide = run(ProtocolKind::Spms, 6, 6, 25.0, 13);
+    assert_eq!(narrow.delivery_ratio(), 1.0);
+    assert_eq!(wide.delivery_ratio(), 1.0);
+    // Every holder advertises once regardless of radius…
+    assert_eq!(narrow.messages.adv.value(), wide.messages.adv.value());
+    // …but each ADV is broadcast at a stronger level, so the ADV energy
+    // grows with the radius (the effect behind Figure 7's widening gap).
+    use spms_phy::EnergyCategory;
+    assert!(
+        wide.energy.get(EnergyCategory::Adv).value()
+            > narrow.energy.get(EnergyCategory::Adv).value()
+    );
+}
+
+#[test]
+fn run_metrics_are_internally_consistent() {
+    let m = run(ProtocolKind::Spms, 5, 5, 20.0, 17);
+    assert_eq!(m.delay_ms.count(), m.deliveries);
+    assert!(m.energy.total().value() > 0.0);
+    assert!(m.events_processed > 0);
+    assert!(m.finished_at > SimTime::ZERO);
+    assert_eq!(m.nodes, 25);
+    assert_eq!(m.packets_generated, 25);
+    let s = m.summary();
+    assert!(s.contains("SPMS") && s.contains("25"));
+}
+
+#[test]
+fn per_node_energy_sums_to_the_network_total() {
+    let m = run(ProtocolKind::Spms, 5, 5, 20.0, 19);
+    assert_eq!(m.per_node_energy_uj.len(), 25);
+    let sum: f64 = m.per_node_energy_uj.iter().sum();
+    assert!(
+        (sum - m.energy.total().value()).abs() < 1e-6,
+        "per-node sum {sum} vs total {}",
+        m.energy.total()
+    );
+    assert!(m.per_node_energy_uj.iter().all(|&e| e >= 0.0));
+}
+
+#[test]
+fn spms_balances_load_where_spin_burns_the_source() {
+    // Single source serving a whole zone: SPIN's source transmits every
+    // DATA at maximum power (one white-hot battery); SPMS spreads a
+    // smaller total across relays. Max-to-mean per-node energy quantifies
+    // it.
+    let topo = placement::grid(7, 7, 5.0).unwrap();
+    let plan = traffic::single_source(NodeId::new(24), 2, SimTime::from_millis(400))
+        .unwrap();
+    let spms = Simulation::run_with(
+        SimConfig::paper_defaults(ProtocolKind::Spms, 77),
+        topo.clone(),
+        plan.clone(),
+    )
+    .unwrap();
+    let spin = Simulation::run_with(
+        SimConfig::paper_defaults(ProtocolKind::Spin, 77),
+        topo,
+        plan,
+    )
+    .unwrap();
+    assert_eq!(spms.delivery_ratio(), 1.0);
+    assert_eq!(spin.delivery_ratio(), 1.0);
+    assert!(
+        spms.energy_imbalance() * 4.0 < spin.energy_imbalance(),
+        "SPMS {:.1}x vs SPIN {:.1}x",
+        spms.energy_imbalance(),
+        spin.energy_imbalance()
+    );
+    // The hottest SPMS node is cooler than the hottest SPIN node by a
+    // large factor — the node-lifetime claim behind the paper's title.
+    let hottest = |m: &spms::RunMetrics| {
+        m.per_node_energy_uj
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    assert!(hottest(&spms) * 5.0 < hottest(&spin));
+}

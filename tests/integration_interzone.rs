@@ -1,0 +1,370 @@
+//! End-to-end tests of the §6 inter-zone extension (SPMS-IZ): data crossing
+//! zones whose intermediate nodes are not interested, which base SPMS, SPIN
+//! and the paper's flooding strawman cannot all do.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use spms::{
+    Generation, Interest, MetaId, ProtocolKind, RunMetrics, SimConfig, Simulation,
+    TrafficPlan,
+};
+use spms_kernel::SimTime;
+use spms_net::{placement, NodeId, Topology};
+
+/// A long thin field: 25×1 line, 5 m spacing (120 m end to end), 20 m
+/// zones — roughly six zone diameters. Source at node 0, sink at node 24,
+/// nothing in between is interested.
+fn pipeline_topology() -> Topology {
+    placement::grid(25, 1, 5.0).unwrap()
+}
+
+fn pipeline_plan(sinks: &[u32]) -> TrafficPlan {
+    let source = NodeId::new(0);
+    let meta = MetaId::new(source, 0);
+    let mut map = BTreeMap::new();
+    map.insert(
+        meta,
+        sinks.iter().map(|&s| NodeId::new(s)).collect::<BTreeSet<_>>(),
+    );
+    TrafficPlan::new(
+        vec![Generation {
+            at: SimTime::ZERO,
+            source,
+            meta,
+        }],
+        Interest::PerMeta(map),
+    )
+    .unwrap()
+}
+
+fn run_pipeline(protocol: ProtocolKind, sinks: &[u32], seed: u64) -> RunMetrics {
+    let mut config = SimConfig::paper_defaults(protocol, seed);
+    config.horizon = SimTime::from_secs(60);
+    Simulation::run_with(config, pipeline_topology(), pipeline_plan(sinks)).unwrap()
+}
+
+#[test]
+fn spms_iz_delivers_across_uninterested_zones() {
+    let m = run_pipeline(ProtocolKind::SpmsIz, &[24], 1);
+    assert_eq!(m.deliveries_expected, 1);
+    assert_eq!(m.deliveries, 1, "far sink must receive the item");
+    assert_eq!(m.delivery_ratio(), 1.0);
+}
+
+#[test]
+fn base_spms_cannot_cross_uninterested_zones() {
+    // The motivating gap: base SPMS ripples only through *interested*
+    // re-advertisers, so a sink 120 m away with an idle middle never hears
+    // about the data.
+    let m = run_pipeline(ProtocolKind::Spms, &[24], 1);
+    assert_eq!(m.deliveries, 0, "base SPMS has no inter-zone path");
+}
+
+#[test]
+fn spin_cannot_cross_uninterested_zones_either() {
+    let m = run_pipeline(ProtocolKind::Spin, &[24], 1);
+    assert_eq!(m.deliveries, 0, "SPIN relays only via interested nodes");
+}
+
+#[test]
+fn spms_iz_matches_base_spms_when_everyone_is_interested() {
+    // With interest everywhere the bordercast is pure overhead; deliveries
+    // must still be complete and energy within a modest factor of base.
+    let topo = placement::grid(9, 1, 5.0).unwrap();
+    let source = NodeId::new(4);
+    let meta = MetaId::new(source, 0);
+    let plan = TrafficPlan::new(
+        vec![Generation {
+            at: SimTime::ZERO,
+            source,
+            meta,
+        }],
+        Interest::AllNodes,
+    )
+    .unwrap();
+    let mut cfg_iz = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 5);
+    cfg_iz.horizon = SimTime::from_secs(60);
+    let iz = Simulation::run_with(cfg_iz, topo.clone(), plan.clone()).unwrap();
+    let mut cfg_base = SimConfig::paper_defaults(ProtocolKind::Spms, 5);
+    cfg_base.horizon = SimTime::from_secs(60);
+    let base = Simulation::run_with(cfg_base, topo, plan).unwrap();
+    assert_eq!(iz.deliveries, iz.deliveries_expected);
+    assert_eq!(base.deliveries, base.deliveries_expected);
+    let ratio = iz.energy.total().value() / base.energy.total().value();
+    assert!(
+        (1.0..2.0).contains(&ratio),
+        "IZ overhead should be bounded: ratio {ratio}"
+    );
+}
+
+#[test]
+fn multiple_remote_sinks_are_all_served() {
+    let m = run_pipeline(ProtocolKind::SpmsIz, &[20, 22, 24], 3);
+    assert_eq!(m.deliveries_expected, 3);
+    assert_eq!(m.deliveries, 3);
+}
+
+#[test]
+fn sink_in_source_zone_still_uses_fast_path() {
+    // A sink 15 m away (inside the source's zone) must be served by the
+    // ordinary intra-zone negotiation even under SPMS-IZ.
+    let m = run_pipeline(ProtocolKind::SpmsIz, &[3], 2);
+    assert_eq!(m.deliveries, 1);
+    // No inter-zone REQ was needed: request count stays small.
+    assert!(
+        m.messages.req.value() <= 4,
+        "intra-zone sink needed {} REQs",
+        m.messages.req.value()
+    );
+}
+
+#[test]
+fn relay_caching_seeds_intermediate_zones() {
+    // With caching on, the DATA's journey leaves copies at relays; a second
+    // sink requesting later should be served locally. Compare REQ loads.
+    let sinks = [24u32, 23, 22, 21, 20];
+    let mut cached_cfg = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 9);
+    cached_cfg.relay_caching = true;
+    cached_cfg.serve_from_cache = true;
+    cached_cfg.horizon = SimTime::from_secs(60);
+    let cached =
+        Simulation::run_with(cached_cfg, pipeline_topology(), pipeline_plan(&sinks))
+            .unwrap();
+    let plain = run_pipeline(ProtocolKind::SpmsIz, &sinks, 9);
+    assert_eq!(cached.deliveries, 5);
+    assert_eq!(plain.deliveries, 5);
+    // Caching trades extra zone-wide ADVs (each cached relay advertises)
+    // for shorter REQ/DATA journeys; the transfer energy itself must drop.
+    let transfer = |m: &RunMetrics| {
+        use spms_phy::EnergyCategory;
+        m.energy.get(EnergyCategory::Req).value() + m.energy.get(EnergyCategory::Data).value()
+    };
+    assert!(
+        transfer(&cached) < transfer(&plain),
+        "cached transfer energy {} vs plain {}",
+        transfer(&cached),
+        transfer(&plain)
+    );
+}
+
+#[test]
+fn explicit_ttl_limits_reach() {
+    // TTL 1 lets the query travel one zone hop: a 120 m sink stays unserved,
+    // a ~35 m sink (one relay) is reachable.
+    let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 4);
+    config.interzone.ttl = Some(1);
+    config.horizon = SimTime::from_secs(60);
+    let far = Simulation::run_with(config.clone(), pipeline_topology(), pipeline_plan(&[24]))
+        .unwrap();
+    assert_eq!(far.deliveries, 0, "TTL 1 cannot reach six zones out");
+    let near =
+        Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[7])).unwrap();
+    assert_eq!(near.deliveries, 1, "TTL 1 reaches the adjacent zone");
+}
+
+#[test]
+fn transient_failures_delay_but_do_not_stop_interzone_delivery() {
+    let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 11);
+    config.failures = Some(spms_net::FailureConfig {
+        mean_interarrival: SimTime::from_millis(50),
+        repair_min: SimTime::from_millis(5),
+        repair_max: SimTime::from_millis(15),
+    });
+    config.max_attempts = 8;
+    config.horizon = SimTime::from_secs(120);
+    let mut delivered = 0;
+    for seed in [11, 12, 13, 14] {
+        let mut c = config.clone();
+        c.seed = seed;
+        let m = Simulation::run_with(c, pipeline_topology(), pipeline_plan(&[24])).unwrap();
+        assert!(m.failures_injected > 0, "seed {seed} injected no failures");
+        delivered += m.deliveries;
+    }
+    assert!(
+        delivered >= 3,
+        "inter-zone retries should usually survive transient failures: {delivered}/4"
+    );
+}
+
+#[test]
+fn interzone_runs_are_deterministic() {
+    let a = run_pipeline(ProtocolKind::SpmsIz, &[24], 21);
+    let b = run_pipeline(ProtocolKind::SpmsIz, &[24], 21);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn auto_ttl_covers_a_2d_field() {
+    // 9×9 grid at 10 m spacing (80 m square), sink in the far corner.
+    let topo = placement::grid(9, 9, 10.0).unwrap();
+    let source = NodeId::new(0);
+    let meta = MetaId::new(source, 0);
+    let mut map = BTreeMap::new();
+    map.insert(meta, BTreeSet::from([NodeId::new(80)]));
+    let plan = TrafficPlan::new(
+        vec![Generation {
+            at: SimTime::ZERO,
+            source,
+            meta,
+        }],
+        Interest::PerMeta(map),
+    )
+    .unwrap();
+    let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 6);
+    config.horizon = SimTime::from_secs(60);
+    let m = Simulation::run_with(config, topo, plan).unwrap();
+    assert_eq!(m.deliveries, 1, "diagonal corner must be served");
+}
+
+#[test]
+fn analytic_model_brackets_the_measured_flood_iz_ratio() {
+    // The spms-analysis closed form (MICA2 instance) should land within a
+    // factor ~1.5 of the simulated E_flood/E_iz ratio and share its
+    // downward trend with pipeline length.
+    use spms_analysis::InterZoneModel;
+    let model = InterZoneModel::mica2_instance();
+    let mut last_measured = f64::INFINITY;
+    for &len in &[9usize, 17, 25] {
+        let sinks = [len as u32 - 1];
+        let mut iz_cfg = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 5);
+        iz_cfg.horizon = SimTime::from_secs(60);
+        let topo = placement::grid(len, 1, 5.0).unwrap();
+        let iz = Simulation::run_with(iz_cfg, topo.clone(), pipeline_plan_for(len, &sinks))
+            .unwrap();
+        let mut fl_cfg = SimConfig::paper_defaults(ProtocolKind::Flooding, 5);
+        fl_cfg.horizon = SimTime::from_secs(60);
+        let fl = Simulation::run_with(fl_cfg, topo, pipeline_plan_for(len, &sinks)).unwrap();
+        assert_eq!(iz.deliveries, 1);
+        assert_eq!(fl.deliveries, 1);
+        let measured = fl.energy.total().value() / iz.energy.total().value();
+        let predicted = model.ratio(len as u32);
+        let rel = measured / predicted;
+        assert!(
+            (0.6..1.7).contains(&rel),
+            "len {len}: measured {measured:.2} vs predicted {predicted:.2}"
+        );
+        assert!(measured <= last_measured + 0.8, "trend at len {len}");
+        last_measured = measured;
+    }
+}
+
+fn pipeline_plan_for(len: usize, sinks: &[u32]) -> TrafficPlan {
+    let source = NodeId::new(0);
+    let meta = MetaId::new(source, 0);
+    let mut map = BTreeMap::new();
+    map.insert(
+        meta,
+        sinks
+            .iter()
+            .map(|&s| NodeId::new(s))
+            .collect::<BTreeSet<_>>(),
+    );
+    let _ = len;
+    TrafficPlan::new(
+        vec![Generation {
+            at: SimTime::ZERO,
+            source,
+            meta,
+        }],
+        Interest::PerMeta(map),
+    )
+    .unwrap()
+}
+
+#[test]
+fn unreachable_sink_abandons_instead_of_hanging() {
+    // Two clusters 300 m apart — beyond any radio reach. The run must end
+    // (no livelock) with the sink's item accounted as undeliverable.
+    let positions: Vec<spms_net::Point> = (0..5)
+        .map(|i| spms_net::Point::new(5.0 * f64::from(i), 0.0))
+        .chain((0..5).map(|i| spms_net::Point::new(300.0 + 5.0 * f64::from(i), 0.0)))
+        .collect();
+    let topo = spms_net::Topology::new(
+        positions,
+        spms_net::Field::new(330.0, 10.0).unwrap(),
+    )
+    .unwrap();
+    let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 3);
+    config.horizon = SimTime::from_secs(30);
+    let source = NodeId::new(0);
+    let meta = MetaId::new(source, 0);
+    let mut map = BTreeMap::new();
+    map.insert(meta, BTreeSet::from([NodeId::new(9)]));
+    let plan = TrafficPlan::new(
+        vec![Generation {
+            at: SimTime::ZERO,
+            source,
+            meta,
+        }],
+        Interest::PerMeta(map),
+    )
+    .unwrap();
+    let m = Simulation::run_with(config, topo, plan).unwrap();
+    assert_eq!(m.deliveries, 0);
+    assert!(
+        m.finished_at < SimTime::from_secs(30),
+        "run must settle before the horizon, ended at {}",
+        m.finished_at
+    );
+}
+
+#[test]
+fn interzone_works_with_distributed_routing() {
+    // SPMS-IZ on top of the real DBF message exchange (not the oracle):
+    // routing energy is charged and the far sink is still served.
+    let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 7);
+    config.routing_mode = spms::RoutingMode::Distributed;
+    config.horizon = SimTime::from_secs(120);
+    let m = Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[24])).unwrap();
+    assert_eq!(m.deliveries, 1);
+    assert!(m.routing.messages > 0, "DBF must have run");
+    assert!(
+        m.energy.get(spms_phy::EnergyCategory::Routing).value() > 0.0,
+        "routing energy must be charged"
+    );
+}
+
+#[test]
+fn interzone_survives_mobility_epochs() {
+    // Nodes move mid-run; zones and routing rebuild, the relay dedup
+    // clears, and the (re-paced) pulls still complete for most seeds.
+    let mut delivered = 0u64;
+    let mut expected = 0u64;
+    let mut epochs = 0u64;
+    for seed in [31u64, 32, 33, 34] {
+        let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, seed);
+        config.routing_mode = spms::RoutingMode::Distributed;
+        config.mobility = Some(spms_net::MobilityConfig {
+            interval: SimTime::from_millis(200),
+            fraction: 0.1,
+        });
+        config.max_attempts = 8;
+        config.horizon = SimTime::from_secs(60);
+        let m = Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[20]))
+            .unwrap();
+        delivered += m.deliveries;
+        expected += m.deliveries_expected;
+        epochs += m.mobility_epochs;
+    }
+    assert!(epochs > 0, "mobility must actually fire");
+    assert!(
+        delivered * 2 >= expected,
+        "mobility should not collapse delivery: {delivered}/{expected}"
+    );
+}
+
+#[test]
+fn bordercast_is_cheaper_than_flooding() {
+    // Flooding also reaches the far sink, but pushes the 40 B DATA through
+    // every node; the bordercast moves 2 B queries and one pulled DATA.
+    let iz = run_pipeline(ProtocolKind::SpmsIz, &[24], 8);
+    let flood = run_pipeline(ProtocolKind::Flooding, &[24], 8);
+    assert_eq!(iz.deliveries, 1);
+    assert_eq!(flood.deliveries, 1);
+    assert!(
+        iz.energy.total().value() < flood.energy.total().value(),
+        "IZ {} vs flooding {}",
+        iz.energy.total(),
+        flood.energy.total()
+    );
+}

@@ -1,0 +1,87 @@
+//! Mobility integration tests: §5.1.3 — epochs relocate nodes, routing
+//! re-converges (charged to SPMS), and data transmission resumes.
+
+use spms::{ProtocolKind, RoutingMode, SimConfig, Simulation};
+use spms_kernel::SimTime;
+use spms_net::{placement, MobilityConfig};
+use spms_phy::EnergyCategory;
+use spms_workloads::traffic;
+
+fn mobile_config(protocol: ProtocolKind, seed: u64, interval_ms: u64) -> SimConfig {
+    let mut config = SimConfig::paper_defaults(protocol, seed);
+    config.mobility = Some(MobilityConfig::new(SimTime::from_millis(interval_ms), 0.1).unwrap());
+    if protocol == ProtocolKind::Spms {
+        config.routing_mode = RoutingMode::Distributed;
+    }
+    config
+}
+
+fn run(protocol: ProtocolKind, seed: u64, interval_ms: u64) -> spms::RunMetrics {
+    let topo = placement::grid(5, 5, 5.0).unwrap();
+    let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), seed).unwrap();
+    Simulation::run_with(mobile_config(protocol, seed, interval_ms), topo, plan).unwrap()
+}
+
+#[test]
+fn epochs_fire_and_routing_reexecutes() {
+    let m = run(ProtocolKind::Spms, 1, 500);
+    assert!(m.mobility_epochs > 0, "mobility must occur");
+    // Initial DBF + one re-execution per epoch.
+    assert_eq!(m.routing.executions, 1 + m.mobility_epochs);
+    assert!(m.routing.converge_time > SimTime::ZERO);
+    assert!(m.energy.get(EnergyCategory::Routing).value() > 0.0);
+}
+
+#[test]
+fn delivery_survives_relocation() {
+    let m = run(ProtocolKind::Spms, 2, 400);
+    assert!(
+        m.delivery_ratio() > 0.9,
+        "mobility should not break dissemination: {}",
+        m.delivery_ratio()
+    );
+}
+
+#[test]
+fn spin_is_unaffected_by_routing_costs() {
+    let m = run(ProtocolKind::Spin, 3, 400);
+    assert!(m.mobility_epochs > 0);
+    assert_eq!(m.routing.executions, 0);
+    assert_eq!(m.energy.get(EnergyCategory::Routing).value(), 0.0);
+}
+
+#[test]
+fn more_frequent_mobility_costs_spms_more_routing_energy() {
+    let seldom = run(ProtocolKind::Spms, 4, 1000);
+    let often = run(ProtocolKind::Spms, 4, 150);
+    assert!(often.mobility_epochs > seldom.mobility_epochs);
+    assert!(
+        often.energy.get(EnergyCategory::Routing).value()
+            > seldom.energy.get(EnergyCategory::Routing).value()
+    );
+}
+
+#[test]
+fn breakeven_direction_holds_in_simulation() {
+    // §5.1.3: with enough packets between epochs SPMS still beats SPIN;
+    // the erosion is visible as a shrinking gap when epochs are frequent.
+    let spin = run(ProtocolKind::Spin, 5, 400);
+    let spms = run(ProtocolKind::Spms, 5, 400);
+    let spms_fast = run(ProtocolKind::Spms, 5, 150);
+    let savings_slow =
+        1.0 - spms.energy_per_packet_uj() / spin.energy_per_packet_uj();
+    let spin_fast = run(ProtocolKind::Spin, 5, 150);
+    let savings_fast =
+        1.0 - spms_fast.energy_per_packet_uj() / spin_fast.energy_per_packet_uj();
+    assert!(
+        savings_fast < savings_slow,
+        "more mobility must erode savings: fast {savings_fast:.3} vs slow {savings_slow:.3}"
+    );
+}
+
+#[test]
+fn mobility_runs_are_deterministic() {
+    let a = run(ProtocolKind::Spms, 6, 300);
+    let b = run(ProtocolKind::Spms, 6, 300);
+    assert_eq!(a, b);
+}
