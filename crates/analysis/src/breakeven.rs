@@ -143,10 +143,7 @@ mod tests {
         // magnitude, which is the reproducible claim.
         let inst = BreakevenInstance::mica2_reference();
         let pkts = inst.packets_needed().unwrap();
-        assert!(
-            (50.0..2_000.0).contains(&pkts),
-            "break-even {pkts} packets"
-        );
+        assert!((50.0..2_000.0).contains(&pkts), "break-even {pkts} packets");
         assert!(inst.dbf_energy_uj() > 0.0);
     }
 

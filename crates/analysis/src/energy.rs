@@ -54,12 +54,10 @@ impl EnergyModel {
     ///
     /// Returns a message unless `0 < meta_fraction < 1` and
     /// `rx_relative >= 0`.
-    pub fn new(
-        path_loss: PathLoss,
-        meta_fraction: f64,
-        rx_relative: f64,
-    ) -> Result<Self, String> {
-        if !meta_fraction.is_finite() || !(0.0..1.0).contains(&meta_fraction) || meta_fraction == 0.0
+    pub fn new(path_loss: PathLoss, meta_fraction: f64, rx_relative: f64) -> Result<Self, String> {
+        if !meta_fraction.is_finite()
+            || !(0.0..1.0).contains(&meta_fraction)
+            || meta_fraction == 0.0
         {
             return Err(format!("meta fraction {meta_fraction} outside (0, 1)"));
         }
@@ -88,9 +86,7 @@ impl EnergyModel {
     pub fn spms_energy(&self, k: u32) -> f64 {
         let kf = f64::from(k.max(1));
         let zone = self.path_loss.relative_energy(kf);
-        kf * (self.meta_fraction * zone
-            + (1.0 - self.meta_fraction)
-            + self.rx_relative)
+        kf * (self.meta_fraction * zone + (1.0 - self.meta_fraction) + self.rx_relative)
     }
 
     /// The paper's Figure 5 quantity: `E_SPIN / E_SPMS`.
@@ -135,10 +131,7 @@ mod tests {
             let kf = f64::from(k);
             let want = (kf.powf(3.5) + 1.0) / (kf * f * kf.powf(3.5) + (2.0 - f) * kf);
             let got = m.ratio(k);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "k={k}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "k={k}: got {got}, want {want}");
         }
     }
 
@@ -166,10 +159,7 @@ mod tests {
         // crossing parity near k ≈ 1/f = 34.
         let m = model();
         let peak = m.peak_k(60);
-        assert!(
-            (3..=6).contains(&peak),
-            "peak at k = {peak} for f = 1/34"
-        );
+        assert!((3..=6).contains(&peak), "peak at k = {peak} for f = 1/34");
         assert!(m.ratio(34) < m.ratio(peak));
         assert!((m.ratio(34) - 1.0).abs() < 0.05, "parity near 1/f");
         assert!(m.ratio(55) < 1.0);

@@ -85,10 +85,7 @@ pub fn fig5_series(ks: &[u32]) -> Result<Series, String> {
         return Err("need at least one k".into());
     }
     let model = EnergyModel::paper_instance();
-    let points = ks
-        .iter()
-        .map(|&k| (f64::from(k), model.ratio(k)))
-        .collect();
+    let points = ks.iter().map(|&k| (f64::from(k), model.ratio(k))).collect();
     Ok(Series {
         name: "Fig5 Energy ratio SPIN/SPMS".into(),
         x_label: "radius of transmission (hops, k)",

@@ -137,8 +137,7 @@ impl InterZoneModel {
         assert!(nodes >= 2, "a pipeline needs at least two nodes");
         let n = f64::from(nodes);
         let query = n * self.adv_bytes * self.wave_cost_per_byte(nodes);
-        let pull =
-            (n - 1.0) * (self.req_bytes + self.data_bytes) * (1.0 + self.rx_relative);
+        let pull = (n - 1.0) * (self.req_bytes + self.data_bytes) * (1.0 + self.rx_relative);
         query + pull
     }
 
@@ -242,8 +241,7 @@ mod tests {
         let series = m.ratio_series(60).unwrap();
         // Once the audience saturates (n > 2z+1), the ratio is monotone
         // non-increasing and approaches limit_ratio from above.
-        let saturated: Vec<&(f64, f64)> =
-            series.iter().filter(|(l, _)| *l >= 9.0).collect();
+        let saturated: Vec<&(f64, f64)> = series.iter().filter(|(l, _)| *l >= 9.0).collect();
         for w in saturated.windows(2) {
             assert!(w[1].1 <= w[0].1 + 1e-9, "ratio must not grow: {w:?}");
         }
@@ -253,7 +251,10 @@ mod tests {
             assert!(*r < m.asymptotic_ratio());
         }
         let (_, last) = series.last().copied().unwrap();
-        assert!((last - limit).abs() / limit < 0.15, "last {last} vs limit {limit}");
+        assert!(
+            (last - limit).abs() / limit < 0.15,
+            "last {last} vs limit {limit}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod interzone;
 pub mod steps;
 
 pub use breakeven::{breakeven_packets, BreakevenInstance};
-pub use interzone::InterZoneModel;
 pub use delay::DelayModel;
 pub use energy::EnergyModel;
+pub use interzone::InterZoneModel;
 pub use steps::{delay_of, AnalysisParams, Step};

@@ -28,9 +28,13 @@ fn pipeline_run(
         });
         c.max_attempts = 8;
     }
-    let plan =
-        traffic::pipeline(NodeId::new(0), &[NodeId::new(24)], 2, SimTime::from_millis(500))
-            .unwrap();
+    let plan = traffic::pipeline(
+        NodeId::new(0),
+        &[NodeId::new(24)],
+        2,
+        SimTime::from_millis(500),
+    )
+    .unwrap();
     Simulation::run_with(c, topo, plan).unwrap()
 }
 
@@ -65,9 +69,7 @@ fn ablation_paths() {
             delivered += m.deliveries;
             expected += m.deliveries_expected;
         }
-        println!(
-            "  paths_kept={paths}   delivered {delivered}/{expected} across 8 seeds"
-        );
+        println!("  paths_kept={paths}   delivered {delivered}/{expected} across 8 seeds");
     }
 }
 

@@ -153,10 +153,9 @@ impl TimeoutPolicy {
                     .unwrap_or(1) as usize;
                 let ns_sum: u64 = (0..zones.len())
                     .map(|i| {
-                        u64::from(zones.density_at_level(
-                            spms_net::NodeId::new(i as u32),
-                            min_level,
-                        ))
+                        u64::from(
+                            zones.density_at_level(spms_net::NodeId::new(i as u32), min_level),
+                        )
                     })
                     .sum();
                 let ns = (ns_sum as f64 / zones.len() as f64).ceil() as usize;
@@ -166,8 +165,7 @@ impl TimeoutPolicy {
                     + proc_delay * 2;
                 // Worst-case serving-queue residence for one DATA response.
                 let data_service = |n: usize| {
-                    (contention.expected_access_delay(timing, n)
-                        + timing.tx_duration(sizes.data))
+                    (contention.expected_access_delay(timing, n) + timing.tx_duration(sizes.data))
                         * n as u64
                 };
                 let queue = match protocol {
@@ -177,10 +175,8 @@ impl TimeoutPolicy {
                 };
                 let adv = SimTime::from_millis_f64(round.as_millis_f64() * adv_factor)
                     .max(SimTime::from_micros(100));
-                let dat = SimTime::from_millis_f64(
-                    (round + queue).as_millis_f64() * dat_factor,
-                )
-                .max(SimTime::from_micros(100));
+                let dat = SimTime::from_millis_f64((round + queue).as_millis_f64() * dat_factor)
+                    .max(SimTime::from_micros(100));
                 Timeouts { adv, dat }
             }
         }
@@ -458,15 +454,36 @@ mod tests {
         let small = placement::grid(13, 13, 5.0).unwrap();
         let z_small = ZoneTable::build(&small, &radio, 10.0);
         let z_large = ZoneTable::build(&small, &radio, 25.0);
-        let t_small =
-            policy.resolve(ProtocolKind::Spms, &z_small, &radio, &timing, mac, &sizes, proc);
-        let t_large =
-            policy.resolve(ProtocolKind::Spms, &z_large, &radio, &timing, mac, &sizes, proc);
+        let t_small = policy.resolve(
+            ProtocolKind::Spms,
+            &z_small,
+            &radio,
+            &timing,
+            mac,
+            &sizes,
+            proc,
+        );
+        let t_large = policy.resolve(
+            ProtocolKind::Spms,
+            &z_large,
+            &radio,
+            &timing,
+            mac,
+            &sizes,
+            proc,
+        );
         assert!(t_large.adv > t_small.adv, "denser zones need longer τADV");
         assert!(t_large.dat > t_large.adv, "τDAT exceeds τADV");
         // SPIN's τDAT covers its zone-wide serving queue, so it is larger.
-        let spin =
-            policy.resolve(ProtocolKind::Spin, &z_large, &radio, &timing, mac, &sizes, proc);
+        let spin = policy.resolve(
+            ProtocolKind::Spin,
+            &z_large,
+            &radio,
+            &timing,
+            mac,
+            &sizes,
+            proc,
+        );
         assert!(spin.dat > t_large.dat, "SPIN queue term dominates");
     }
 
@@ -481,10 +498,24 @@ mod tests {
         let topo = placement::grid(13, 13, 5.0).unwrap();
         let z_small = ZoneTable::build(&topo, &radio, 10.0);
         let z_large = ZoneTable::build(&topo, &radio, 25.0);
-        let t_small =
-            policy.resolve(ProtocolKind::Spms, &z_small, &radio, &timing, mac, &sizes, proc);
-        let t_large =
-            policy.resolve(ProtocolKind::Spms, &z_large, &radio, &timing, mac, &sizes, proc);
+        let t_small = policy.resolve(
+            ProtocolKind::Spms,
+            &z_small,
+            &radio,
+            &timing,
+            mac,
+            &sizes,
+            proc,
+        );
+        let t_large = policy.resolve(
+            ProtocolKind::Spms,
+            &z_large,
+            &radio,
+            &timing,
+            mac,
+            &sizes,
+            proc,
+        );
         assert_eq!(
             t_small.adv, t_large.adv,
             "slotted backoff has no density term in τADV"

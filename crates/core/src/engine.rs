@@ -20,16 +20,14 @@ use spms_kernel::stats::Tally;
 use spms_kernel::trace::Trace;
 use spms_kernel::{EventQueue, SimRng, SimTime};
 use spms_mac::HalfDuplexQueue;
-use spms_net::{
-    FailureProcess, MobilityEpoch, MobilityProcess, NodeId, Topology, ZoneTable,
-};
+use spms_net::{FailureProcess, MobilityEpoch, MobilityProcess, NodeId, Topology, ZoneTable};
 use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
 use spms_routing::{oracle_tables, DbfEngine, DbfWireFormat, RoutingTable};
 
 use crate::{
-    Action, Addressee, MessageCounts, MetaId, NodeProtocol, NodeView, OutFrame, Packet,
-    PacketKind, Protocol, ProtocolKind, RoutingCost, RoutingMode, RunMetrics, SimConfig,
-    SpmsParams, TimerKind, TrafficPlan,
+    Action, Addressee, MessageCounts, MetaId, NodeProtocol, NodeView, OutFrame, Packet, PacketKind,
+    Protocol, ProtocolKind, RoutingCost, RoutingMode, RunMetrics, SimConfig, SpmsParams, TimerKind,
+    TrafficPlan,
 };
 
 /// Engine events.
@@ -131,11 +129,7 @@ impl Simulation {
     ///
     /// Returns a message if the configuration is invalid or the plan
     /// references nodes outside the topology.
-    pub fn new(
-        config: SimConfig,
-        topology: Topology,
-        plan: TrafficPlan,
-    ) -> Result<Self, String> {
+    pub fn new(config: SimConfig, topology: Topology, plan: TrafficPlan) -> Result<Self, String> {
         config.validate()?;
         let n = topology.len();
         for g in &plan.generations {
@@ -193,21 +187,19 @@ impl Simulation {
                         serve_from_cache: config.serve_from_cache,
                     }))
                 }
-                ProtocolKind::SpmsIz => {
-                    NodeProtocol::SpmsIz(crate::interzone::SpmsIzNode::new(
-                        SpmsParams {
-                            scones_kept: config.scones_kept,
-                            max_attempts: config.max_attempts,
-                            relay_caching: config.relay_caching,
-                            serve_from_cache: config.serve_from_cache,
-                        },
-                        crate::interzone::IzResolved {
-                            ttl: iz_ttl,
-                            paths_kept: config.interzone.paths_kept,
-                            max_attempts: config.max_attempts,
-                        },
-                    ))
-                }
+                ProtocolKind::SpmsIz => NodeProtocol::SpmsIz(crate::interzone::SpmsIzNode::new(
+                    SpmsParams {
+                        scones_kept: config.scones_kept,
+                        max_attempts: config.max_attempts,
+                        relay_caching: config.relay_caching,
+                        serve_from_cache: config.serve_from_cache,
+                    },
+                    crate::interzone::IzResolved {
+                        ttl: iz_ttl,
+                        paths_kept: config.interzone.paths_kept,
+                        max_attempts: config.max_attempts,
+                    },
+                )),
                 ProtocolKind::Flooding => {
                     NodeProtocol::Flooding(crate::flooding::FloodingNode::new())
                 }
@@ -382,19 +374,17 @@ impl Simulation {
                 // converges"). One round ≈ one max-power channel access plus
                 // the mean vector's air time.
                 let max_density = (0..self.zones.len())
-                    .map(|i| self.zones.density_at_level(NodeId::new(i as u32), adv_level))
+                    .map(|i| {
+                        self.zones
+                            .density_at_level(NodeId::new(i as u32), adv_level)
+                    })
                     .max()
                     .unwrap_or(1) as usize;
-                let avg_entries = stats
-                    .entries_sent
-                    .checked_div(stats.messages)
-                    .unwrap_or(0) as usize;
+                let avg_entries =
+                    stats.entries_sent.checked_div(stats.messages).unwrap_or(0) as usize;
                 let wire = DbfWireFormat::default();
                 let round_time = self.config.mac.quadratic_term(max_density)
-                    + self
-                        .config
-                        .mac
-                        .tx_duration(wire.message_bytes(avg_entries));
+                    + self.config.mac.tx_duration(wire.message_bytes(avg_entries));
                 let converge = round_time * u64::from(stats.rounds);
                 self.pause_until = self.now + converge;
                 self.routing_cost.executions += 1;
@@ -507,8 +497,7 @@ impl Simulation {
 
     fn dispatch_packet(&mut self, receiver: NodeId, packet: &Packet) {
         let interested = self.plan.interest.interested(receiver, packet.meta);
-        let actions =
-            self.call_protocol(receiver, |p, v| p.on_packet(v, packet, interested));
+        let actions = self.call_protocol(receiver, |p, v| p.on_packet(v, packet, interested));
         self.process_actions(receiver, actions, self.config.proc_delay);
     }
 
@@ -593,8 +582,11 @@ impl Simulation {
             return;
         };
         MobilityProcess::apply(&epoch, &mut self.topology);
-        self.zones =
-            ZoneTable::build(&self.topology, &self.config.radio, self.config.zone_radius_m);
+        self.zones = ZoneTable::build(
+            &self.topology,
+            &self.config.radio,
+            self.config.zone_radius_m,
+        );
         self.mobility_epochs += 1;
         self.trace.record_with(self.now, "move", || {
             format!("mobility epoch: {} nodes moved", epoch.moves.len())

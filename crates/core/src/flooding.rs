@@ -10,8 +10,7 @@
 use std::collections::BTreeSet;
 
 use crate::{
-    Action, Addressee, DataStore, MetaId, NodeView, OutFrame, Packet, Payload, Protocol,
-    TimerKind,
+    Action, Addressee, DataStore, MetaId, NodeView, OutFrame, Packet, Payload, Protocol, TimerKind,
 };
 
 /// Flooding protocol state for one node.
@@ -62,12 +61,7 @@ impl Protocol for FloodingNode {
         out
     }
 
-    fn on_packet(
-        &mut self,
-        view: &NodeView<'_>,
-        packet: &Packet,
-        interested: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action> {
         let mut out = Vec::new();
         if !matches!(packet.payload, Payload::Data { .. }) {
             return out; // flooding has no ADV/REQ
@@ -167,7 +161,9 @@ mod tests {
             },
         };
         let actions = n.on_packet(&v, &data, true);
-        assert!(actions.iter().any(|a| matches!(a, Action::Delivered { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Delivered { .. })));
         assert!(actions.iter().any(|a| matches!(a, Action::Send(_))));
         // Second copy: duplicate, no rebroadcast.
         let again = n.on_packet(&v, &data, true);

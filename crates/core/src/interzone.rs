@@ -37,8 +37,8 @@ use spms_interzone::is_border_relay;
 use spms_net::NodeId;
 
 use crate::{
-    Action, Addressee, MetaId, NodeView, OutFrame, Packet, Payload, Protocol, SpmsNode,
-    SpmsParams, TimerKind,
+    Action, Addressee, MetaId, NodeView, OutFrame, Packet, Payload, Protocol, SpmsNode, SpmsParams,
+    TimerKind,
 };
 
 /// Generation namespace for inter-zone timers. Base-SPMS timers for the
@@ -200,8 +200,12 @@ impl SpmsIzNode {
         let path = entry.paths[entry.next_path % entry.paths.len()].clone();
         // Waypoints back toward the source, skipping ourselves (we may be a
         // border relay on our own stored path).
-        let mut legs: Vec<NodeId> =
-            path.iter().rev().copied().filter(|&n| n != view.node).collect();
+        let mut legs: Vec<NodeId> = path
+            .iter()
+            .rev()
+            .copied()
+            .filter(|&n| n != view.node)
+            .collect();
         if legs.is_empty() {
             return false;
         }
@@ -443,12 +447,7 @@ impl Protocol for SpmsIzNode {
             .collect()
     }
 
-    fn on_packet(
-        &mut self,
-        view: &NodeView<'_>,
-        packet: &Packet,
-        interested: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action> {
         let meta = packet.meta;
         let mut out = Vec::new();
         match &packet.payload {
@@ -786,7 +785,11 @@ mod tests {
         }
         // τDAT scaled by the number of zone legs.
         let timer = actions.iter().find_map(|a| match a {
-            Action::SetTimer { kind: TimerKind::DataWait, after, .. } => Some(*after),
+            Action::SetTimer {
+                kind: TimerKind::DataWait,
+                after,
+                ..
+            } => Some(*after),
             _ => None,
         });
         assert_eq!(timer, Some(SimTime::from_millis_f64(2.5) * 4u64));
@@ -827,8 +830,10 @@ mod tests {
         let mut src = node();
         let v0 = view(&zones, &tables[0], 0);
         src.on_generate(&v0, m);
-        let full_path: Vec<NodeId> =
-            [12u32, 9, 8, 6, 4, 2].iter().map(|&i| NodeId::new(i)).collect();
+        let full_path: Vec<NodeId> = [12u32, 9, 8, 6, 4, 2]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
         let req_at_src = Packet {
             meta: m,
             from: NodeId::new(2),
@@ -844,8 +849,7 @@ mod tests {
         match &s[0].packet.payload {
             Payload::Data { dest, route } => {
                 assert_eq!(*dest, NodeId::new(12));
-                let expect: Vec<NodeId> =
-                    full_path.iter().rev().skip(1).copied().collect();
+                let expect: Vec<NodeId> = full_path.iter().rev().skip(1).copied().collect();
                 assert_eq!(route.as_slice(), expect.as_slice());
             }
             other => panic!("expected DATA, got {other:?}"),
@@ -893,7 +897,8 @@ mod tests {
             "cached holder must answer instead of forwarding"
         );
         assert!(
-            !s.iter().any(|f| matches!(f.packet.payload, Payload::IzReq { .. })),
+            !s.iter()
+                .any(|f| matches!(f.packet.payload, Payload::IzReq { .. })),
             "no forwarding past a holder"
         );
     }
@@ -952,7 +957,10 @@ mod tests {
         let revived = dest.on_packet(&v, &q, true);
         assert!(revived.iter().any(|a| matches!(
             a,
-            Action::SetTimer { kind: TimerKind::AdvWait, .. }
+            Action::SetTimer {
+                kind: TimerKind::AdvWait,
+                ..
+            }
         )));
     }
 

@@ -193,7 +193,13 @@ mod tests {
         assert_eq!(s.bytes(PacketKind::Data), 40);
         assert_eq!(s.data / s.req, 20, "DATA:REQ ratio from Table 1");
         assert!(s.validate().is_ok());
-        assert!(PacketSizes { adv: 0, req: 2, data: 40 }.validate().is_err());
+        assert!(PacketSizes {
+            adv: 0,
+            req: 2,
+            data: 40
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

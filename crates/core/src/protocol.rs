@@ -151,8 +151,7 @@ pub trait Protocol {
 
     /// A packet arrived. `interested` says whether this node wants the
     /// packet's item (computed by the engine from the traffic plan).
-    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool)
-        -> Vec<Action>;
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action>;
 
     /// A timer fired. Stale generations must be ignored.
     fn on_timer(
@@ -205,12 +204,7 @@ impl Protocol for NodeProtocol {
         }
     }
 
-    fn on_packet(
-        &mut self,
-        view: &NodeView<'_>,
-        packet: &Packet,
-        interested: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action> {
         match self {
             NodeProtocol::Spin(p) => p.on_packet(view, packet, interested),
             NodeProtocol::Spms(p) => p.on_packet(view, packet, interested),
@@ -328,17 +322,19 @@ mod tests {
         let v = view(&zones, &tables[0], 0);
         let meta = MetaId::new(NodeId::new(0), 0);
         let f = v
-            .unicast(NodeId::new(1), meta, Payload::Data {
-                dest: NodeId::new(1),
-                route: vec![],
-            })
+            .unicast(
+                NodeId::new(1),
+                meta,
+                Payload::Data {
+                    dest: NodeId::new(1),
+                    route: vec![],
+                },
+            )
             .unwrap();
         // 5 m → the minimum power level (index 4).
         assert_eq!(f.level.index(), 4);
         // 20 m neighbor → level index 2.
-        let f2 = v
-            .unicast(NodeId::new(4), meta, Payload::Adv)
-            .unwrap();
+        let f2 = v.unicast(NodeId::new(4), meta, Payload::Adv).unwrap();
         assert_eq!(f2.level.index(), 2);
         // Out-of-zone target: no frame.
         assert!(v.unicast(NodeId::new(99), meta, Payload::Adv).is_none());

@@ -27,9 +27,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{
-    Action, DataStore, MetaId, NodeView, Packet, Payload, Protocol, TimerKind,
-};
+use crate::{Action, DataStore, MetaId, NodeView, Packet, Payload, Protocol, TimerKind};
 
 /// Per-item negotiation state.
 #[derive(Clone, Debug, Default)]
@@ -153,12 +151,7 @@ impl Protocol for SpinNode {
         out
     }
 
-    fn on_packet(
-        &mut self,
-        view: &NodeView<'_>,
-        packet: &Packet,
-        interested: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action> {
         let meta = packet.meta;
         let mut out = Vec::new();
         match &packet.payload {
@@ -325,11 +318,7 @@ mod tests {
         )
     }
 
-    fn view<'a>(
-        zones: &'a ZoneTable,
-        routing: &'a RoutingTable,
-        node: u32,
-    ) -> NodeView<'a> {
+    fn view<'a>(zones: &'a ZoneTable, routing: &'a RoutingTable, node: u32) -> NodeView<'a> {
         NodeView {
             node: NodeId::new(node),
             now: SimTime::ZERO,
@@ -395,9 +384,13 @@ mod tests {
         assert_eq!(f.to, Addressee::Unicast(NodeId::new(0)));
         // SPIN transmits at the zone level, never lower.
         assert_eq!(f.level, zones.adv_level());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SetTimer { kind: TimerKind::DataWait, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::DataWait,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -452,7 +445,9 @@ mod tests {
         let v = view(&zones, &routing, 1);
         n.on_packet(&v, &adv_from(0), true);
         let actions = n.on_packet(&v, &data_from(0, 1), true);
-        assert!(actions.iter().any(|a| matches!(a, Action::Delivered { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Delivered { .. })));
         assert!(actions.iter().any(|a| matches!(a, Action::Send(f)
             if f.packet.kind() == PacketKind::Adv)));
         // A second copy counts as a duplicate.

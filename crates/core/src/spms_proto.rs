@@ -37,8 +37,7 @@ use std::collections::BTreeMap;
 use spms_net::NodeId;
 
 use crate::{
-    Action, Addressee, DataStore, MetaId, NodeView, OutFrame, Packet, Payload, Protocol,
-    TimerKind,
+    Action, Addressee, DataStore, MetaId, NodeView, OutFrame, Packet, Payload, Protocol, TimerKind,
 };
 
 /// Maximum REQ record-route length; REQs exceeding it are dropped (the
@@ -389,12 +388,7 @@ impl Protocol for SpmsNode {
         out
     }
 
-    fn on_packet(
-        &mut self,
-        view: &NodeView<'_>,
-        packet: &Packet,
-        interested: bool,
-    ) -> Vec<Action> {
+    fn on_packet(&mut self, view: &NodeView<'_>, packet: &Packet, interested: bool) -> Vec<Action> {
         let meta = packet.meta;
         let mut out = Vec::new();
         match &packet.payload {
@@ -639,11 +633,7 @@ mod tests {
         (zones, tables)
     }
 
-    fn view<'a>(
-        zones: &'a ZoneTable,
-        routing: &'a RoutingTable,
-        node: u32,
-    ) -> NodeView<'a> {
+    fn view<'a>(zones: &'a ZoneTable, routing: &'a RoutingTable, node: u32) -> NodeView<'a> {
         NodeView {
             node: NodeId::new(node),
             now: SimTime::ZERO,
@@ -703,9 +693,13 @@ mod tests {
         let v = view(&zones, &tables[3], 3);
         let actions = n.on_packet(&v, &adv_from(0), true);
         assert!(sends(&actions).is_empty(), "must not request yet");
-        assert!(actions.iter().any(
-            |a| matches!(a, Action::SetTimer { kind: TimerKind::AdvWait, .. })
-        ));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::AdvWait,
+                ..
+            }
+        )));
         assert_eq!(n.prone(meta()), Some(NodeId::new(0)));
     }
 
@@ -719,9 +713,14 @@ mod tests {
         assert_eq!(n.prone(meta()), Some(NodeId::new(1)));
         assert_eq!(n.scone(meta()), Some(NodeId::new(0)));
         // τADV restarted.
-        assert!(actions.iter().any(
-            |a| matches!(a, Action::SetTimer { kind: TimerKind::AdvWait, gen: 2, .. })
-        ));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::AdvWait,
+                gen: 2,
+                ..
+            }
+        )));
         // Adjacent ADV triggers the REQ and cancels the wait.
         let actions = n.on_packet(&v, &adv_from(2), true);
         let s = sends(&actions);
@@ -742,7 +741,11 @@ mod tests {
         // REQ to PRONE (node 0) goes to the next hop (node 2), destined 0.
         assert_eq!(s[0].to, Addressee::Unicast(NodeId::new(2)));
         match &s[0].packet.payload {
-            Payload::Req { origin, target, path } => {
+            Payload::Req {
+                origin,
+                target,
+                path,
+            } => {
                 assert_eq!(*origin, NodeId::new(3));
                 assert_eq!(*target, NodeId::new(0));
                 assert_eq!(path.as_slice(), &[NodeId::new(3)]);
@@ -839,7 +842,9 @@ mod tests {
             },
         };
         let actions = dest.on_packet(&v3, &final_data, true);
-        assert!(actions.iter().any(|a| matches!(a, Action::Delivered { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Delivered { .. })));
         // Re-advertisement duty.
         assert!(actions.iter().any(|a| matches!(a, Action::Send(f)
             if f.packet.kind() == PacketKind::Adv)));
@@ -864,8 +869,7 @@ mod tests {
         };
         let actions = relay.on_packet(&v2, &data, false);
         assert!(relay.has_data(meta()));
-        let kinds: Vec<PacketKind> =
-            sends(&actions).iter().map(|f| f.packet.kind()).collect();
+        let kinds: Vec<PacketKind> = sends(&actions).iter().map(|f| f.packet.kind()).collect();
         assert!(kinds.contains(&PacketKind::Data));
         assert!(kinds.contains(&PacketKind::Adv));
     }
@@ -917,7 +921,7 @@ mod tests {
         let v = view(&zones, &tables[1], 1);
         n.on_packet(&v, &adv_from(0), true); // direct REQ (attempt 1)
         let a2 = n.on_timer(&v, meta(), TimerKind::DataWait, 1); // attempt 2? stack exhausted
-        // Stack is [0] only; direct REQ failed; no SCONE → abandoned.
+                                                                 // Stack is [0] only; direct REQ failed; no SCONE → abandoned.
         assert!(a2.iter().any(|a| matches!(a, Action::Abandoned { .. })));
         // A new ADV revives the item.
         let a3 = n.on_packet(&v, &adv_from(2), true);
@@ -934,7 +938,7 @@ mod tests {
         });
         let v2 = view(&zones, &tables[2], 2);
         relay.on_generate(&v2, MetaId::new(NodeId::new(2), 0)); // unrelated
-        // Give the relay the data via relay-path consumption.
+                                                                // Give the relay the data via relay-path consumption.
         let own = Packet {
             meta: m,
             from: NodeId::new(1),

@@ -95,7 +95,10 @@ mod tests {
         let zones = line(13);
         let n0 = NodeId::new(0);
         let relays = border_relays(&zones, n0);
-        assert!(relays.contains(&NodeId::new(4)), "20 m neighbor extends reach");
+        assert!(
+            relays.contains(&NodeId::new(4)),
+            "20 m neighbor extends reach"
+        );
         let g1 = coverage_gain(&zones, n0, NodeId::new(1));
         let g4 = coverage_gain(&zones, n0, NodeId::new(4));
         assert!(g4 > g1, "farther relays gain more: g1={g1} g4={g4}");

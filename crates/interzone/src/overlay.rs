@@ -131,10 +131,7 @@ impl ZoneOverlay {
         let mut worst = 0;
         for a in 0..self.relays.len() {
             for b in 0..self.relays.len() {
-                if let Some(h) = self.zone_hops(
-                    NodeId::new(a as u32),
-                    NodeId::new(b as u32),
-                ) {
+                if let Some(h) = self.zone_hops(NodeId::new(a as u32), NodeId::new(b as u32)) {
                     worst = worst.max(h);
                 }
             }

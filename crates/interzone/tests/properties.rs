@@ -1,8 +1,8 @@
 //! Property-based tests for the inter-zone substrate.
 
 use proptest::prelude::*;
-use spms_interzone::{border_relays, coverage_gain, is_border_relay, ZoneOverlay};
 use spms_interzone::overlay::PreciseOverlay;
+use spms_interzone::{border_relays, coverage_gain, is_border_relay, ZoneOverlay};
 use spms_net::{placement, NodeId, ZoneTable};
 use spms_phy::RadioProfile;
 
@@ -12,7 +12,12 @@ fn zones_for(cols: usize, rows: usize, spacing: f64, radius: f64) -> ZoneTable {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Fixed seed + bounded case count keeps this suite deterministic in CI.
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        rng_seed: 0x0012_2004_D51F,
+        ..ProptestConfig::default()
+    })]
 
     /// Border relays are always zone neighbors with positive gain.
     #[test]

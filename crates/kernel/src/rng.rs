@@ -67,9 +67,7 @@ impl SimRng {
     pub fn derive(&self, stream: u64) -> SimRng {
         // Mix the label through SplitMix64 so adjacent labels do not produce
         // correlated seeds.
-        let mut sm = self
-            .state[0]
-            .wrapping_add(stream.wrapping_mul(0xD134_2543_DE82_EF95));
+        let mut sm = self.state[0].wrapping_add(stream.wrapping_mul(0xD134_2543_DE82_EF95));
         let mut s2 = splitmix64(&mut sm);
         SimRng::new(splitmix64(&mut s2))
     }
@@ -303,9 +301,7 @@ mod tests {
         let mut rng = SimRng::new(7);
         let mean = SimTime::from_millis(50);
         let n = 50_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exponential(mean).as_millis_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_millis_f64()).sum();
         let sample_mean = total / n as f64;
         assert!(
             (sample_mean - 50.0).abs() < 1.5,

@@ -100,12 +100,7 @@ impl Trace {
 
     /// Records lazily: the closure only runs when tracing is enabled, so hot
     /// paths avoid formatting costs.
-    pub fn record_with(
-        &mut self,
-        time: SimTime,
-        tag: &'static str,
-        f: impl FnOnce() -> String,
-    ) {
+    pub fn record_with(&mut self, time: SimTime, tag: &'static str, f: impl FnOnce() -> String) {
         if self.enabled {
             self.record(time, tag, f());
         }

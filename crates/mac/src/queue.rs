@@ -136,7 +136,11 @@ mod tests {
     fn later_request_after_busy_window_is_unqueued() {
         let mut q = HalfDuplexQueue::new();
         q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(5));
-        let r = q.reserve(SimTime::from_millis(50), SimTime::ZERO, SimTime::from_millis(1));
+        let r = q.reserve(
+            SimTime::from_millis(50),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
         assert_eq!(r.starts, SimTime::from_millis(50));
         assert_eq!(r.queue_wait, SimTime::ZERO);
     }
@@ -147,7 +151,11 @@ mod tests {
         q.reserve(SimTime::ZERO, SimTime::ZERO, SimTime::from_millis(100));
         q.cancel_pending(SimTime::from_millis(1));
         assert_eq!(q.busy_until(), SimTime::from_millis(1));
-        let r = q.reserve(SimTime::from_millis(1), SimTime::ZERO, SimTime::from_millis(1));
+        let r = q.reserve(
+            SimTime::from_millis(1),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
         assert_eq!(r.starts, SimTime::from_millis(1));
     }
 

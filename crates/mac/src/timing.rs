@@ -99,12 +99,7 @@ impl ContentionModel {
     ///
     /// `neighbors` is the number of nodes within the radius of the *chosen*
     /// power level — the paper's `n` (n1 at max power, ns at minimum).
-    pub fn access_delay(
-        self,
-        timing: &MacTiming,
-        neighbors: usize,
-        rng: &mut SimRng,
-    ) -> SimTime {
+    pub fn access_delay(self, timing: &MacTiming, neighbors: usize, rng: &mut SimRng) -> SimTime {
         let backoff = |rng: &mut SimRng| {
             if timing.num_slots == 0 {
                 SimTime::ZERO
@@ -241,7 +236,17 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         use ContentionModel::*;
-        let labels = [Quadratic.label(), QuadraticWithBackoff.label(), BackoffOnly.label()];
-        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        let labels = [
+            Quadratic.label(),
+            QuadraticWithBackoff.label(),
+            BackoffOnly.label(),
+        ];
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
     }
 }

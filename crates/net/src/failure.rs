@@ -56,9 +56,7 @@ impl FailureConfig {
     /// Mean time to repair implied by the window.
     #[must_use]
     pub fn mttr(&self) -> SimTime {
-        SimTime::from_nanos(
-            (self.repair_min.as_nanos() + self.repair_max.as_nanos()) / 2,
-        )
+        SimTime::from_nanos((self.repair_min.as_nanos() + self.repair_max.as_nanos()) / 2)
     }
 }
 

@@ -73,11 +73,7 @@ pub fn square_grid(n: usize, spacing_m: f64) -> Result<Topology, String> {
 /// # Errors
 ///
 /// Returns a message if `n == 0` or the spacing is invalid.
-pub fn uniform_random(
-    n: usize,
-    spacing_m: f64,
-    rng: &mut SimRng,
-) -> Result<Topology, String> {
+pub fn uniform_random(n: usize, spacing_m: f64, rng: &mut SimRng) -> Result<Topology, String> {
     if n == 0 {
         return Err("need at least one node".into());
     }

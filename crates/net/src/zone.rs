@@ -170,9 +170,7 @@ impl ZoneTable {
     /// experiments for context.
     #[must_use]
     pub fn mean_zone_size(&self) -> f64 {
-        let total: usize = (0..self.links.len())
-            .map(|i| self.links[i].len() + 1)
-            .sum();
+        let total: usize = (0..self.links.len()).map(|i| self.links[i].len() + 1).sum();
         total as f64 / self.links.len() as f64
     }
 }
@@ -201,7 +199,11 @@ mod tests {
         let (topo, zones) = zones_13x13();
         for a in topo.nodes() {
             for l in zones.links(a) {
-                assert!(zones.in_zone(l.neighbor, a), "{a}↔{} asymmetric", l.neighbor);
+                assert!(
+                    zones.in_zone(l.neighbor, a),
+                    "{a}↔{} asymmetric",
+                    l.neighbor
+                );
             }
         }
     }

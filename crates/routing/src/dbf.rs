@@ -195,11 +195,7 @@ impl DbfEngine {
     /// fails to converge within a generous bound (which would indicate a
     /// negative-cost or bookkeeping bug, as positive-weight DBF always
     /// converges).
-    pub fn run_to_convergence_masked(
-        &mut self,
-        zones: &ZoneTable,
-        alive: &[bool],
-    ) -> DbfStats {
+    pub fn run_to_convergence_masked(&mut self, zones: &ZoneTable, alive: &[bool]) -> DbfStats {
         assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
         let n = zones.len();
         let mut stats = DbfStats {
@@ -316,10 +312,7 @@ mod tests {
         assert_eq!(per_node_sum, stats.bytes_total);
         assert!(stats.entries_sent >= stats.messages); // vectors are non-trivial
         let wire = DbfWireFormat::default();
-        assert!(
-            stats.bytes_total
-                >= stats.messages * u64::from(wire.header_bytes)
-        );
+        assert!(stats.bytes_total >= stats.messages * u64::from(wire.header_bytes));
         // Convergence should be far below the panic bound.
         assert!(stats.rounds <= 8, "rounds = {}", stats.rounds);
     }

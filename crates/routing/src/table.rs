@@ -131,10 +131,7 @@ impl RoutingTable {
     /// lookup used when a next hop is suspected failed.
     #[must_use]
     pub fn best_avoiding(&self, dest: NodeId, avoid: NodeId) -> Option<&RouteEntry> {
-        self.routes
-            .get(&dest)?
-            .iter()
-            .find(|e| e.via != avoid)
+        self.routes.get(&dest)?.iter().find(|e| e.via != avoid)
     }
 
     /// Destinations with at least one route, in id order.
@@ -237,7 +234,10 @@ mod tests {
         let d = NodeId::new(7);
         t.offer(d, e(1, 1.0, 1));
         t.offer(d, e(2, 2.0, 2));
-        assert_eq!(t.best_avoiding(d, NodeId::new(1)).unwrap().via, NodeId::new(2));
+        assert_eq!(
+            t.best_avoiding(d, NodeId::new(1)).unwrap().via,
+            NodeId::new(2)
+        );
         assert!(t.best_avoiding(d, NodeId::new(1)).is_some());
         t.purge_via(NodeId::new(2));
         assert!(t.best_avoiding(d, NodeId::new(1)).is_none());

@@ -102,7 +102,9 @@ pub fn node_heatmap(
 /// ```
 pub fn sparkline(values: &[f64]) -> Result<String, String> {
     if let Some(bad) = values.iter().find(|v| !v.is_finite() || **v < 0.0) {
-        return Err(format!("sparkline values must be finite and >= 0, got {bad}"));
+        return Err(format!(
+            "sparkline values must be finite and >= 0, got {bad}"
+        ));
     }
     let max = values.iter().cloned().fold(0.0, f64::max);
     Ok(values

@@ -4,7 +4,12 @@ use proptest::prelude::*;
 use spms_viz::{node_heatmap, sparkline, Canvas, FieldMap};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Fixed seed + bounded case count keeps this suite deterministic in CI.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x0071_2004_D51F,
+        ..ProptestConfig::default()
+    })]
 
     /// Every in-bounds world point maps to a valid cell; out-of-bounds
     /// points map to none.

@@ -71,7 +71,12 @@ fn savings_range(a: &SeriesData, b: &SeriesData) -> (f64, f64) {
     (lo, hi)
 }
 
-fn series_of(results: &[(String, RunMetrics)], name: &str, f: impl Fn(&RunMetrics) -> f64, xs: &[f64]) -> SeriesData {
+fn series_of(
+    results: &[(String, RunMetrics)],
+    name: &str,
+    f: impl Fn(&RunMetrics) -> f64,
+    xs: &[f64],
+) -> SeriesData {
     let points = results
         .iter()
         .filter(|(label, _)| label.starts_with(name))
@@ -92,13 +97,11 @@ fn series_of(results: &[(String, RunMetrics)], name: &str, f: impl Fn(&RunMetric
 pub fn fig3(scale: &Scale) -> FigureResult {
     let density = 1.0 / (scale.spacing_m * scale.spacing_m);
     let radii: Vec<f64> = (1..=30).map(f64::from).collect();
-    let s = spms_analysis::figures::fig3_series(&radii, density)
-        .expect("static inputs are valid");
+    let s = spms_analysis::figures::fig3_series(&radii, density).expect("static inputs are valid");
     let last = s.points.last().map_or(0.0, |p| p.1);
     FigureResult {
         id: "fig3",
-        title: "Ratio of end-to-end latency SPIN/SPMS vs transmission radius (analytical)"
-            .into(),
+        title: "Ratio of end-to-end latency SPIN/SPMS vs transmission radius (analytical)".into(),
         x_label: "transmission radius (m)",
         y_label: "Delay_SPIN / Delay_SPMS",
         series: vec![SeriesData {
@@ -134,7 +137,10 @@ pub fn fig5(_scale: &Scale) -> FigureResult {
             points: s.points,
         }],
         notes: vec![
-            format!("SPMS saves energy throughout; peak ratio {:.2} at k={}", peak.1, peak.0),
+            format!(
+                "SPMS saves energy throughout; peak ratio {:.2} at k={}",
+                peak.1, peak.0
+            ),
             "per the paper's own formula the ratio returns to parity near k = 1/f = 34".into(),
         ],
     }
@@ -209,13 +215,8 @@ fn radius_sweep(
                 )
                 .expect("valid cluster workload")
             } else {
-                traffic::all_to_all(
-                    n,
-                    scale.packets_per_node,
-                    scale.mean_gap,
-                    seed ^ 0xBEEF,
-                )
-                .expect("valid workload")
+                traffic::all_to_all(n, scale.packets_per_node, scale.mean_gap, seed ^ 0xBEEF)
+                    .expect("valid workload")
             };
             specs.push(RunSpec {
                 label: format!("{} r={r}", protocol.label()),
@@ -432,9 +433,7 @@ pub fn fig12(scale: &Scale, seed: u64) -> FigureResult {
         series: vec![spms, spin],
         notes: vec![
             format!("SPMS saves {lo:.0}%–{hi:.0}% under mobility (paper: 5%–21%)"),
-            format!(
-                "DBF re-execution accounts for up to {max_share:.0}% of SPMS energy"
-            ),
+            format!("DBF re-execution accounts for up to {max_share:.0}% of SPMS energy"),
         ],
     }
 }
@@ -508,18 +507,12 @@ pub fn ext1(scale: &Scale, seed: u64) -> (FigureResult, FigureResult) {
             c.serve_from_cache = caching;
             c.horizon = SimTime::from_secs(120);
             let sink = spms_net::NodeId::new(len as u32 - 1);
-            let plan = traffic::pipeline(
-                spms_net::NodeId::new(0),
-                &[sink],
-                items,
-                scale.mean_gap,
-            )
-            .expect("valid pipeline workload");
+            let plan = traffic::pipeline(spms_net::NodeId::new(0), &[sink], items, scale.mean_gap)
+                .expect("valid pipeline workload");
             specs.push(RunSpec {
                 label: format!("{label} len={len}"),
                 config: c,
-                topology: placement::grid(len, 1, scale.spacing_m)
-                    .expect("valid line"),
+                topology: placement::grid(len, 1, scale.spacing_m).expect("valid line"),
                 plan,
             });
         }
@@ -536,9 +529,7 @@ pub fn ext1(scale: &Scale, seed: u64) -> (FigureResult, FigureResult) {
         name: name.to_string(),
         points: results
             .iter()
-            .filter(|(label, _)| {
-                label.rsplit_once(" len=").map(|(p, _)| p) == Some(name)
-            })
+            .filter(|(label, _)| label.rsplit_once(" len=").map(|(p, _)| p) == Some(name))
             .zip(xs.iter())
             .map(|((_, m), &x)| (x, f(m)))
             .collect(),
@@ -633,11 +624,7 @@ pub fn ext2(scale: &Scale, seed: u64) -> FigureResult {
         if m.packets_generated == 0 {
             0.0
         } else {
-            m.per_node_energy_uj
-                .iter()
-                .cloned()
-                .fold(0.0, f64::max)
-                / m.packets_generated as f64
+            m.per_node_energy_uj.iter().cloned().fold(0.0, f64::max) / m.packets_generated as f64
         }
     };
     let spms_hot = series_of(&results, "SPMS", hottest_per_packet, &xs);
@@ -694,13 +681,8 @@ pub fn ext3(scale: &Scale, seed: u64) -> FigureResult {
             let mut c = config(protocol, seed ^ (cap as u64) << 3, 20.0);
             c.battery_capacity_uj = Some(cap);
             c.horizon = SimTime::from_secs(300);
-            let plan = traffic::all_to_all(
-                n,
-                packets,
-                SimTime::from_millis(300),
-                seed ^ 0xBA77,
-            )
-            .expect("valid workload");
+            let plan = traffic::all_to_all(n, packets, SimTime::from_millis(300), seed ^ 0xBA77)
+                .expect("valid workload");
             specs.push(RunSpec {
                 label: format!("{} cap={cap}", protocol.label()),
                 config: c,
@@ -849,12 +831,13 @@ mod tests {
         let scale = Scale::smoke();
         let (a, b) = ext1(&scale, 3);
         // Delivery: SPMS-IZ and FLOOD full, base SPMS empty beyond a zone.
-        let ratio = |fig: &FigureResult, name: &str| {
-            fig.series_named(name).unwrap().points.to_vec()
-        };
+        let ratio =
+            |fig: &FigureResult, name: &str| fig.series_named(name).unwrap().points.to_vec();
         assert!(ratio(&a, "SPMS-IZ").iter().all(|&(_, y)| y == 1.0));
         assert!(ratio(&a, "FLOOD").iter().all(|&(_, y)| y == 1.0));
-        assert!(ratio(&a, "SPMS").iter().all(|&(x, y)| x <= 20.0 || y == 0.0));
+        assert!(ratio(&a, "SPMS")
+            .iter()
+            .all(|&(x, y)| x <= 20.0 || y == 0.0));
         // Energy: IZ below flooding at every shared length.
         let iz = ratio(&b, "SPMS-IZ");
         let fl = ratio(&b, "FLOOD");

@@ -203,8 +203,7 @@ mod tests {
     #[test]
     fn aggregation_means_and_cis_are_correct() {
         // Three "seeds" producing y = seed at every x.
-        let rep = replicate(&[1, 2, 3], |s| fig_with("f", &[s as f64, 2.0 * s as f64]))
-            .unwrap();
+        let rep = replicate(&[1, 2, 3], |s| fig_with("f", &[s as f64, 2.0 * s as f64])).unwrap();
         assert_eq!(rep.replications, 3);
         let a = rep.series_named("A").unwrap();
         assert_eq!(a.points.len(), 2);

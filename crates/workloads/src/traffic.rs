@@ -94,10 +94,7 @@ pub fn cluster_assignment(
     let mut head_of = vec![NodeId::new(0); topology.len()];
     let mut heads = Vec::new();
     for ((cx, cy), members) in &cells {
-        let center = Point::new(
-            (*cx as f64 + 0.5) * cell,
-            (*cy as f64 + 0.5) * cell,
-        );
+        let center = Point::new((*cx as f64 + 0.5) * cell, (*cy as f64 + 0.5) * cell);
         let head = *members
             .iter()
             .min_by(|a, b| {
@@ -172,11 +169,7 @@ pub fn cluster_hierarchical(
 /// # Errors
 ///
 /// Returns a message if `items == 0`.
-pub fn single_source(
-    source: NodeId,
-    items: u32,
-    spacing: SimTime,
-) -> Result<TrafficPlan, String> {
+pub fn single_source(source: NodeId, items: u32, spacing: SimTime) -> Result<TrafficPlan, String> {
     if items == 0 {
         return Err("items must be positive".into());
     }
@@ -290,16 +283,8 @@ mod tests {
     fn cluster_plan_targets_heads_plus_bystanders() {
         let topo = placement::grid(10, 10, 5.0).unwrap();
         let radio = RadioProfile::mica2();
-        let plan = cluster_hierarchical(
-            &topo,
-            &radio,
-            20.0,
-            1,
-            SimTime::from_millis(1),
-            0.05,
-            3,
-        )
-        .unwrap();
+        let plan =
+            cluster_hierarchical(&topo, &radio, 20.0, 1, SimTime::from_millis(1), 0.05, 3).unwrap();
         assert_eq!(plan.len(), 100);
         let clustering = cluster_assignment(&topo, 20.0).unwrap();
         let Interest::PerMeta(map) = &plan.interest else {
@@ -322,16 +307,8 @@ mod tests {
     fn cluster_bystander_rate_close_to_probability() {
         let topo = placement::grid(13, 13, 5.0).unwrap();
         let radio = RadioProfile::mica2();
-        let plan = cluster_hierarchical(
-            &topo,
-            &radio,
-            20.0,
-            2,
-            SimTime::from_millis(1),
-            0.05,
-            9,
-        )
-        .unwrap();
+        let plan =
+            cluster_hierarchical(&topo, &radio, 20.0, 2, SimTime::from_millis(1), 0.05, 9).unwrap();
         let Interest::PerMeta(map) = &plan.interest else {
             panic!()
         };
@@ -348,26 +325,12 @@ mod tests {
     fn cluster_plan_validates_inputs() {
         let topo = placement::grid(3, 3, 5.0).unwrap();
         let radio = RadioProfile::mica2();
-        assert!(cluster_hierarchical(
-            &topo,
-            &radio,
-            20.0,
-            0,
-            SimTime::from_millis(1),
-            0.05,
-            1
-        )
-        .is_err());
-        assert!(cluster_hierarchical(
-            &topo,
-            &radio,
-            20.0,
-            1,
-            SimTime::from_millis(1),
-            1.5,
-            1
-        )
-        .is_err());
+        assert!(
+            cluster_hierarchical(&topo, &radio, 20.0, 0, SimTime::from_millis(1), 0.05, 1).is_err()
+        );
+        assert!(
+            cluster_hierarchical(&topo, &radio, 20.0, 1, SimTime::from_millis(1), 1.5, 1).is_err()
+        );
         assert!(cluster_assignment(&topo, 0.0).is_err());
     }
 

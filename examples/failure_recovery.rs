@@ -10,8 +10,7 @@
 //! ```
 
 use spms::{
-    Action, MetaId, NodeView, Packet, Payload, Protocol, SpmsNode, SpmsParams, TimerKind,
-    Timeouts,
+    Action, MetaId, NodeView, Packet, Payload, Protocol, SpmsNode, SpmsParams, Timeouts, TimerKind,
 };
 use spms_kernel::SimTime;
 use spms_net::{placement, NodeId, ZoneTable};
@@ -56,9 +55,9 @@ fn main() -> Result<(), String> {
         zones: &zones,
         routing: &tables[c.index()],
         timeouts,
-            battery_frac: 1.0,
-            low_battery_threshold: 0.0,
-        };
+        battery_frac: 1.0,
+        low_battery_threshold: 0.0,
+    };
     let adv_from = |from: NodeId| Packet {
         meta,
         from,

@@ -12,8 +12,8 @@
 //! ```
 
 use spms::{ProtocolKind, RunMetrics, SimConfig, Simulation};
-use spms_interzone::overlay::PreciseOverlay;
 use spms_interzone::border_relays;
+use spms_interzone::overlay::PreciseOverlay;
 use spms_kernel::SimTime;
 use spms_net::{placement, NodeId, ZoneTable};
 use spms_phy::RadioProfile;

@@ -22,8 +22,7 @@ fn run(protocol: ProtocolKind, interval: SimTime, seed: u64) -> spms::RunMetrics
     if protocol == ProtocolKind::Spms {
         config.routing_mode = RoutingMode::Distributed;
     }
-    let plan = traffic::all_to_all(49, 3, SimTime::from_millis(400), seed)
-        .expect("valid workload");
+    let plan = traffic::all_to_all(49, 3, SimTime::from_millis(400), seed).expect("valid workload");
     Simulation::run_with(config, topo, plan).expect("run succeeds")
 }
 
@@ -53,8 +52,8 @@ fn main() {
         let spin = run(ProtocolKind::Spin, interval, 7);
         let spms = run(ProtocolKind::Spms, interval, 7);
         let savings = 1.0 - spms.energy_per_packet_uj() / spin.energy_per_packet_uj();
-        let routing_share = 100.0 * spms.energy.get(EnergyCategory::Routing).value()
-            / spms.energy.total().value();
+        let routing_share =
+            100.0 * spms.energy.get(EnergyCategory::Routing).value() / spms.energy.total().value();
         println!(
             "{:>12}ms | {:>7} | {:>12.2} | {:>12.2} | {:>8.1}% | {:>7.1}%",
             interval_ms,

@@ -17,8 +17,7 @@ fn run(protocol: ProtocolKind, failures: bool, seed: u64) -> spms::RunMetrics {
     if failures {
         config.failures = Some(FailureConfig::paper_defaults());
     }
-    let plan =
-        traffic::all_to_all(49, 2, SimTime::from_millis(400), seed).expect("valid workload");
+    let plan = traffic::all_to_all(49, 2, SimTime::from_millis(400), seed).expect("valid workload");
     Simulation::run_with(config, topo, plan).expect("run succeeds")
 }
 

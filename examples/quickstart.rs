@@ -33,7 +33,10 @@ fn main() -> Result<(), String> {
 
     println!("{}", metrics.summary());
     println!();
-    println!("deliveries        : {}/{}", metrics.deliveries, metrics.deliveries_expected);
+    println!(
+        "deliveries        : {}/{}",
+        metrics.deliveries, metrics.deliveries_expected
+    );
     println!("avg delay         : {:.2} ms", metrics.avg_delay_ms());
     println!(
         "max delay         : {:.2} ms (farthest corner of the field)",

@@ -9,8 +9,7 @@ use spms_workloads::traffic;
 fn full_featured_config(seed: u64) -> SimConfig {
     let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, seed);
     config.failures = Some(FailureConfig::paper_defaults());
-    config.mobility =
-        Some(MobilityConfig::new(SimTime::from_millis(400), 0.1).unwrap());
+    config.mobility = Some(MobilityConfig::new(SimTime::from_millis(400), 0.1).unwrap());
     config.routing_mode = RoutingMode::Distributed;
     config.trace_capacity = Some(64);
     config
@@ -56,12 +55,8 @@ fn parallel_sweep_equals_sequential_runs() {
         plan: plan.clone(),
     };
     let parallel = run_specs(vec![spec("x"), spec("y"), spec("z")]);
-    let sequential = Simulation::run_with(
-        SimConfig::paper_defaults(ProtocolKind::Spms, 3),
-        topo,
-        plan,
-    )
-    .unwrap();
+    let sequential =
+        Simulation::run_with(SimConfig::paper_defaults(ProtocolKind::Spms, 3), topo, plan).unwrap();
     for (_, m) in parallel {
         assert_eq!(m, sequential);
     }

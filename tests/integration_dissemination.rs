@@ -23,7 +23,11 @@ fn run(
 
 #[test]
 fn all_protocols_achieve_full_delivery_on_grid() {
-    for protocol in [ProtocolKind::Spms, ProtocolKind::Spin, ProtocolKind::Flooding] {
+    for protocol in [
+        ProtocolKind::Spms,
+        ProtocolKind::Spin,
+        ProtocolKind::Flooding,
+    ] {
         let m = run(protocol, 5, 5, 20.0, 7);
         assert_eq!(
             m.deliveries, m.deliveries_expected,
@@ -158,8 +162,7 @@ fn spms_balances_load_where_spin_burns_the_source() {
     // smaller total across relays. Max-to-mean per-node energy quantifies
     // it.
     let topo = placement::grid(7, 7, 5.0).unwrap();
-    let plan = traffic::single_source(NodeId::new(24), 2, SimTime::from_millis(400))
-        .unwrap();
+    let plan = traffic::single_source(NodeId::new(24), 2, SimTime::from_millis(400)).unwrap();
     let spms = Simulation::run_with(
         SimConfig::paper_defaults(ProtocolKind::Spms, 77),
         topo.clone(),

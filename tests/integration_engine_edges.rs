@@ -2,8 +2,7 @@
 //! the model's validity.
 
 use spms::{
-    Generation, Interest, MetaId, ProtocolKind, SimConfig, Simulation, TimeoutPolicy,
-    TrafficPlan,
+    Generation, Interest, MetaId, ProtocolKind, SimConfig, Simulation, TimeoutPolicy, TrafficPlan,
 };
 use spms_kernel::SimTime;
 use spms_net::{placement, Field, NodeId, Point, Topology};
@@ -63,12 +62,8 @@ fn partitioned_network_delivers_only_within_the_partition() {
 fn zero_generation_plan_terminates_immediately() {
     let topo = placement::grid(3, 3, 5.0).unwrap();
     let plan = TrafficPlan::new(vec![], Interest::AllNodes).unwrap();
-    let m = Simulation::run_with(
-        SimConfig::paper_defaults(ProtocolKind::Spms, 3),
-        topo,
-        plan,
-    )
-    .unwrap();
+    let m =
+        Simulation::run_with(SimConfig::paper_defaults(ProtocolKind::Spms, 3), topo, plan).unwrap();
     assert_eq!(m.packets_generated, 0);
     assert_eq!(m.energy.total().value(), 0.0);
     assert_eq!(m.events_processed, 0);

@@ -21,11 +21,7 @@ fn run_with_failures(
 
 #[test]
 fn failures_are_injected_and_recovered() {
-    let m = run_with_failures(
-        ProtocolKind::Spms,
-        Some(FailureConfig::paper_defaults()),
-        1,
-    );
+    let m = run_with_failures(ProtocolKind::Spms, Some(FailureConfig::paper_defaults()), 1);
     assert!(m.failures_injected > 0, "the schedule must fire");
     // Transient failures with MTTR 10 ms must not prevent near-complete
     // delivery: recovery paths (SCONE failover, re-REQ on repair) exist.
@@ -38,11 +34,7 @@ fn failures_are_injected_and_recovered() {
 
 #[test]
 fn spin_also_survives_failures_via_readvertisement() {
-    let m = run_with_failures(
-        ProtocolKind::Spin,
-        Some(FailureConfig::paper_defaults()),
-        2,
-    );
+    let m = run_with_failures(ProtocolKind::Spin, Some(FailureConfig::paper_defaults()), 2);
     assert!(m.failures_injected > 0);
     assert!(
         m.delivery_ratio() > 0.9,

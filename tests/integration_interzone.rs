@@ -5,8 +5,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use spms::{
-    Generation, Interest, MetaId, ProtocolKind, RunMetrics, SimConfig, Simulation,
-    TrafficPlan,
+    Generation, Interest, MetaId, ProtocolKind, RunMetrics, SimConfig, Simulation, TrafficPlan,
 };
 use spms_kernel::SimTime;
 use spms_net::{placement, NodeId, Topology};
@@ -24,7 +23,10 @@ fn pipeline_plan(sinks: &[u32]) -> TrafficPlan {
     let mut map = BTreeMap::new();
     map.insert(
         meta,
-        sinks.iter().map(|&s| NodeId::new(s)).collect::<BTreeSet<_>>(),
+        sinks
+            .iter()
+            .map(|&s| NodeId::new(s))
+            .collect::<BTreeSet<_>>(),
     );
     TrafficPlan::new(
         vec![Generation {
@@ -128,8 +130,7 @@ fn relay_caching_seeds_intermediate_zones() {
     cached_cfg.serve_from_cache = true;
     cached_cfg.horizon = SimTime::from_secs(60);
     let cached =
-        Simulation::run_with(cached_cfg, pipeline_topology(), pipeline_plan(&sinks))
-            .unwrap();
+        Simulation::run_with(cached_cfg, pipeline_topology(), pipeline_plan(&sinks)).unwrap();
     let plain = run_pipeline(ProtocolKind::SpmsIz, &sinks, 9);
     assert_eq!(cached.deliveries, 5);
     assert_eq!(plain.deliveries, 5);
@@ -154,11 +155,10 @@ fn explicit_ttl_limits_reach() {
     let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 4);
     config.interzone.ttl = Some(1);
     config.horizon = SimTime::from_secs(60);
-    let far = Simulation::run_with(config.clone(), pipeline_topology(), pipeline_plan(&[24]))
-        .unwrap();
+    let far =
+        Simulation::run_with(config.clone(), pipeline_topology(), pipeline_plan(&[24])).unwrap();
     assert_eq!(far.deliveries, 0, "TTL 1 cannot reach six zones out");
-    let near =
-        Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[7])).unwrap();
+    let near = Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[7])).unwrap();
     assert_eq!(near.deliveries, 1, "TTL 1 reaches the adjacent zone");
 }
 
@@ -229,8 +229,8 @@ fn analytic_model_brackets_the_measured_flood_iz_ratio() {
         let mut iz_cfg = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 5);
         iz_cfg.horizon = SimTime::from_secs(60);
         let topo = placement::grid(len, 1, 5.0).unwrap();
-        let iz = Simulation::run_with(iz_cfg, topo.clone(), pipeline_plan_for(len, &sinks))
-            .unwrap();
+        let iz =
+            Simulation::run_with(iz_cfg, topo.clone(), pipeline_plan_for(len, &sinks)).unwrap();
         let mut fl_cfg = SimConfig::paper_defaults(ProtocolKind::Flooding, 5);
         fl_cfg.horizon = SimTime::from_secs(60);
         let fl = Simulation::run_with(fl_cfg, topo, pipeline_plan_for(len, &sinks)).unwrap();
@@ -279,11 +279,8 @@ fn unreachable_sink_abandons_instead_of_hanging() {
         .map(|i| spms_net::Point::new(5.0 * f64::from(i), 0.0))
         .chain((0..5).map(|i| spms_net::Point::new(300.0 + 5.0 * f64::from(i), 0.0)))
         .collect();
-    let topo = spms_net::Topology::new(
-        positions,
-        spms_net::Field::new(330.0, 10.0).unwrap(),
-    )
-    .unwrap();
+    let topo =
+        spms_net::Topology::new(positions, spms_net::Field::new(330.0, 10.0).unwrap()).unwrap();
     let mut config = SimConfig::paper_defaults(ProtocolKind::SpmsIz, 3);
     config.horizon = SimTime::from_secs(30);
     let source = NodeId::new(0);
@@ -340,8 +337,7 @@ fn interzone_survives_mobility_epochs() {
         });
         config.max_attempts = 8;
         config.horizon = SimTime::from_secs(60);
-        let m = Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[20]))
-            .unwrap();
+        let m = Simulation::run_with(config, pipeline_topology(), pipeline_plan(&[20])).unwrap();
         delivered += m.deliveries;
         expected += m.deliveries_expected;
         epochs += m.mobility_epochs;

@@ -59,7 +59,10 @@ fn spms_outlives_spin_under_equal_budgets() {
     for seed in [3u64, 4, 5] {
         let spms = lifetime_run(ProtocolKind::Spms, Some(3.0), 0.0, seed);
         let spin = lifetime_run(ProtocolKind::Spin, Some(3.0), 0.0, seed);
-        assert!(spin.nodes_dead > 0, "seed {seed}: budget chosen to bite SPIN");
+        assert!(
+            spin.nodes_dead > 0,
+            "seed {seed}: budget chosen to bite SPIN"
+        );
         assert!(
             spms.deliveries >= 10 * spin.deliveries,
             "seed {seed}: SPMS {} vs SPIN {} deliveries",

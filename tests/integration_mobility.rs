@@ -68,11 +68,9 @@ fn breakeven_direction_holds_in_simulation() {
     let spin = run(ProtocolKind::Spin, 5, 400);
     let spms = run(ProtocolKind::Spms, 5, 400);
     let spms_fast = run(ProtocolKind::Spms, 5, 150);
-    let savings_slow =
-        1.0 - spms.energy_per_packet_uj() / spin.energy_per_packet_uj();
+    let savings_slow = 1.0 - spms.energy_per_packet_uj() / spin.energy_per_packet_uj();
     let spin_fast = run(ProtocolKind::Spin, 5, 150);
-    let savings_fast =
-        1.0 - spms_fast.energy_per_packet_uj() / spin_fast.energy_per_packet_uj();
+    let savings_fast = 1.0 - spms_fast.energy_per_packet_uj() / spin_fast.energy_per_packet_uj();
     assert!(
         savings_fast < savings_slow,
         "more mobility must erode savings: fast {savings_fast:.3} vs slow {savings_slow:.3}"

@@ -5,9 +5,7 @@
 //! after advertising. These tests reproduce each step of those narratives
 //! through the real engine.
 
-use spms::{
-    Generation, Interest, MetaId, ProtocolKind, SimConfig, Simulation, TrafficPlan,
-};
+use spms::{Generation, Interest, MetaId, ProtocolKind, SimConfig, Simulation, TrafficPlan};
 use spms_kernel::SimTime;
 use spms_net::{Field, NodeId, Point, Topology};
 use spms_workloads::traffic::single_source;
@@ -74,8 +72,7 @@ fn section_3_3_case_i_both_b_and_c_get_the_data() {
     .unwrap();
     use spms_phy::EnergyCategory;
     assert!(
-        m.energy.get(EnergyCategory::Data).value()
-            < spin.energy.get(EnergyCategory::Data).value()
+        m.energy.get(EnergyCategory::Data).value() < spin.energy.get(EnergyCategory::Data).value()
     );
 }
 
@@ -144,12 +141,7 @@ fn figure_2_case_1_relay_fails_before_advertising() {
     // C (node 3) is now 15 m from r1 and 15 m from A-to-C path relays; its
     // shortest path to r1 is direct (no relay in between at min power).
     let config = SimConfig::paper_defaults(ProtocolKind::Spms, 4);
-    let m = Simulation::run_with(
-        config,
-        topo_without_r2,
-        one_item_plan(NodeId::new(0)),
-    )
-    .unwrap();
+    let m = Simulation::run_with(config, topo_without_r2, one_item_plan(NodeId::new(0))).unwrap();
     assert_eq!(m.delivery_ratio(), 1.0, "C recovers without r2");
 }
 

@@ -49,10 +49,7 @@ fn dbf_matches_oracle_on_random_topologies() {
             for dest in want {
                 let a = table.best(dest).unwrap();
                 let b = dbf.table(node).best(dest).unwrap();
-                assert!(
-                    (a.cost - b.cost).abs() < 1e-9,
-                    "seed {seed}: {node}→{dest}"
-                );
+                assert!((a.cost - b.cost).abs() < 1e-9, "seed {seed}: {node}→{dest}");
             }
         }
     }

@@ -11,8 +11,11 @@ use spms_routing::{oracle_tables, DbfEngine};
 use spms_workloads::traffic;
 
 proptest! {
+    // Fixed seed + bounded case count: tier-1 must explore the same cases on
+    // every run, on every machine.
     #![proptest_config(ProptestConfig {
         cases: 24,
+        rng_seed: 0x5EED_2004_D51F,
         ..ProptestConfig::default()
     })]
 

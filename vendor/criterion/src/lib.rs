@@ -1,0 +1,135 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the criterion API its 14 bench targets use: [`Criterion`],
+//! `bench_function`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the positional and
+//! the `name = ..; config = ..; targets = ..` forms).
+//!
+//! Measurement is intentionally simple — a warm-up call followed by
+//! `sample_size` timed samples, reporting min/mean — because the repo's
+//! tier-1 gate only requires `cargo bench --no-run` to compile everything;
+//! actually running a bench still prints honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target measurement budget per benchmark (builder style). The vendored
+    /// harness treats this as a cap: sampling stops once it is exhausted.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        let budget = Instant::now();
+        // Warm-up sample, then timed samples until count or budget runs out.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        report(id, &b.samples);
+        self
+    }
+}
+
+/// Times one sample of the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `body` once and record the sample. The return value is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        black_box(body());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<48} time: [min {:>12.3?}  mean {:>12.3?}]  ({} samples)",
+        min,
+        mean,
+        samples.len()
+    );
+}
+
+/// Declare a bench group: either `criterion_group!(name, target, ...)` or the
+/// braced `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

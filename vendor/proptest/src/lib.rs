@@ -1,0 +1,182 @@
+//! Offline, deterministic drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of the proptest API its test suites actually use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - range strategies over integers and floats, tuple strategies,
+//!   [`prelude::any`] for `Arbitrary` types, and `prop::collection::vec`,
+//! - [`test_runner::ProptestConfig`] with a **fixed RNG seed by default**, so
+//!   every run of the suite explores exactly the same cases (tier-1 never
+//!   flakes; no shrinking is needed because failures reproduce verbatim).
+//!
+//! Unlike upstream proptest there is no shrinking and no persistence file:
+//! case generation is a pure function of `(rng_seed, test name, case index)`.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirror (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic property-test entry point.
+///
+/// Supports the two shapes used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in 0u64..10, y in 1.0f64..2.0) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($tail:tt)*) => {
+        $crate::__proptest_items! { ($config); $($tail)* }
+    };
+    ($($tail:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($tail)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    config.rng_seed,
+                    stringify!($name),
+                );
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    // Snapshot so a failing case can replay its exact inputs
+                    // for the report; the happy path pays nothing. The body
+                    // may move its args, so they cannot be formatted after
+                    // the closure runs.
+                    let snapshot = rng.clone();
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(err) if err.is_rejection() => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest `{}`: {} cases rejected by prop_assume! \
+                                     (max_global_rejects = {}) — the property is vacuous",
+                                    stringify!($name), rejected, config.max_global_rejects,
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(err) => {
+                            let mut replay = snapshot;
+                            $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut replay);)+
+                            panic!(
+                                concat!(
+                                    "proptest `{}` failed (case {}/{}): {}\n  inputs: ",
+                                    $(stringify!($arg), " = {:?}, ",)+ ""
+                                ),
+                                stringify!($name), passed, config.cases, err, $(&$arg,)+
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the case (not the
+/// whole process) with formatted context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body. Operands are only
+/// borrowed, so they stay usable afterwards.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Skip the current case when a precondition does not hold. A rejected case
+/// does not count toward `cases`; the runner draws a fresh one, and panics if
+/// more than `max_global_rejects` cases are rejected (a vacuous property).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
