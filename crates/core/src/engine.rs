@@ -79,6 +79,15 @@ pub struct Simulation {
     topology: Topology,
     zones: ZoneTable,
     tables: Vec<RoutingTable>,
+    /// The persistent distributed-routing engine (Distributed mode only).
+    /// Owning it across events is what makes incremental re-convergence
+    /// possible: its tables and triggered-update state survive mobility
+    /// epochs instead of being rebuilt from scratch.
+    dbf: Option<DbfEngine>,
+    /// The alive mask as of the last DBF convergence. Nodes whose liveness
+    /// flipped since then without a re-convergence (failures ridden out on
+    /// alternative routes) are invalidated at the next incremental rebuild.
+    dbf_alive: Vec<bool>,
     protocols: Vec<NodeProtocol>,
     alive: Vec<bool>,
     down_gen: Vec<u32>,
@@ -213,6 +222,8 @@ impl Simulation {
 
         let mut sim = Simulation {
             tables: (0..n).map(|_| RoutingTable::new(config.k_routes)).collect(),
+            dbf: None,
+            dbf_alive: vec![true; n],
             protocols,
             alive: vec![true; n],
             down_gen: vec![0; n],
@@ -253,7 +264,7 @@ impl Simulation {
             zones,
         };
 
-        sim.build_routing(true);
+        sim.build_routing();
 
         for (i, g) in sim.plan.generations.iter().enumerate() {
             sim.events.schedule(g.at, Event::Generate(i));
@@ -338,9 +349,13 @@ impl Simulation {
     // ------------------------------------------------------------------
     // Routing.
 
-    /// (Re)builds routing tables. `initial` marks the pre-traffic build.
-    /// SPIN and flooding keep empty tables; SPMS uses the configured mode.
-    fn build_routing(&mut self, initial: bool) {
+    /// (Re)builds routing tables from scratch. SPIN and flooding keep empty
+    /// tables; SPMS uses the configured mode. In Distributed mode the
+    /// persistent [`DbfEngine`] is reset and fully re-converged — the
+    /// reference path that mobility epochs replace with
+    /// [`Simulation::reconverge_incrementally`] when
+    /// `config.incremental_routing` is set.
+    fn build_routing(&mut self) {
         if !matches!(
             self.config.protocol,
             ProtocolKind::Spms | ProtocolKind::SpmsIz
@@ -349,58 +364,118 @@ impl Simulation {
         }
         match self.config.routing_mode {
             RoutingMode::Oracle => {
+                // Deliberately unmasked: the oracle is a static routing
+                // fabric installed instantly and for free, and nothing
+                // triggers an Oracle rebuild when a node repairs — masking
+                // here would strand repaired nodes (empty tables, no
+                // inbound routes) until the next mobility epoch. Liveness
+                // is enforced where it belongs: the engine drops frames
+                // to/from dead nodes at delivery time and protocols fail
+                // over to their alternative routes, the paper's model.
                 self.tables = oracle_tables(&self.zones, self.config.k_routes);
+                self.dbf = None;
             }
             RoutingMode::Distributed => {
-                let mut dbf = DbfEngine::new(&self.zones, self.config.k_routes);
+                let mut dbf = self
+                    .dbf
+                    .take()
+                    .unwrap_or_else(|| DbfEngine::new(&self.zones, self.config.k_routes));
+                dbf.reset(&self.zones, &self.alive);
                 let stats = dbf.run_to_convergence_masked(&self.zones, &self.alive);
-                self.tables = dbf.into_tables();
-                // Charge each node's vector broadcasts (sent at the zone /
-                // ADV power level) to the Routing category.
-                let adv_level = self.zones.adv_level();
-                let power = self.config.radio.power_mw(adv_level);
-                for (i, &bytes) in stats.per_node_bytes.iter().enumerate() {
-                    if bytes == 0 {
-                        continue;
-                    }
-                    let air = self.config.mac.tx_duration(bytes as u32);
-                    self.meters[i].charge(
-                        EnergyCategory::Routing,
-                        MicroJoules::from_power_duration(power, air),
-                    );
-                }
-                // Convergence pause: data transfer waits for the exchange
-                // ("the nodes start transmitting after the routing
-                // converges"). One round ≈ one max-power channel access plus
-                // the mean vector's air time.
-                let max_density = (0..self.zones.len())
-                    .map(|i| {
-                        self.zones
-                            .density_at_level(NodeId::new(i as u32), adv_level)
-                    })
-                    .max()
-                    .unwrap_or(1) as usize;
-                let avg_entries =
-                    stats.entries_sent.checked_div(stats.messages).unwrap_or(0) as usize;
-                let wire = DbfWireFormat::default();
-                let round_time = self.config.mac.quadratic_term(max_density)
-                    + self.config.mac.tx_duration(wire.message_bytes(avg_entries));
-                let converge = round_time * u64::from(stats.rounds);
-                self.pause_until = self.now + converge;
-                self.routing_cost.executions += 1;
-                self.routing_cost.rounds += u64::from(stats.rounds);
-                self.routing_cost.messages += stats.messages;
-                self.routing_cost.bytes += stats.bytes_total;
-                self.routing_cost.converge_time += converge;
-                let _ = initial;
-                self.trace.record_with(self.now, "dbf", || {
-                    format!(
-                        "DBF: {} rounds, {} msgs, {} B, pause {}",
-                        stats.rounds, stats.messages, stats.bytes_total, converge
-                    )
-                });
+                self.dbf = Some(dbf);
+                self.dbf_alive = self.alive.clone();
+                self.charge_dbf_run(&stats, false);
             }
         }
+    }
+
+    /// Re-converges only the zones that `changed` (moved, failed, or
+    /// repaired nodes) can have disturbed, using the delta exchange on the
+    /// persistent engine. `old_zones` is the zone table before the event
+    /// (identical to the current one for pure liveness flips).
+    ///
+    /// Liveness flips the engine was *not* told about at the time (failures
+    /// and battery deaths ride on alternative routes unless
+    /// `reconverge_on_failure` is set) are folded into `changed` here, so
+    /// the delta rebuild invalidates their zones too and the tables stay
+    /// what a full rebuild under the current mask would produce.
+    /// `old_zones` is `None` for pure liveness flips (zones unchanged).
+    fn reconverge_incrementally(&mut self, old_zones: Option<&ZoneTable>, changed: &[NodeId]) {
+        let Some(dbf) = self.dbf.as_mut() else {
+            return;
+        };
+        let mut changed: Vec<NodeId> = changed.to_vec();
+        let mut in_changed = vec![false; self.alive.len()];
+        for &c in &changed {
+            in_changed[c.index()] = true;
+        }
+        for (i, (&now_up, &at_last_run)) in self.alive.iter().zip(self.dbf_alive.iter()).enumerate()
+        {
+            if now_up != at_last_run && !in_changed[i] {
+                changed.push(NodeId::new(i as u32));
+            }
+        }
+        let stats = dbf.update_topology(
+            old_zones.unwrap_or(&self.zones),
+            &self.zones,
+            &changed,
+            &self.alive,
+        );
+        self.dbf_alive = self.alive.clone();
+        self.charge_dbf_run(&stats, true);
+    }
+
+    /// Charges a DBF execution's per-node broadcast energy (at the zone/ADV
+    /// power level) to the Routing category, pauses the data plane until
+    /// the exchange converges, and folds the stats into the run totals.
+    fn charge_dbf_run(&mut self, stats: &spms_routing::DbfStats, incremental: bool) {
+        let adv_level = self.zones.adv_level();
+        let power = self.config.radio.power_mw(adv_level);
+        for (i, &bytes) in stats.per_node_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let air = self.config.mac.tx_duration(bytes as u32);
+            self.meters[i].charge(
+                EnergyCategory::Routing,
+                MicroJoules::from_power_duration(power, air),
+            );
+        }
+        // Convergence pause: data transfer waits for the exchange ("the
+        // nodes start transmitting after the routing converges"). One round
+        // ≈ one max-power channel access plus the mean vector's air time.
+        let max_density = (0..self.zones.len())
+            .map(|i| {
+                self.zones
+                    .density_at_level(NodeId::new(i as u32), adv_level)
+            })
+            .max()
+            .unwrap_or(1) as usize;
+        let avg_entries = stats.entries_sent.checked_div(stats.messages).unwrap_or(0) as usize;
+        let wire = DbfWireFormat::default();
+        let round_time = self.config.mac.quadratic_term(max_density)
+            + self.config.mac.tx_duration(wire.message_bytes(avg_entries));
+        let converge = round_time * u64::from(stats.rounds);
+        // Pauses only ever extend: a cheap delta re-convergence landing
+        // inside a longer still-running exchange must not release data
+        // traffic early.
+        self.pause_until = self.pause_until.max(self.now + converge);
+        self.routing_cost.executions += 1;
+        self.routing_cost.incremental_executions += u64::from(incremental);
+        self.routing_cost.rounds += u64::from(stats.rounds);
+        self.routing_cost.messages += stats.messages;
+        self.routing_cost.bytes += stats.bytes_total;
+        self.routing_cost.converge_time += converge;
+        self.trace.record_with(self.now, "dbf", || {
+            format!(
+                "DBF{}: {} rounds, {} msgs, {} B, pause {}",
+                if incremental { " (delta)" } else { "" },
+                stats.rounds,
+                stats.messages,
+                stats.bytes_total,
+                converge
+            )
+        });
     }
 
     // ------------------------------------------------------------------
@@ -520,6 +595,7 @@ impl Simulation {
         self.failures_injected += 1;
         self.trace
             .record_with(self.now, "fail", || format!("{node} down for {down_for}"));
+        self.reconverge_after_liveness_flip(node);
         self.events.schedule(
             self.now + down_for,
             Event::Repair {
@@ -529,6 +605,16 @@ impl Simulation {
         );
     }
 
+    /// Optional routing repair after a liveness flip: invalidate just the
+    /// failed/repaired node's zone on the persistent engine instead of
+    /// riding out the event on alternative routes.
+    fn reconverge_after_liveness_flip(&mut self, node: NodeId) {
+        if !self.config.reconverge_on_failure {
+            return;
+        }
+        self.reconverge_incrementally(None, &[node]);
+    }
+
     fn handle_repair(&mut self, node: NodeId, gen: u32) {
         if self.alive[node.index()] || self.down_gen[node.index()] != gen {
             return;
@@ -536,6 +622,7 @@ impl Simulation {
         self.alive[node.index()] = true;
         self.trace
             .record_with(self.now, "fail", || format!("{node} repaired"));
+        self.reconverge_after_liveness_flip(node);
         let actions = self.call_protocol(node, |p, v| p.on_repaired(v));
         self.process_actions(node, actions, SimTime::ZERO);
     }
@@ -582,18 +669,24 @@ impl Simulation {
             return;
         };
         MobilityProcess::apply(&epoch, &mut self.topology);
-        self.zones = ZoneTable::build(
+        let new_zones = ZoneTable::build(
             &self.topology,
             &self.config.radio,
             self.config.zone_radius_m,
         );
+        let old_zones = std::mem::replace(&mut self.zones, new_zones);
         self.mobility_epochs += 1;
         self.trace.record_with(self.now, "move", || {
             format!("mobility epoch: {} nodes moved", epoch.moves.len())
         });
         // "As nodes move, the routing tables have to be modified and no
         // packet transfer can take place until the routing tables converge."
-        self.build_routing(false);
+        if self.config.incremental_routing && self.dbf.is_some() {
+            let moved: Vec<NodeId> = epoch.moves.iter().map(|&(node, _)| node).collect();
+            self.reconverge_incrementally(Some(&old_zones), &moved);
+        } else {
+            self.build_routing();
+        }
         for i in 0..self.protocols.len() {
             if !self.alive[i] {
                 continue;
@@ -627,7 +720,10 @@ impl Simulation {
             node,
             now: self.now,
             zones: &self.zones,
-            routing: &self.tables[node.index()],
+            routing: match &self.dbf {
+                Some(dbf) => dbf.table(node),
+                None => &self.tables[node.index()],
+            },
             timeouts: self.timeouts,
             battery_frac: self.battery_frac(node),
             low_battery_threshold: self.config.low_battery_threshold,
@@ -658,6 +754,7 @@ impl Simulation {
         }
         self.trace
             .record_with(self.now, "dead", || format!("{node} battery depleted"));
+        self.reconverge_after_liveness_flip(node);
     }
 
     fn process_actions(&mut self, node: NodeId, actions: Vec<Action>, extra: SimTime) {
@@ -882,6 +979,92 @@ mod tests {
         assert!(m.routing.messages > 0);
         assert!(m.energy.get(EnergyCategory::Routing).value() > 0.0);
         assert_eq!(m.deliveries, 8);
+    }
+
+    #[test]
+    fn incremental_mobility_rebuild_is_cheaper_than_full() {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = single_source_plan(12, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 11);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility =
+            Some(spms_net::MobilityConfig::new(SimTime::from_millis(30), 0.1).unwrap());
+        config.incremental_routing = true;
+        let incremental = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        config.incremental_routing = false;
+        let full = Simulation::run_with(config, topo, plan).unwrap();
+
+        assert!(incremental.mobility_epochs > 0, "epochs must fire");
+        assert_eq!(
+            incremental.routing.incremental_executions, incremental.mobility_epochs,
+            "every epoch re-converges incrementally"
+        );
+        assert_eq!(
+            incremental.routing.executions,
+            1 + incremental.mobility_epochs
+        );
+        assert_eq!(full.routing.incremental_executions, 0);
+        assert_eq!(incremental.mobility_epochs, full.mobility_epochs);
+        assert!(
+            incremental.routing.bytes < full.routing.bytes,
+            "delta vectors must shrink the wire cost: {} vs {}",
+            incremental.routing.bytes,
+            full.routing.bytes
+        );
+        assert_eq!(incremental.deliveries, incremental.deliveries_expected);
+    }
+
+    #[test]
+    fn silent_failures_are_invalidated_at_the_next_epoch() {
+        // reconverge_on_failure = false (default): a failure is ridden out
+        // on alternative routes, but the next mobility epoch's incremental
+        // rebuild must fold the flipped nodes in — the run stays healthy
+        // and every epoch re-converges via the delta path.
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 17);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility =
+            Some(spms_net::MobilityConfig::new(SimTime::from_millis(40), 0.1).unwrap());
+        config.failures = Some(spms_net::FailureConfig {
+            mean_interarrival: SimTime::from_millis(20),
+            repair_min: SimTime::from_millis(10),
+            repair_max: SimTime::from_millis(30),
+        });
+        config.horizon = SimTime::from_secs(2);
+        let m = Simulation::run_with(config, topo, single_source_plan(5, 3)).unwrap();
+        assert!(m.mobility_epochs > 0);
+        assert!(m.failures_injected > 0);
+        assert_eq!(m.routing.incremental_executions, m.mobility_epochs);
+        assert_eq!(m.routing.executions, 1 + m.mobility_epochs);
+    }
+
+    #[test]
+    fn failure_reconvergence_repairs_routes_incrementally() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 13);
+        config.routing_mode = RoutingMode::Distributed;
+        config.reconverge_on_failure = true;
+        config.failures = Some(spms_net::FailureConfig {
+            mean_interarrival: SimTime::from_millis(5),
+            repair_min: SimTime::from_millis(5),
+            repair_max: SimTime::from_millis(15),
+        });
+        config.horizon = SimTime::from_secs(2);
+        let m = Simulation::run_with(config, topo, single_source_plan(4, 1)).unwrap();
+        assert!(m.failures_injected > 0);
+        assert!(
+            m.routing.incremental_executions > 0,
+            "liveness flips must trigger delta re-convergence"
+        );
+        assert!(m.energy.get(EnergyCategory::Routing).value() > 0.0);
+    }
+
+    #[test]
+    fn reconverge_on_failure_requires_incremental_routing() {
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        config.reconverge_on_failure = true;
+        config.incremental_routing = false;
+        assert!(config.validate().is_err());
     }
 
     #[test]

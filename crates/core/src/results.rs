@@ -10,6 +10,10 @@ use spms_phy::EnergyBreakdown;
 pub struct RoutingCost {
     /// DBF executions (1 for static runs in distributed mode).
     pub executions: u64,
+    /// How many of those executions were incremental delta re-convergences
+    /// (scoped to the zones a mobility or failure event touched) rather
+    /// than full from-scratch rebuilds.
+    pub incremental_executions: u64,
     /// Total synchronous rounds.
     pub rounds: u64,
     /// Total vector broadcasts.

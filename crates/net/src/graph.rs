@@ -79,8 +79,24 @@ impl Ord for HeapEntry {
 /// ```
 #[must_use]
 pub fn dijkstra(zones: &ZoneTable, dest: NodeId) -> Vec<Option<PathCost>> {
+    dijkstra_masked(zones, dest, &vec![true; zones.len()])
+}
+
+/// [`dijkstra`] with a liveness mask: dead nodes are skipped as sources,
+/// relays, and destination (a dead destination yields no routes at all) —
+/// the centralized counterpart of the masked distributed exchange.
+///
+/// # Panics
+///
+/// Panics if the mask length does not match the zone table.
+#[must_use]
+pub fn dijkstra_masked(zones: &ZoneTable, dest: NodeId, alive: &[bool]) -> Vec<Option<PathCost>> {
     let n = zones.len();
+    assert_eq!(alive.len(), n, "alive mask length mismatch");
     let mut best: Vec<Option<PathCost>> = vec![None; n];
+    if !alive[dest.index()] {
+        return best;
+    }
     let mut heap = BinaryHeap::new();
 
     // Work outward from the destination over symmetric links. `next_hop`
@@ -105,6 +121,9 @@ pub fn dijkstra(zones: &ZoneTable, dest: NodeId) -> Vec<Option<PathCost>> {
         }
         for link in zones.links(node) {
             let u = link.neighbor;
+            if !alive[u.index()] {
+                continue;
+            }
             // Relay constraint: u must have dest in its zone (or be dest's
             // direct neighbor, which the same predicate covers since node
             // iterates outward from dest).
@@ -204,6 +223,22 @@ mod tests {
         let to0 = dijkstra(&z, NodeId::new(0));
         assert_eq!(to0[1].unwrap().next_hop, NodeId::new(0));
         assert_eq!(to0[1].unwrap().hops, 1);
+    }
+
+    #[test]
+    fn masked_search_avoids_dead_relays() {
+        let z = zones(3, 1, 20.0);
+        let mut alive = vec![true; 3];
+        alive[1] = false;
+        let to0 = dijkstra_masked(&z, NodeId::new(0), &alive);
+        // Node 2 still reaches node 0 directly (10 m), never via dead node 1.
+        let pc = to0[2].unwrap();
+        assert_eq!(pc.next_hop, NodeId::new(0));
+        assert_eq!(pc.hops, 1);
+        assert!(to0[1].is_none(), "dead nodes hold no routes");
+        // A dead destination yields nothing.
+        let to1 = dijkstra_masked(&z, NodeId::new(1), &alive);
+        assert!(to1.iter().all(Option::is_none));
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod topology;
 mod zone;
 
 pub use failure::{FailureConfig, FailureEvent, FailureProcess};
-pub use graph::{dijkstra, PathCost};
+pub use graph::{dijkstra, dijkstra_masked, PathCost};
 pub use mobility::{MobilityConfig, MobilityEpoch, MobilityProcess};
 pub use node::NodeId;
 pub use point::Point;

@@ -138,12 +138,15 @@ impl ZoneTable {
     }
 
     /// Looks up the link from `node` to `neighbor`, if the latter is a zone
-    /// neighbor.
+    /// neighbor. Links are stored in neighbor-id order, so this is a binary
+    /// search — it sits on the DBF `receive` hot path, where every vector
+    /// entry triggers a zone-membership check.
     #[must_use]
     pub fn link_to(&self, node: NodeId, neighbor: NodeId) -> Option<&ZoneLink> {
-        self.links[node.index()]
-            .iter()
-            .find(|l| l.neighbor == neighbor)
+        let row = &self.links[node.index()];
+        row.binary_search_by(|l| l.neighbor.cmp(&neighbor))
+            .ok()
+            .map(|i| &row[i])
     }
 
     /// `true` if `b` is in `a`'s zone. Symmetric for a shared radio profile.
@@ -192,6 +195,25 @@ mod tests {
         // 20 m radius needs level index 2 (22.86 m).
         assert_eq!(zones.adv_level().index(), 2);
         assert_eq!(zones.zone_radius_m(), 20.0);
+    }
+
+    #[test]
+    fn links_are_sorted_and_binary_lookup_agrees_with_scan() {
+        let (topo, zones) = zones_13x13();
+        for a in topo.nodes() {
+            let row = zones.links(a);
+            assert!(
+                row.windows(2).all(|w| w[0].neighbor < w[1].neighbor),
+                "{a}: links must stay in neighbor-id order for binary search"
+            );
+            for b in topo.nodes() {
+                let scanned = row.iter().find(|l| l.neighbor == b);
+                assert_eq!(
+                    zones.link_to(a, b).map(|l| l.neighbor),
+                    scanned.map(|l| l.neighbor)
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,13 +6,42 @@
 //! quiesces when a round produces no changes. The paper quotes the classic
 //! `O(n·e)` convergence bound and argues zone sizes (5–50 nodes) keep it
 //! affordable — our stats let experiments verify that claim directly.
+//!
+//! Two execution modes share the table state:
+//!
+//! * **Full rebuild** ([`DbfEngine::reset`] +
+//!   [`DbfEngine::run_to_convergence_masked`]) — the paper's "re-execution
+//!   of the DBF": every table is cleared, direct routes are reinstalled, and
+//!   every node broadcasts its whole vector in round one. Kept as the
+//!   reference oracle the incremental mode is property-tested against.
+//! * **Incremental delta rebuild** ([`DbfEngine::update_topology`] /
+//!   [`DbfEngine::invalidate_zone`]) — real distance-vector deployments
+//!   propagate triggered *deltas*, not full vectors. The engine tracks a
+//!   per-node *dirty set* of destinations whose advertised route changed
+//!   since the node's last broadcast; a topology event invalidates only the
+//!   destinations it can actually affect, reseeds their direct routes, and
+//!   re-converges with vectors that carry only the changed entries.
+//!
+//! The incremental scheme leans on a structural fact of zone routing: a
+//! node only maintains destinations inside its own zone, and every relay on
+//! a path toward destination `d` must itself maintain `d` — so every route
+//! to `d` stays within `d`'s direct zone neighborhood. A node event (move,
+//! failure, repair) can therefore only disturb routes to the destinations
+//! adjacent to it (under the old or new zone table), and those routes only
+//! live at those destinations' direct neighbors. Wiping and reseeding that
+//! bounded set, then re-running the exchange restricted to it, provably
+//! reaches the same fixpoint as a from-scratch rebuild — bit-for-bit, which
+//! the `incremental` proptest suite asserts.
+
+use std::collections::BTreeSet;
 
 use spms_net::{NodeId, ZoneTable};
 
 use crate::{DbfWireFormat, RouteEntry, RoutingTable};
 
 /// A node's broadcast distance vector: its best known cost and hop count to
-/// each destination it maintains.
+/// each destination it maintains (all of them for a full-rebuild round, only
+/// the changed ones for a delta round).
 #[derive(Clone, Debug, PartialEq)]
 pub struct DbfVector {
     /// The sender.
@@ -36,6 +65,33 @@ pub struct DbfStats {
     pub per_node_bytes: Vec<u64>,
 }
 
+/// Reusable buffers for the synchronous exchange, hoisted out of the round
+/// loop so steady-state re-convergence allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// Broadcast flags for the current round.
+    pending: Vec<bool>,
+    /// Broadcast flags accumulated for the next round.
+    next_pending: Vec<bool>,
+    /// Snapshot arena: every entry broadcast this round, flattened.
+    snap_entries: Vec<(NodeId, f64, u32)>,
+    /// `(sender, start, end)` ranges into `snap_entries`.
+    snap_from: Vec<(NodeId, u32, u32)>,
+    /// All-alive mask for [`DbfEngine::run_to_convergence`].
+    all_alive: Vec<bool>,
+    /// Membership bitmap for the affected destination set.
+    affected: Vec<bool>,
+    /// The affected destinations, in id order.
+    dests: Vec<NodeId>,
+    /// Dense index of each affected destination (`u32::MAX` elsewhere).
+    dest_index: Vec<u32>,
+    /// `member[a * dests.len() + di]` — does node `a` maintain affected
+    /// destination `di` under the new zones? Precomputing the zone scoping
+    /// once per event turns the per-entry membership check on the delta
+    /// hot path into one array load instead of a binary search.
+    member: Vec<bool>,
+}
+
 /// The distributed Bellman-Ford engine: one routing table per node.
 ///
 /// # Example
@@ -56,8 +112,13 @@ pub struct DbfStats {
 #[derive(Clone, Debug)]
 pub struct DbfEngine {
     tables: Vec<RoutingTable>,
+    /// Per-node destinations whose table entries changed since the node's
+    /// last broadcast — the triggered-update ("delta") state. Empty at every
+    /// convergence point.
+    dirty: Vec<BTreeSet<NodeId>>,
     k: usize,
     wire: DbfWireFormat,
+    scratch: Scratch,
 }
 
 impl DbfEngine {
@@ -71,8 +132,10 @@ impl DbfEngine {
     pub fn new(zones: &ZoneTable, k: usize) -> Self {
         let mut engine = DbfEngine {
             tables: (0..zones.len()).map(|_| RoutingTable::new(k)).collect(),
+            dirty: vec![BTreeSet::new(); zones.len()],
             k,
             wire: DbfWireFormat::default(),
+            scratch: Scratch::default(),
         };
         engine.reset(zones, &vec![true; zones.len()]);
         engine
@@ -92,11 +155,16 @@ impl DbfEngine {
     }
 
     /// Reinstalls direct routes from scratch, skipping dead nodes — the
-    /// paper's "re-execution of the DBF" after mobility or failure.
+    /// paper's "re-execution of the DBF" after mobility or failure. This is
+    /// the full-rebuild reference path; [`DbfEngine::update_topology`] is
+    /// the incremental equivalent.
     pub fn reset(&mut self, zones: &ZoneTable, alive: &[bool]) {
         assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
         for table in &mut self.tables {
             table.clear();
+        }
+        for set in &mut self.dirty {
+            set.clear();
         }
         for a in 0..zones.len() {
             if !alive[a] {
@@ -129,19 +197,39 @@ impl DbfEngine {
         &self.tables[node.index()]
     }
 
-    /// All tables, indexed by node (consumed by the simulation engine).
+    /// Consumes the engine, yielding all tables indexed by node — a final
+    /// snapshot for analysis. This ends the engine's life on purpose: the
+    /// tables leave the incremental machinery (dirty sets, scratch) behind,
+    /// so they must not be fed back into another exchange.
     #[must_use]
     pub fn into_tables(self) -> Vec<RoutingTable> {
         self.tables
     }
 
-    /// Builds the distance vector `node` would broadcast now.
+    /// Builds the full distance vector `node` would broadcast now.
     #[must_use]
     pub fn vector_of(&self, node: NodeId) -> DbfVector {
+        let entries = self.tables[node.index()]
+            .iter()
+            .map(|(d, routes)| (d, routes[0].cost, routes[0].hops))
+            .collect();
+        DbfVector {
+            from: node,
+            entries,
+        }
+    }
+
+    /// Builds the *delta* vector `node` would broadcast now: only the
+    /// destinations whose entries changed since the node's last broadcast.
+    /// Destinations that were invalidated and have no route again yet are
+    /// silently omitted (their maintainers were invalidated by the same
+    /// event, so there is no stale state to withdraw).
+    #[must_use]
+    pub fn delta_vector_of(&self, node: NodeId) -> DbfVector {
         let table = &self.tables[node.index()];
-        let entries = table
-            .destinations()
-            .filter_map(|d| table.best(d).map(|e| (d, e.cost, e.hops)))
+        let entries = self.dirty[node.index()]
+            .iter()
+            .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops)))
             .collect();
         DbfVector {
             from: node,
@@ -150,14 +238,31 @@ impl DbfEngine {
     }
 
     /// Applies a received vector at `at`: relaxes `at`'s table with routes
-    /// via the sender. Returns `true` if the table changed.
+    /// via the sender and records any changed destination in `at`'s dirty
+    /// set (the trigger state for its next delta broadcast). Returns `true`
+    /// if the table changed.
     pub fn receive(&mut self, at: NodeId, vector: &DbfVector, zones: &ZoneTable) -> bool {
         let Some(link) = zones.link_to(at, vector.from) else {
             return false; // sender out of zone (stale broadcast after a move)
         };
-        let w = link.weight;
+        self.apply_entries(at, vector.from, link.weight, &vector.entries, zones)
+    }
+
+    /// Relaxation inner loop shared by both execution modes. `w` is the
+    /// receiver's link weight to the sender (symmetric for a shared radio
+    /// profile, so the broadcast loop can pass the sender-side weight).
+    fn apply_entries(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        w: f64,
+        entries: &[(NodeId, f64, u32)],
+        zones: &ZoneTable,
+    ) -> bool {
+        let table = &mut self.tables[at.index()];
+        let dirty = &mut self.dirty[at.index()];
         let mut changed = false;
-        for &(dest, cost, hops) in &vector.entries {
+        for &(dest, cost, hops) in entries {
             if dest == at {
                 continue;
             }
@@ -165,24 +270,33 @@ impl DbfEngine {
             if !zones.in_zone(at, dest) {
                 continue;
             }
-            changed |= self.tables[at.index()].offer(
+            if table.offer(
                 dest,
                 RouteEntry {
-                    via: vector.from,
+                    via: from,
                     cost: w + cost,
                     hops: hops + 1,
                 },
-            );
+            ) {
+                dirty.insert(dest);
+                changed = true;
+            }
         }
         changed
     }
 
     /// Runs synchronous rounds until quiescence with every node alive.
     pub fn run_to_convergence(&mut self, zones: &ZoneTable) -> DbfStats {
-        self.run_to_convergence_masked(zones, &vec![true; zones.len()])
+        let mut all_alive = std::mem::take(&mut self.scratch.all_alive);
+        all_alive.clear();
+        all_alive.resize(zones.len(), true);
+        let stats = self.run_to_convergence_masked(zones, &all_alive);
+        self.scratch.all_alive = all_alive;
+        stats
     }
 
-    /// Runs synchronous rounds until quiescence, excluding dead nodes.
+    /// Runs synchronous rounds until quiescence, excluding dead nodes — the
+    /// full-rebuild reference path.
     ///
     /// Triggered-update semantics: in round 1 every (alive) node broadcasts;
     /// thereafter only nodes whose table changed in the previous round do.
@@ -202,7 +316,9 @@ impl DbfEngine {
             per_node_bytes: vec![0; n],
             ..DbfStats::default()
         };
-        let mut pending: Vec<bool> = alive.to_vec();
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        pending.clear();
+        pending.extend_from_slice(alive);
         // Positive weights: path costs strictly increase with hops, so
         // convergence takes at most diameter+2 rounds; n+4 is a safe bound.
         let max_rounds = (n as u32).max(8) + 4;
@@ -210,33 +326,297 @@ impl DbfEngine {
         for _round in 0..max_rounds {
             stats.rounds += 1;
             if pending.iter().all(|&p| !p) {
+                self.scratch.pending = pending;
+                // A full convergence leaves no triggered updates behind.
+                for set in &mut self.dirty {
+                    set.clear();
+                }
                 return stats; // quiescent: nobody has updates to send
             }
-            // Snapshot the vectors of every broadcasting node.
-            let vectors: Vec<DbfVector> = (0..n)
-                .filter(|&i| pending[i] && alive[i])
-                .map(|i| self.vector_of(NodeId::new(i as u32)))
-                .collect();
-            let mut next_pending = vec![false; n];
-            for v in &vectors {
+            // Snapshot the vectors of every broadcasting node into the flat
+            // arena (reused across rounds — no per-vector allocations).
+            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+            snap_entries.clear();
+            snap_from.clear();
+            for i in 0..n {
+                if !(pending[i] && alive[i]) {
+                    continue;
+                }
+                let start = snap_entries.len() as u32;
+                snap_entries.extend(
+                    self.tables[i]
+                        .iter()
+                        .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
+                );
+                snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
+            }
+            let mut next_pending = std::mem::take(&mut self.scratch.next_pending);
+            next_pending.clear();
+            next_pending.resize(n, false);
+            for &(from, start, end) in &snap_from {
+                let entries = &snap_entries[start as usize..end as usize];
                 stats.messages += 1;
-                stats.entries_sent += v.entries.len() as u64;
-                let bytes = u64::from(self.wire.message_bytes(v.entries.len()));
+                stats.entries_sent += entries.len() as u64;
+                let bytes = u64::from(self.wire.message_bytes(entries.len()));
                 stats.bytes_total += bytes;
-                stats.per_node_bytes[v.from.index()] += bytes;
-                for link in zones.links(v.from) {
+                stats.per_node_bytes[from.index()] += bytes;
+                for link in zones.links(from) {
                     let to = link.neighbor;
                     if !alive[to.index()] {
                         continue;
                     }
-                    if self.receive(to, v, zones) {
+                    if self.apply_entries(to, from, link.weight, entries, zones) {
                         next_pending[to.index()] = true;
                     }
                 }
             }
-            pending = next_pending;
+            self.scratch.snap_entries = snap_entries;
+            self.scratch.snap_from = snap_from;
+            // Retire the drained flags buffer for reuse next round.
+            self.scratch.next_pending = std::mem::replace(&mut pending, next_pending);
         }
         panic!("DBF failed to converge within {max_rounds} rounds");
+    }
+
+    /// Incrementally re-converges after a node liveness event (failure or
+    /// repair) without touching zones the event cannot reach. `changed`
+    /// names the nodes whose liveness flipped; `alive` is the new mask.
+    /// Equivalent to [`DbfEngine::update_topology`] with identical old and
+    /// new zone tables.
+    pub fn invalidate_zone(
+        &mut self,
+        zones: &ZoneTable,
+        changed: &[NodeId],
+        alive: &[bool],
+    ) -> DbfStats {
+        self.update_topology(zones, zones, changed, alive)
+    }
+
+    /// Incrementally re-converges after a topology change: `changed` names
+    /// the nodes that moved (or whose liveness flipped), `old_zones` /
+    /// `new_zones` are the zone tables before and after the event, and
+    /// `alive` is the current liveness mask.
+    ///
+    /// Only the destinations a changed node is adjacent to (under either
+    /// zone table) can have gained, lost, or re-priced routes — every route
+    /// to a destination runs through that destination's direct neighbors.
+    /// Those destinations are invalidated at their maintainers, direct
+    /// routes are reseeded, and the delta exchange re-converges just that
+    /// slice of the network. Tables end bit-identical to a from-scratch
+    /// [`DbfEngine::reset`] + [`DbfEngine::run_to_convergence_masked`]
+    /// rebuild (property-tested), at a fraction of the cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone tables or the alive mask disagree on the node
+    /// count, or if the exchange fails to converge within the same bound as
+    /// the full rebuild.
+    pub fn update_topology(
+        &mut self,
+        old_zones: &ZoneTable,
+        new_zones: &ZoneTable,
+        changed: &[NodeId],
+        alive: &[bool],
+    ) -> DbfStats {
+        let n = new_zones.len();
+        assert_eq!(old_zones.len(), n, "zone table length mismatch");
+        assert_eq!(alive.len(), n, "alive mask length mismatch");
+        let mut stats = DbfStats {
+            per_node_bytes: vec![0; n],
+            ..DbfStats::default()
+        };
+
+        // Affected destinations: each changed node and everything adjacent
+        // to it before or after the event.
+        let mut affected = std::mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.resize(n, false);
+        for &c in changed {
+            affected[c.index()] = true;
+            for link in old_zones.links(c) {
+                affected[link.neighbor.index()] = true;
+            }
+            for link in new_zones.links(c) {
+                affected[link.neighbor.index()] = true;
+            }
+        }
+        // Pending triggered updates (e.g. manual `receive` calls since the
+        // last convergence) are flushed by folding their destinations into
+        // the invalidated set: the wipe-and-reconverge re-derives those
+        // routes from the actual topology, and the delta rounds can assume
+        // every dirty destination has a dense index.
+        for set in &self.dirty {
+            for &d in set {
+                affected[d.index()] = true;
+            }
+        }
+        let mut dests = std::mem::take(&mut self.scratch.dests);
+        dests.clear();
+        dests.extend(
+            (0..n)
+                .filter(|&i| affected[i])
+                .map(|i| NodeId::new(i as u32)),
+        );
+
+        // A changed node that is down holds no routes at all.
+        for &c in changed {
+            if !alive[c.index()] {
+                self.tables[c.index()].clear();
+                self.dirty[c.index()].clear();
+            }
+        }
+
+        // Wipe every maintainer's routes to the affected destinations, then
+        // reseed the surviving direct routes. Maintainers of `d` are exactly
+        // `d`'s zone neighbors (old neighbors may hold routes that must go;
+        // new neighbors get the fresh seeds).
+        for &d in &dests {
+            for link in old_zones.links(d) {
+                let a = link.neighbor.index();
+                if alive[a] {
+                    self.tables[a].remove_dest(d);
+                }
+            }
+            for link in new_zones.links(d) {
+                let a = link.neighbor.index();
+                if alive[a] {
+                    self.tables[a].remove_dest(d);
+                }
+            }
+            if !alive[d.index()] {
+                continue; // nobody routes to a dead destination
+            }
+            for link in new_zones.links(d) {
+                let a = link.neighbor.index();
+                if !alive[a] {
+                    continue;
+                }
+                // Link weights are symmetric (shared radio profile), so the
+                // d→a weight doubles as a's direct cost to d.
+                if self.tables[a].offer(
+                    d,
+                    RouteEntry {
+                        via: d,
+                        cost: link.weight,
+                        hops: 1,
+                    },
+                ) {
+                    self.dirty[a].insert(d);
+                }
+            }
+        }
+        // Precompute the zone scoping for the delta rounds: every entry the
+        // delta exchange carries targets an affected destination, so one
+        // dense (node × affected-dest) bitmap replaces the per-entry
+        // `in_zone` lookup. Self-links are absent by construction, which
+        // also subsumes the `dest == at` skip.
+        let nd = dests.len();
+        let mut dest_index = std::mem::take(&mut self.scratch.dest_index);
+        dest_index.clear();
+        dest_index.resize(n, u32::MAX);
+        let mut member = std::mem::take(&mut self.scratch.member);
+        member.clear();
+        member.resize(n * nd, false);
+        for (di, &d) in dests.iter().enumerate() {
+            dest_index[d.index()] = di as u32;
+            for link in new_zones.links(d) {
+                member[link.neighbor.index() * nd + di] = true;
+            }
+        }
+        self.scratch.affected = affected;
+        self.scratch.dests = dests;
+        self.scratch.dest_index = dest_index;
+        self.scratch.member = member;
+
+        self.run_delta_rounds(new_zones, alive, &mut stats);
+        stats
+    }
+
+    /// Delta rounds: only nodes with a non-empty dirty set broadcast, and
+    /// their vectors carry only the dirty destinations. Quiesces when every
+    /// dirty set drains.
+    fn run_delta_rounds(&mut self, zones: &ZoneTable, alive: &[bool], stats: &mut DbfStats) {
+        let n = zones.len();
+        let nd = self.scratch.dests.len();
+        let dest_index = std::mem::take(&mut self.scratch.dest_index);
+        let member = std::mem::take(&mut self.scratch.member);
+        let max_rounds = (n as u32).max(8) + 4;
+        for _round in 0..max_rounds {
+            stats.rounds += 1;
+            if self.dirty.iter().all(BTreeSet::is_empty) {
+                self.scratch.dest_index = dest_index;
+                self.scratch.member = member;
+                return; // quiescent: no triggered updates left
+            }
+            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+            snap_entries.clear();
+            snap_from.clear();
+            for (i, &up) in alive.iter().enumerate() {
+                if self.dirty[i].is_empty() {
+                    continue;
+                }
+                if !up {
+                    self.dirty[i].clear();
+                    continue;
+                }
+                let start = snap_entries.len() as u32;
+                let table = &self.tables[i];
+                snap_entries.extend(
+                    self.dirty[i]
+                        .iter()
+                        .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
+                );
+                self.dirty[i].clear();
+                // An all-withdrawn delta has nothing to say: the neighbors
+                // were invalidated by the same event, so silence is correct.
+                if snap_entries.len() as u32 == start {
+                    continue;
+                }
+                snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
+            }
+            for &(from, start, end) in &snap_from {
+                let entries = &snap_entries[start as usize..end as usize];
+                stats.messages += 1;
+                stats.entries_sent += entries.len() as u64;
+                let bytes = u64::from(self.wire.message_bytes(entries.len()));
+                stats.bytes_total += bytes;
+                stats.per_node_bytes[from.index()] += bytes;
+                for link in zones.links(from) {
+                    let to = link.neighbor;
+                    if !alive[to.index()] {
+                        continue;
+                    }
+                    // Scoped relaxation: every delta entry targets an
+                    // affected destination, so zone membership is one
+                    // bitmap load (self-routes are excluded because a node
+                    // never links to itself).
+                    let base = to.index() * nd;
+                    let table = &mut self.tables[to.index()];
+                    let dirty = &mut self.dirty[to.index()];
+                    for &(dest, cost, hops) in entries {
+                        let di = dest_index[dest.index()] as usize;
+                        if !member[base + di] {
+                            continue;
+                        }
+                        if table.offer(
+                            dest,
+                            RouteEntry {
+                                via: from,
+                                cost: link.weight + cost,
+                                hops: hops + 1,
+                            },
+                        ) {
+                            dirty.insert(dest);
+                        }
+                    }
+                }
+            }
+            self.scratch.snap_entries = snap_entries;
+            self.scratch.snap_from = snap_from;
+        }
+        panic!("incremental DBF failed to converge within {max_rounds} rounds");
     }
 }
 
@@ -338,5 +718,150 @@ mod tests {
             entries: vec![(NodeId::new(1), 0.01, 1)],
         };
         assert!(!dbf.receive(NodeId::new(0), &fake, &z));
+    }
+
+    #[test]
+    fn stray_triggered_updates_are_flushed_by_the_next_invalidation() {
+        // A manual receive() perturbs a table (and its dirty set) outside
+        // any invalidation. The next incremental update must flush it —
+        // re-deriving the route from the real topology instead of
+        // panicking on or propagating the stray entry.
+        let z = zones(5, 5);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        let fake = DbfVector {
+            from: NodeId::new(1),
+            entries: vec![(NodeId::new(2), 0.0001, 1)],
+        };
+        assert!(dbf.receive(NodeId::new(0), &fake, &z));
+        // Invalidate a far-away node: dest 2 is not adjacent to node 24.
+        let alive = vec![true; z.len()];
+        dbf.invalidate_zone(&z, &[NodeId::new(24)], &alive);
+        let mut reference = DbfEngine::new(&z, 2);
+        reference.run_to_convergence(&z);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn receive_tracks_dirty_destinations_for_the_next_delta() {
+        let z = zones(3, 1);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        // Converged: nothing to say.
+        assert!(dbf.delta_vector_of(NodeId::new(0)).entries.is_empty());
+        // A (fabricated) cheaper relay route dirties exactly that entry.
+        let v = DbfVector {
+            from: NodeId::new(1),
+            entries: vec![(NodeId::new(2), 0.001, 1)],
+        };
+        assert!(dbf.receive(NodeId::new(0), &v, &z));
+        let delta = dbf.delta_vector_of(NodeId::new(0));
+        assert_eq!(delta.entries.len(), 1);
+        assert_eq!(delta.entries[0].0, NodeId::new(2));
+    }
+
+    #[test]
+    fn no_op_invalidation_quiesces_in_one_silent_round() {
+        let z = zones(4, 4);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        // "Invalidate" a node that did not actually change: the wipe and
+        // reseed re-derive the same tables and the exchange stays local.
+        let alive = vec![true; z.len()];
+        let stats = dbf.invalidate_zone(&z, &[NodeId::new(5)], &alive);
+        let mut reference = DbfEngine::new(&z, 2);
+        reference.run_to_convergence(&z);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "node {node}");
+        }
+        // Far cheaper than the full rebuild's all-nodes rounds.
+        assert!(stats.messages < (z.len() as u64) * u64::from(stats.rounds));
+    }
+
+    #[test]
+    fn kill_and_revive_match_full_rebuild() {
+        let z = zones(5, 5);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.run_to_convergence(&z);
+        let mut alive = vec![true; z.len()];
+
+        alive[12] = false; // kill the center
+        dbf.invalidate_zone(&z, &[NodeId::new(12)], &alive);
+        let mut reference = DbfEngine::new(&z, 2);
+        reference.reset(&z, &alive);
+        reference.run_to_convergence_masked(&z, &alive);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "dead: node {node}");
+        }
+
+        alive[12] = true; // and bring it back
+        dbf.invalidate_zone(&z, &[NodeId::new(12)], &alive);
+        let mut reference = DbfEngine::new(&z, 2);
+        reference.reset(&z, &alive);
+        reference.run_to_convergence_masked(&z, &alive);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "back: node {node}");
+        }
+    }
+
+    #[test]
+    fn single_move_matches_full_rebuild() {
+        let mut topo = placement::grid(5, 5, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let old_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let mut dbf = DbfEngine::new(&old_zones, 2);
+        dbf.run_to_convergence(&old_zones);
+
+        let moved = NodeId::new(7);
+        topo.move_node(moved, spms_net::Point::new(19.0, 17.0));
+        let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; new_zones.len()];
+        let stats = dbf.update_topology(&old_zones, &new_zones, &[moved], &alive);
+        assert!(stats.messages > 0);
+        assert!(stats.bytes_total > 0);
+        assert_eq!(
+            stats.per_node_bytes.iter().sum::<u64>(),
+            stats.bytes_total,
+            "per-node byte accounting must add up"
+        );
+
+        let mut reference = DbfEngine::new(&new_zones, 2);
+        reference.run_to_convergence(&new_zones);
+        for i in 0..new_zones.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn delta_costs_less_than_full_rebuild() {
+        let mut topo = placement::grid(7, 7, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let old_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let mut dbf = DbfEngine::new(&old_zones, 2);
+        dbf.run_to_convergence(&old_zones);
+
+        let moved = NodeId::new(3);
+        topo.move_node(moved, spms_net::Point::new(30.0, 30.0));
+        let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; new_zones.len()];
+        let delta = dbf.update_topology(&old_zones, &new_zones, &[moved], &alive);
+
+        let mut full = DbfEngine::new(&new_zones, 2);
+        full.reset(&new_zones, &alive);
+        let full_stats = full.run_to_convergence_masked(&new_zones, &alive);
+        assert!(
+            delta.entries_sent < full_stats.entries_sent / 2,
+            "delta {} vs full {}",
+            delta.entries_sent,
+            full_stats.entries_sent
+        );
+        assert!(delta.bytes_total < full_stats.bytes_total);
     }
 }

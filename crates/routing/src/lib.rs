@@ -11,15 +11,25 @@
 //!
 //! * [`RoutingTable`] / [`RouteEntry`] — per-destination lists of up to `k`
 //!   next-hop alternatives ordered by cost (the paper's implementation keeps
-//!   the shortest and second-shortest path, `k = 2`),
+//!   the shortest and second-shortest path, `k = 2`), stored in a dense
+//!   arena (sorted destination vector + flat `k`-slot blocks) rather than a
+//!   per-entry map,
 //! * [`DbfEngine`] — the distance-vector exchange itself, run in synchronous
 //!   rounds until quiescence, with message/byte accounting so the simulation
 //!   can charge the routing-table-formation energy the paper includes in its
-//!   mobility results (Figure 12),
-//! * [`oracle_tables`] — centralized construction of the same tables from
-//!   the Dijkstra oracle, used to cross-check the distributed algorithm and
-//!   as a fast path for static failure-free experiments,
-//! * [`DbfWireFormat`] — the byte-size model for distance-vector packets.
+//!   mobility results (Figure 12). Besides the full rebuild it supports
+//!   *incremental delta re-convergence* ([`DbfEngine::update_topology`] /
+//!   [`DbfEngine::invalidate_zone`]): a topology event invalidates only the
+//!   destinations it can reach and the exchange propagates only the changed
+//!   entries, reaching the exact same fixpoint as a from-scratch rebuild at
+//!   a fraction of the cost,
+//! * [`oracle_tables`] / [`oracle_tables_masked`] — centralized construction
+//!   of the same tables from the Dijkstra oracle, used to cross-check the
+//!   distributed algorithm and as a fast path for static failure-free
+//!   experiments,
+//! * [`DbfWireFormat`] — the byte-size model for distance-vector packets
+//!   (full and delta messages share the layout: a header plus per-entry
+//!   triples, so delta savings show up directly in the byte accounting).
 //!
 //! # Example
 //!
@@ -47,6 +57,6 @@ mod table;
 mod wire;
 
 pub use dbf::{DbfEngine, DbfStats, DbfVector};
-pub use oracle::oracle_tables;
+pub use oracle::{oracle_tables, oracle_tables_masked};
 pub use table::{RouteEntry, RoutingTable};
 pub use wire::DbfWireFormat;

@@ -7,7 +7,7 @@
 //! distributed exchange against, and (b) a fast path for static failure-free
 //! experiments where simulating the message exchange changes nothing.
 
-use spms_net::{dijkstra, NodeId, ZoneTable};
+use spms_net::{dijkstra_masked, NodeId, ZoneTable};
 
 use crate::{RouteEntry, RoutingTable};
 
@@ -39,15 +39,31 @@ use crate::{RouteEntry, RoutingTable};
 /// ```
 #[must_use]
 pub fn oracle_tables(zones: &ZoneTable, k: usize) -> Vec<RoutingTable> {
+    oracle_tables_masked(zones, k, &vec![true; zones.len()])
+}
+
+/// [`oracle_tables`] with a liveness mask: dead nodes get empty tables,
+/// hold no routes, and relay nothing — the centralized reference for the
+/// masked and incremental DBF paths.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the mask length does not match.
+#[must_use]
+pub fn oracle_tables_masked(zones: &ZoneTable, k: usize, alive: &[bool]) -> Vec<RoutingTable> {
     assert!(k > 0, "k must be at least 1");
     let n = zones.len();
+    assert_eq!(alive.len(), n, "alive mask length mismatch");
     let mut tables: Vec<RoutingTable> = (0..n).map(|_| RoutingTable::new(k)).collect();
 
     for d_idx in 0..n {
+        if !alive[d_idx] {
+            continue; // nobody routes to a dead destination
+        }
         let dest = NodeId::new(d_idx as u32);
-        let dist = dijkstra(zones, dest);
+        let dist = dijkstra_masked(zones, dest, alive);
         for (a_idx, table) in tables.iter_mut().enumerate() {
-            if a_idx == d_idx {
+            if a_idx == d_idx || !alive[a_idx] {
                 continue;
             }
             let a = NodeId::new(a_idx as u32);
@@ -57,6 +73,9 @@ pub fn oracle_tables(zones: &ZoneTable, k: usize) -> Vec<RoutingTable> {
             }
             for link in zones.links(a) {
                 let j = link.neighbor;
+                if !alive[j.index()] {
+                    continue;
+                }
                 let (tail_cost, tail_hops) = if j == dest {
                     (0.0, 0)
                 } else {
@@ -83,7 +102,7 @@ pub fn oracle_tables(zones: &ZoneTable, k: usize) -> Vec<RoutingTable> {
 mod tests {
     use super::*;
     use crate::DbfEngine;
-    use spms_net::placement;
+    use spms_net::{dijkstra, placement};
     use spms_phy::RadioProfile;
 
     fn zones(cols: usize, rows: usize, radius: f64) -> ZoneTable {
@@ -139,6 +158,33 @@ mod tests {
     fn oracle_matches_dbf_small_radius() {
         // 10 m zones: sparser graphs, fewer relays.
         assert_tables_agree(&zones(5, 5, 10.0), 2);
+    }
+
+    #[test]
+    fn masked_oracle_matches_masked_dbf() {
+        let z = zones(5, 5, 20.0);
+        let mut alive = vec![true; z.len()];
+        alive[12] = false;
+        alive[3] = false;
+        let oracle = oracle_tables_masked(&z, 2, &alive);
+        let mut dbf = DbfEngine::new(&z, 2);
+        dbf.reset(&z, &alive);
+        dbf.run_to_convergence_masked(&z, &alive);
+        for (i, want) in oracle.iter().enumerate() {
+            let node = NodeId::new(i as u32);
+            let got = dbf.table(node);
+            let wd: Vec<NodeId> = want.destinations().collect();
+            let gd: Vec<NodeId> = got.destinations().collect();
+            assert_eq!(wd, gd, "node {node}: destination sets differ");
+            for d in wd {
+                for (x, y) in want.routes_to(d).iter().zip(got.routes_to(d)) {
+                    assert_eq!(x.via, y.via, "node {node} dest {d}");
+                    assert_eq!(x.hops, y.hops, "node {node} dest {d}");
+                    assert!((x.cost - y.cost).abs() < 1e-9, "node {node} dest {d}");
+                }
+            }
+        }
+        assert!(oracle[12].is_empty(), "dead nodes hold no routes");
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Per-node routing tables with k next-hop alternatives per destination.
-
-use std::collections::BTreeMap;
+//!
+//! Storage is a dense arena rather than a per-entry map: a sorted vector of
+//! destinations plus a flat slot array with exactly `k` route slots per
+//! destination. Zone sizes are small (the paper works with 5–50 nodes per
+//! zone), so binary search over the destination vector beats pointer-chasing
+//! a tree, `routes_to` hands out a contiguous slice, and the arena is reused
+//! across rebuilds without reallocating (`clear` keeps capacity).
 
 use spms_net::NodeId;
 
@@ -14,6 +19,39 @@ pub struct RouteEntry {
     pub cost: f64,
     /// Path length in hops.
     pub hops: u32,
+}
+
+/// Unoccupied arena slot. Never observable through the public API: only the
+/// first `lens[i]` slots of a destination's `k`-slot block are live.
+const VACANT: RouteEntry = RouteEntry {
+    via: NodeId::new(u32::MAX),
+    cost: f64::INFINITY,
+    hops: u32::MAX,
+};
+
+/// Costs within this distance are ties (floating-point sums of identical
+/// link weights can differ by an ULP depending on the path); ties break
+/// toward fewer hops, then the smaller neighbor id — the same rule as the
+/// Dijkstra oracle, so the two constructions agree exactly.
+const COST_EPS: f64 = 1e-12;
+
+/// Strict route order: cost (with the epsilon tie window), then hops, then
+/// neighbor id. Total on distinct-via entries.
+fn route_cmp(a: &RouteEntry, b: &RouteEntry) -> std::cmp::Ordering {
+    if (a.cost - b.cost).abs() <= COST_EPS {
+        a.hops.cmp(&b.hops).then_with(|| a.via.cmp(&b.via))
+    } else {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// `true` when two entries are indistinguishable under the epsilon rule —
+/// an offer replacing an entry with an indistinguishable one is not a
+/// change (and must not trigger another broadcast round).
+fn route_eq(a: &RouteEntry, b: &RouteEntry) -> bool {
+    a.via == b.via && a.hops == b.hops && (a.cost - b.cost).abs() <= COST_EPS
 }
 
 /// A node's routing table: for each in-zone destination, up to `k` route
@@ -36,9 +74,14 @@ pub struct RouteEntry {
 /// assert_eq!(t.best(d).unwrap().via, NodeId::new(2));
 /// assert_eq!(t.alternative(d, 1).unwrap().via, NodeId::new(1));
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone)]
 pub struct RoutingTable {
-    routes: BTreeMap<NodeId, Vec<RouteEntry>>,
+    /// Destinations with at least one route, sorted by id.
+    dests: Vec<NodeId>,
+    /// Live routes per destination (`lens[i] <= k`).
+    lens: Vec<u32>,
+    /// The slot arena: `k` slots per destination, best-first.
+    slots: Vec<RouteEntry>,
     k: usize,
 }
 
@@ -53,7 +96,9 @@ impl RoutingTable {
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
         RoutingTable {
-            routes: BTreeMap::new(),
+            dests: Vec::new(),
+            lens: Vec::new(),
+            slots: Vec::new(),
             k,
         }
     }
@@ -64,115 +109,219 @@ impl RoutingTable {
         self.k
     }
 
+    /// Index of `dest` in the arena, if present.
+    #[inline]
+    fn pos(&self, dest: NodeId) -> Option<usize> {
+        self.dests.binary_search(&dest).ok()
+    }
+
     /// Offers a route to `dest`; returns `true` if the table changed (the
     /// trigger condition for re-broadcasting a distance vector).
     ///
     /// If an entry via the same neighbor exists it is replaced when the new
-    /// route differs; the list is then re-sorted and truncated to `k`.
+    /// route differs (distance vectors report the neighbor's current truth,
+    /// not an improvement offer); the block stays sorted and truncated to
+    /// `k`. An offer that does not make the top `k` is not a change — it
+    /// must not trigger another broadcast round, or the exchange would
+    /// never quiesce.
     pub fn offer(&mut self, dest: NodeId, entry: RouteEntry) -> bool {
         let k = self.k;
-        let list = self.routes.entry(dest).or_default();
-        // Build the updated candidate list: the route via this neighbor is
-        // *replaced* (distance vectors report the neighbor's current truth,
-        // not an improvement offer), then the best k are retained.
-        let mut updated: Vec<RouteEntry> = list
-            .iter()
-            .copied()
-            .filter(|e| e.via != entry.via)
-            .collect();
-        updated.push(entry);
-        // Costs within 1e-12 are ties (floating-point sums of identical
-        // link weights can differ by an ULP depending on the path); ties
-        // break toward fewer hops, then the smaller neighbor id — the same
-        // rule as the Dijkstra oracle, so the two constructions agree
-        // exactly.
-        updated.sort_by(|a, b| {
-            if (a.cost - b.cost).abs() <= 1e-12 {
-                a.hops.cmp(&b.hops).then_with(|| a.via.cmp(&b.via))
-            } else {
-                a.cost
-                    .partial_cmp(&b.cost)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+        let pos = match self.dests.binary_search(&dest) {
+            Ok(p) => p,
+            Err(p) => {
+                self.dests.insert(p, dest);
+                self.lens.insert(p, 0);
+                let base = p * k;
+                self.slots
+                    .splice(base..base, std::iter::repeat_n(VACANT, k));
+                p
             }
-        });
-        updated.truncate(k);
-        // Only a change to the *retained* list counts — an offer that does
-        // not make the top k must not trigger another broadcast round, or
-        // the exchange would never quiesce.
-        let changed = updated.len() != list.len()
-            || updated.iter().zip(list.iter()).any(|(a, b)| {
-                a.via != b.via || a.hops != b.hops || (a.cost - b.cost).abs() > 1e-12
-            });
-        if changed {
-            *list = updated;
+        };
+        let base = pos * k;
+        let len = self.lens[pos] as usize;
+        let block = &mut self.slots[base..base + k];
+        let existing = block[..len].iter().position(|e| e.via == entry.via);
+
+        match existing {
+            Some(i) => {
+                // Insertion index of `entry` among the other len-1 entries.
+                let j = block[..len]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(u, _)| u != i)
+                    .filter(|&(_, e)| route_cmp(e, &entry) == std::cmp::Ordering::Less)
+                    .count();
+                if j == i && route_eq(&block[i], &entry) {
+                    return false;
+                }
+                if j <= i {
+                    block[j..=i].rotate_right(1);
+                } else {
+                    block[i..=j].rotate_left(1);
+                }
+                block[j] = entry;
+                true
+            }
+            None => {
+                let j = block[..len]
+                    .iter()
+                    .take_while(|e| route_cmp(e, &entry) == std::cmp::Ordering::Less)
+                    .count();
+                if len < k {
+                    block[j..=len].rotate_right(1);
+                    block[j] = entry;
+                    self.lens[pos] = (len + 1) as u32;
+                    true
+                } else if j == k {
+                    false // worse than every retained alternative
+                } else {
+                    block[j..k].rotate_right(1);
+                    block[j] = entry;
+                    true
+                }
+            }
         }
-        changed
     }
 
     /// The best route to `dest`, if any.
     #[must_use]
     pub fn best(&self, dest: NodeId) -> Option<&RouteEntry> {
-        self.routes.get(&dest).and_then(|l| l.first())
+        let p = self.pos(dest)?;
+        (self.lens[p] > 0).then(|| &self.slots[p * self.k])
     }
 
     /// The `i`-th best route to `dest` (0 = best).
     #[must_use]
     pub fn alternative(&self, dest: NodeId, i: usize) -> Option<&RouteEntry> {
-        self.routes.get(&dest).and_then(|l| l.get(i))
+        let p = self.pos(dest)?;
+        (i < self.lens[p] as usize).then(|| &self.slots[p * self.k + i])
     }
 
     /// All alternatives to `dest`, best first.
     #[must_use]
     pub fn routes_to(&self, dest: NodeId) -> &[RouteEntry] {
-        self.routes.get(&dest).map_or(&[], |l| l.as_slice())
+        match self.pos(dest) {
+            Some(p) => &self.slots[p * self.k..p * self.k + self.lens[p] as usize],
+            None => &[],
+        }
     }
 
     /// The best route to `dest` that does not go through `avoid` — the
     /// lookup used when a next hop is suspected failed.
     #[must_use]
     pub fn best_avoiding(&self, dest: NodeId, avoid: NodeId) -> Option<&RouteEntry> {
-        self.routes.get(&dest)?.iter().find(|e| e.via != avoid)
+        self.routes_to(dest).iter().find(|e| e.via != avoid)
     }
 
     /// Destinations with at least one route, in id order.
     pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.routes.keys().copied()
+        self.dests.iter().copied()
+    }
+
+    /// `(destination, routes)` pairs in id order — the arena walk used to
+    /// build distance vectors without per-destination lookups.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[RouteEntry])> + '_ {
+        self.dests.iter().enumerate().map(move |(p, &d)| {
+            (
+                d,
+                &self.slots[p * self.k..p * self.k + self.lens[p] as usize],
+            )
+        })
     }
 
     /// Number of destinations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.routes.len()
+        self.dests.len()
     }
 
     /// `true` when no destinations are known.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.routes.is_empty()
+        self.dests.is_empty()
     }
 
     /// Total entries across destinations (for wire-size accounting).
     #[must_use]
     pub fn total_entries(&self) -> usize {
-        self.routes.values().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Removes every route whose next hop is `via`; returns `true` if
     /// anything was removed. Destinations left with no routes are dropped.
     pub fn purge_via(&mut self, via: NodeId) -> bool {
         let mut changed = false;
-        self.routes.retain(|_, list| {
-            let before = list.len();
-            list.retain(|e| e.via != via);
-            changed |= list.len() != before;
-            !list.is_empty()
-        });
+        for p in (0..self.dests.len()).rev() {
+            let base = p * self.k;
+            let len = self.lens[p] as usize;
+            let block = &mut self.slots[base..base + len];
+            let mut kept = 0;
+            for i in 0..len {
+                if block[i].via != via {
+                    block[kept] = block[i];
+                    kept += 1;
+                }
+            }
+            if kept == len {
+                continue;
+            }
+            changed = true;
+            for slot in &mut block[kept..] {
+                *slot = VACANT;
+            }
+            self.lens[p] = kept as u32;
+            if kept == 0 {
+                self.remove_at(p);
+            }
+        }
         changed
     }
 
-    /// Clears the table (used when DBF re-executes from scratch).
+    /// Removes every route to `dest`; returns `true` if the destination was
+    /// present. Used by the incremental DBF to invalidate the routes a
+    /// topology change may have broken before re-converging them.
+    pub fn remove_dest(&mut self, dest: NodeId) -> bool {
+        match self.pos(dest) {
+            Some(p) => {
+                self.remove_at(p);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove_at(&mut self, p: usize) {
+        self.dests.remove(p);
+        self.lens.remove(p);
+        self.slots.drain(p * self.k..(p + 1) * self.k);
+    }
+
+    /// Clears the table (used when DBF re-executes from scratch). Keeps the
+    /// arena's capacity so rebuilds do not reallocate.
     pub fn clear(&mut self) {
-        self.routes.clear();
+        self.dests.clear();
+        self.lens.clear();
+        self.slots.clear();
+    }
+}
+
+impl PartialEq for RoutingTable {
+    /// Live entries only: vacant arena slots never affect equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.dests == other.dests
+            && self.lens == other.lens
+            && self.iter().zip(other.iter()).all(|(a, b)| a.1 == b.1)
+    }
+}
+
+impl std::fmt::Debug for RoutingTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut m = f.debug_map();
+        for (d, routes) in self.iter() {
+            m.entry(&d, &routes);
+        }
+        m.finish()
     }
 }
 
@@ -269,6 +418,58 @@ mod tests {
         assert_eq!(dests, vec![1, 3]);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_dest_drops_only_that_destination() {
+        let mut t = RoutingTable::new(2);
+        t.offer(NodeId::new(1), e(2, 1.0, 1));
+        t.offer(NodeId::new(3), e(2, 1.0, 1));
+        assert!(t.remove_dest(NodeId::new(1)));
+        assert!(!t.remove_dest(NodeId::new(1)));
+        assert!(t.best(NodeId::new(1)).is_none());
+        assert_eq!(t.best(NodeId::new(3)).unwrap().via, NodeId::new(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arena_iter_matches_lookups() {
+        let mut t = RoutingTable::new(2);
+        t.offer(NodeId::new(4), e(1, 2.0, 1));
+        t.offer(NodeId::new(4), e(3, 1.0, 1));
+        t.offer(NodeId::new(9), e(1, 5.0, 2));
+        let flat: Vec<(NodeId, usize)> = t.iter().map(|(d, rs)| (d, rs.len())).collect();
+        assert_eq!(flat, vec![(NodeId::new(4), 2), (NodeId::new(9), 1)]);
+        for (d, rs) in t.iter() {
+            assert_eq!(rs, t.routes_to(d));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_vacant_slots() {
+        // Build the same logical table along two different histories, so the
+        // vacant arena slots hold different garbage.
+        let mut a = RoutingTable::new(2);
+        a.offer(NodeId::new(7), e(1, 1.0, 1));
+        a.offer(NodeId::new(7), e(2, 2.0, 2));
+        a.purge_via(NodeId::new(2));
+        let mut b = RoutingTable::new(2);
+        b.offer(NodeId::new(7), e(1, 1.0, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worse_offer_outside_top_k_is_not_a_change() {
+        let mut t = RoutingTable::new(2);
+        let d = NodeId::new(3);
+        assert!(t.offer(d, e(1, 1.0, 1)));
+        assert!(t.offer(d, e(2, 2.0, 1)));
+        assert!(!t.offer(d, e(5, 9.0, 1)), "does not make the top 2");
+        assert_eq!(t.routes_to(d).len(), 2);
+        // But an improving third neighbor displaces the second.
+        assert!(t.offer(d, e(5, 1.5, 1)));
+        let vias: Vec<u32> = t.routes_to(d).iter().map(|r| r.via.raw()).collect();
+        assert_eq!(vias, vec![1, 5]);
     }
 
     #[test]

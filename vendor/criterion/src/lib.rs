@@ -10,6 +10,14 @@
 //! `sample_size` timed samples, reporting min/mean — because the repo's
 //! tier-1 gate only requires `cargo bench --no-run` to compile everything;
 //! actually running a bench still prints honest wall-clock numbers.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark also appends one JSON line
+//! (`{"id":…,"min_ns":…,"mean_ns":…,"samples":…}`) to it. Appending keeps
+//! the protocol trivial across the many separate bench binaries of a
+//! `cargo bench` invocation; `cargo run -p xtask -- collect` canonicalizes
+//! the lines into the sorted `BENCH_*.json` document the CI regression
+//! gate (`xtask bench-gate`) consumes.
 
 #![forbid(unsafe_code)]
 
@@ -103,6 +111,32 @@ fn report(id: &str, samples: &[Duration]) {
         mean,
         samples.len()
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, id, min, mean, samples.len());
+        }
+    }
+}
+
+/// Appends this benchmark's result as one JSON line. IO failures are
+/// reported but never fail the bench run itself.
+fn append_json_line(path: &str, id: &str, min: Duration, mean: Duration, samples: usize) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"samples\":{}}}\n",
+        id.replace('\\', "\\\\").replace('"', "\\\""),
+        min.as_nanos(),
+        mean.as_nanos(),
+        samples
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: could not append to {path}: {e}");
+    }
 }
 
 /// Declare a bench group: either `criterion_group!(name, target, ...)` or the
@@ -132,4 +166,44 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_append_and_escape() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_test_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            path_str,
+            "group/bench \"quoted\"",
+            Duration::from_nanos(1500),
+            Duration::from_nanos(2500),
+            20,
+        );
+        append_json_line(
+            path_str,
+            "group/second",
+            Duration::from_micros(3),
+            Duration::from_micros(4),
+            10,
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per report");
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"group/bench \\\"quoted\\\"\",\"min_ns\":1500,\"mean_ns\":2500,\
+             \"samples\":20}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"id\":\"group/second\",\"min_ns\":3000,\"mean_ns\":4000,\"samples\":10}"
+        );
+    }
 }

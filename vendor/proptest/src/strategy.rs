@@ -3,7 +3,7 @@
 //! A [`Strategy`] is anything that can produce a value from the deterministic
 //! [`TestRng`]. Plain `Range` expressions (`0u64..100`, `1.5f64..2.0`) are
 //! strategies, as are tuples of strategies, [`any`] over [`Arbitrary`] types,
-//! and the [`vec`] collection combinator.
+//! and the [`vec()`] collection combinator.
 
 use std::ops::Range;
 
@@ -159,7 +159,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-/// Length specification accepted by [`vec`]: a fixed size or a half-open
+/// Length specification accepted by [`vec()`]: a fixed size or a half-open
 /// range of sizes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -183,7 +183,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

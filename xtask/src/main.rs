@@ -1,0 +1,388 @@
+//! Repo task runner (`cargo run -p xtask -- <command>`).
+//!
+//! * `collect --input <jsonl> --output <json>` — canonicalize the JSON
+//!   lines the vendored criterion reporter appends (`CRITERION_JSON=...`)
+//!   into a sorted, deduplicated `BENCH_*.json` document. Used to write
+//!   `BENCH_smoke.json` in CI and to (re)seed the checked-in
+//!   `BENCH_baseline.json`.
+//! * `bench-gate --baseline <json> --current <json> [--threshold 1.25]
+//!   [--ratio-num <id> --ratio-den <id> --ratio-max <f>]` — the CI
+//!   regression gate: every bench tracked in the baseline must be present
+//!   in the current results and its `min_ns` must not exceed
+//!   `baseline × threshold`. The optional ratio check is hardware
+//!   independent — it constrains two benches *of the same run* (e.g.
+//!   incremental DBF re-convergence must stay ≤ 0.35× the full rebuild,
+//!   the repo's ≥3× speedup acceptance criterion). Exits non-zero
+//!   (failing the CI job) on any regression, missing bench, or ratio
+//!   breach.
+//!
+//! The workspace is offline (no serde), so records are read with a tiny
+//! scanner that understands exactly the flat objects the reporter emits.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Record {
+    id: String,
+    min_ns: u64,
+    mean_ns: u64,
+    samples: u64,
+}
+
+/// Extracts every flat `{...}` object from `text` (JSON lines or a JSON
+/// array of such objects) and parses the bench fields. Later records win on
+/// duplicate ids, so re-running a bench overrides its earlier line.
+fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('{') {
+        let Some(close_rel) = object_end(&rest[open..]) else {
+            return Err("unbalanced '{' in bench JSON".into());
+        };
+        let obj = &rest[open + 1..open + close_rel];
+        rest = &rest[open + close_rel + 1..];
+        let record = Record {
+            id: string_field(obj, "id")
+                .ok_or_else(|| format!("object without \"id\": {{{obj}}}"))?,
+            min_ns: u64_field(obj, "min_ns")
+                .ok_or_else(|| format!("object without \"min_ns\": {{{obj}}}"))?,
+            mean_ns: u64_field(obj, "mean_ns")
+                .ok_or_else(|| format!("object without \"mean_ns\": {{{obj}}}"))?,
+            samples: u64_field(obj, "samples")
+                .ok_or_else(|| format!("object without \"samples\": {{{obj}}}"))?,
+        };
+        records.retain(|r| r.id != record.id);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Byte offset of the `}` closing the object `text` starts with, skipping
+/// braces inside string literals (bench ids may contain `{}`).
+fn object_end(text: &str) -> Option<usize> {
+    debug_assert!(text.starts_with('{'));
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '}' if !in_string => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `"key":"value"` lookup with `\"`/`\\` unescaping.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let tail = field_value(obj, key)?;
+    let tail = tail.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = tail.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// `"key":123` lookup.
+fn u64_field(obj: &str, key: &str) -> Option<u64> {
+    let digits: String = field_value(obj, key)?
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The text right after `"key":` (whitespace tolerated).
+fn field_value<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\"");
+    let at = obj.find(&marker)?;
+    let tail = obj[at + marker.len()..].trim_start();
+    Some(tail.strip_prefix(':')?.trim_start())
+}
+
+/// Canonical document: a JSON array sorted by id, one record per line.
+fn render(records: &[Record]) -> String {
+    let mut sorted: Vec<&Record> = records.iter().collect();
+    sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut out = String::from("[\n");
+    for (i, r) in sorted.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"samples\":{}}}{}",
+            r.id.replace('\\', "\\\\").replace('"', "\\\""),
+            r.min_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 == sorted.len() { "" } else { "," }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Gate verdict for one tracked bench.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok { ratio: f64 },
+    Regressed { ratio: f64 },
+    Missing,
+}
+
+/// Same-run ratio constraint: `current[num].min_ns / current[den].min_ns`
+/// must stay at or below `max`. Hardware independent, unlike the absolute
+/// baseline comparison.
+fn check_ratio(current: &[Record], num: &str, den: &str, max: f64) -> Result<f64, String> {
+    let find = |id: &str| {
+        current
+            .iter()
+            .find(|r| r.id == id)
+            .ok_or_else(|| format!("ratio check: bench {id} not in current results"))
+    };
+    let numerator = find(num)?.min_ns as f64;
+    let denominator = (find(den)?.min_ns as f64).max(1.0);
+    let ratio = numerator / denominator;
+    if ratio > max {
+        return Err(format!(
+            "ratio check failed: {num} / {den} = {ratio:.3} exceeds {max:.3}"
+        ));
+    }
+    Ok(ratio)
+}
+
+/// Compares current results against the baseline: every baseline bench is
+/// tracked; `min_ns` may grow at most `threshold ×`.
+fn gate(baseline: &[Record], current: &[Record], threshold: f64) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .map(|b| {
+            let verdict = match current.iter().find(|c| c.id == b.id) {
+                None => Verdict::Missing,
+                Some(c) => {
+                    let ratio = c.min_ns as f64 / (b.min_ns as f64).max(1.0);
+                    if ratio > threshold {
+                        Verdict::Regressed { ratio }
+                    } else {
+                        Verdict::Ok { ratio }
+                    }
+                }
+            };
+            (b.id.clone(), verdict)
+        })
+        .collect()
+}
+
+fn read(path: &str) -> Result<Vec<Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = parse_records(&text)?;
+    if records.is_empty() {
+        return Err(format!("{path} holds no bench records"));
+    }
+    Ok(records)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run_collect(args: &[String]) -> Result<(), String> {
+    let input = arg_value(args, "--input").ok_or("collect needs --input <jsonl>")?;
+    let output = arg_value(args, "--output").ok_or("collect needs --output <json>")?;
+    let records = read(&input)?;
+    std::fs::write(&output, render(&records)).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("collected {} bench records into {output}", records.len());
+    Ok(())
+}
+
+fn run_bench_gate(args: &[String]) -> Result<(), String> {
+    let baseline_path =
+        arg_value(args, "--baseline").ok_or("bench-gate needs --baseline <json>")?;
+    let current_path = arg_value(args, "--current").ok_or("bench-gate needs --current <json>")?;
+    let threshold: f64 = match arg_value(args, "--threshold") {
+        Some(t) => t.parse().map_err(|e| format!("bad --threshold {t}: {e}"))?,
+        None => 1.25,
+    };
+    if !(threshold.is_finite() && threshold >= 1.0) {
+        return Err(format!("threshold {threshold} must be >= 1.0"));
+    }
+    let baseline = read(&baseline_path)?;
+    let current = read(&current_path)?;
+    let verdicts = gate(&baseline, &current, threshold);
+
+    println!("bench-gate: {current_path} vs {baseline_path} (threshold {threshold:.2}×)");
+    let mut failures = 0;
+    for (id, verdict) in &verdicts {
+        match verdict {
+            Verdict::Ok { ratio } => println!("  ok        {ratio:>6.2}×  {id}"),
+            Verdict::Regressed { ratio } => {
+                failures += 1;
+                println!("  REGRESSED {ratio:>6.2}×  {id}");
+            }
+            Verdict::Missing => {
+                failures += 1;
+                println!("  MISSING            {id}");
+            }
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            println!("  untracked          {} (not in baseline)", c.id);
+        }
+    }
+    let ratio_flags = (
+        arg_value(args, "--ratio-num"),
+        arg_value(args, "--ratio-den"),
+        arg_value(args, "--ratio-max"),
+    );
+    match ratio_flags {
+        (Some(num), Some(den), Some(max)) => {
+            let max: f64 = max
+                .parse()
+                .map_err(|e| format!("bad --ratio-max {max}: {e}"))?;
+            let ratio = check_ratio(&current, &num, &den, max)?;
+            println!("  ratio ok  {ratio:>6.2}×  {num} / {den} (max {max:.2})");
+        }
+        (None, None, None) => {}
+        _ => {
+            // A partially-specified ratio must not silently disable the
+            // hardware-independent gate.
+            return Err("ratio check needs all of --ratio-num, --ratio-den, --ratio-max".into());
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} tracked benches regressed beyond {threshold:.2}× or went \
+             missing. If this is an intentional trade or a hardware change, refresh the \
+             baseline: CRITERION_JSON=bench.jsonl cargo bench -p spms-bench && \
+             cargo run -p xtask -- collect --input bench.jsonl --output BENCH_baseline.json",
+            verdicts.len()
+        ));
+    }
+    println!("all {} tracked benches within budget", verdicts.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("collect") => run_collect(&args[1..]),
+        Some("bench-gate") => run_bench_gate(&args[1..]),
+        _ => Err("usage: xtask <collect|bench-gate> [flags]\n\
+                  \x20 collect    --input <jsonl> --output <json>\n\
+                  \x20 bench-gate --baseline <json> --current <json> [--threshold 1.25]"
+            .into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, min: u64) -> Record {
+        Record {
+            id: id.into(),
+            min_ns: min,
+            mean_ns: min + 10,
+            samples: 20,
+        }
+    }
+
+    #[test]
+    fn parses_json_lines_and_arrays() {
+        let jsonl = "{\"id\":\"a\",\"min_ns\":100,\"mean_ns\":110,\"samples\":20}\n\
+                     {\"id\":\"b\",\"min_ns\":200,\"mean_ns\":220,\"samples\":20}\n";
+        let from_lines = parse_records(jsonl).unwrap();
+        assert_eq!(from_lines.len(), 2);
+        assert_eq!(from_lines[0].id, "a");
+        assert_eq!(from_lines[1].min_ns, 200);
+        // The canonical render round-trips.
+        let from_array = parse_records(&render(&from_lines)).unwrap();
+        assert_eq!(from_lines, from_array);
+    }
+
+    #[test]
+    fn later_duplicate_records_win() {
+        let text = "{\"id\":\"a\",\"min_ns\":100,\"mean_ns\":110,\"samples\":20}\n\
+                    {\"id\":\"a\",\"min_ns\":90,\"mean_ns\":95,\"samples\":20}\n";
+        let records = parse_records(text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].min_ns, 90);
+    }
+
+    #[test]
+    fn escaped_quotes_in_ids_survive() {
+        let records = vec![rec("weird\"bench\\name", 5)];
+        let parsed = parse_records(&render(&records)).unwrap();
+        assert_eq!(parsed[0].id, "weird\"bench\\name");
+    }
+
+    #[test]
+    fn braces_inside_ids_do_not_split_objects() {
+        let records = vec![rec("routing/offer{k=2}", 5), rec("plain", 7)];
+        let parsed = parse_records(&render(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "plain");
+        assert_eq!(parsed[1].id, "routing/offer{k=2}");
+        assert_eq!(parsed[1].min_ns, 5);
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        assert!(parse_records("{\"id\":\"a\"}").is_err());
+        assert!(parse_records("{\"min_ns\":1,\"mean_ns\":1,\"samples\":1}").is_err());
+        assert!(parse_records("{\"id\":\"a\",\"min_ns\":1,\"mean_ns\":1,\"samples\":1").is_err());
+    }
+
+    #[test]
+    fn render_sorts_by_id() {
+        let out = render(&[rec("z", 1), rec("a", 2)]);
+        let za = out.find("\"z\"").unwrap();
+        let aa = out.find("\"a\"").unwrap();
+        assert!(aa < za);
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let baseline = vec![rec("a", 100), rec("b", 100), rec("c", 100)];
+        let current = vec![rec("a", 124), rec("b", 126)];
+        let verdicts = gate(&baseline, &current, 1.25);
+        assert!(matches!(verdicts[0].1, Verdict::Ok { .. }));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed { .. }));
+        assert!(matches!(verdicts[2].1, Verdict::Missing));
+    }
+
+    #[test]
+    fn ratio_check_enforces_same_run_speedup() {
+        let current = vec![rec("delta", 70), rec("full", 260)];
+        assert!(check_ratio(&current, "delta", "full", 0.35).is_ok());
+        assert!(check_ratio(&current, "delta", "full", 0.25).is_err());
+        assert!(check_ratio(&current, "absent", "full", 0.35).is_err());
+    }
+
+    #[test]
+    fn gate_tolerates_improvements_and_untracked_benches() {
+        let baseline = vec![rec("a", 100)];
+        let current = vec![rec("a", 10), rec("new", 999)];
+        let verdicts = gate(&baseline, &current, 1.25);
+        assert_eq!(verdicts.len(), 1, "untracked benches never gate");
+        assert!(matches!(verdicts[0].1, Verdict::Ok { .. }));
+    }
+}
