@@ -1,0 +1,75 @@
+//! Zone-table maintenance at growing scale: the all-pairs reference build,
+//! the spatial-grid indexed build, and the incremental single-move patch.
+//!
+//! ROADMAP names the per-epoch zone rebuild the largest remaining fixed
+//! cost of a mobility epoch. The three measurements here demonstrate the
+//! asymptotic separation the spatial grid buys at n = 225 / 625 / 1024
+//! (the paper's 13×13 field is only 169 nodes):
+//!
+//! * `zone_build_full_n` — O(n²) all-pairs oracle (`ZoneTable::build`),
+//! * `zone_build_indexed_n` — O(n·k) grid build
+//!   (`ZoneTable::build_indexed`),
+//! * `zone_patch_single_move_n` — O(k²) row patch
+//!   (`ZoneTable::apply_moves`) for one moved node, ping-ponged between
+//!   two positions two cells apart so every iteration measures exactly one
+//!   steady-state patch.
+//!
+//! CI's hardware-independent ratio gate pins patch ≤ 0.35× indexed build
+//! at n = 625 (see `xtask bench-gate`); in practice the patch is far
+//! below that and the margin widens with n.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_net::{placement, NodeId, Point, SpatialGrid, Topology, ZoneTable};
+use spms_phy::RadioProfile;
+
+const RADIUS_M: f64 = 20.0;
+
+fn field(side: usize) -> Topology {
+    placement::grid(side, side, 5.0).unwrap()
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let radio = RadioProfile::mica2();
+    for side in [15usize, 25, 32] {
+        let n = side * side;
+        let topo = field(side);
+        c.bench_function(&format!("net/zone_build_full_{n}"), |b| {
+            b.iter(|| std::hint::black_box(ZoneTable::build(&topo, &radio, RADIUS_M)))
+        });
+        let grid = SpatialGrid::build(&topo, RADIUS_M);
+        c.bench_function(&format!("net/zone_build_indexed_{n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(ZoneTable::build_indexed(&topo, &radio, &grid, RADIUS_M))
+            })
+        });
+    }
+}
+
+fn bench_single_move_patch(c: &mut Criterion) {
+    let radio = RadioProfile::mica2();
+    for side in [25usize, 32] {
+        let n = side * side;
+        let mut topo = field(side);
+        let mut grid = SpatialGrid::build(&topo, RADIUS_M);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, RADIUS_M);
+        // The center node (worst case — densest zone) hops between its
+        // home position and a spot two cells away, so old and new zones
+        // overlap: the common mobility case.
+        let moved = NodeId::new((side / 2 * side + side / 2) as u32);
+        let home = topo.position(moved);
+        let away = Point::new(home.x + 37.5, home.y + 42.5);
+        let mut forward = true;
+        c.bench_function(&format!("net/zone_patch_single_move_{n}"), |b| {
+            b.iter(|| {
+                let dest = if forward { away } else { home };
+                forward = !forward;
+                topo.move_node(moved, dest);
+                grid.move_node(moved, topo.position(moved));
+                std::hint::black_box(zones.apply_moves(&topo, &radio, &grid, &[moved]))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_builds, bench_single_move_patch);
+criterion_main!(benches);

@@ -20,7 +20,10 @@ use spms_kernel::stats::Tally;
 use spms_kernel::trace::Trace;
 use spms_kernel::{EventQueue, SimRng, SimTime};
 use spms_mac::HalfDuplexQueue;
-use spms_net::{FailureProcess, MobilityEpoch, MobilityProcess, NodeId, Topology, ZoneTable};
+use spms_net::{
+    FailureProcess, MobilityEpoch, MobilityProcess, NodeId, SpatialGrid, Topology, ZoneDelta,
+    ZoneTable,
+};
 use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
 use spms_routing::{oracle_tables, DbfEngine, DbfWireFormat, RoutingTable};
 
@@ -77,6 +80,10 @@ pub struct Simulation {
     config: SimConfig,
     plan: TrafficPlan,
     topology: Topology,
+    /// Spatial-hash index over the node positions (cell size = zone
+    /// radius), kept in sync with mobility so zone maintenance only ever
+    /// examines the 3×3 cell neighborhood of a position.
+    grid: SpatialGrid,
     zones: ZoneTable,
     tables: Vec<RoutingTable>,
     /// The persistent distributed-routing engine (Distributed mode only).
@@ -146,7 +153,14 @@ impl Simulation {
                 return Err(format!("generation source {} out of range", g.source));
             }
         }
-        let zones = ZoneTable::build(&topology, &config.radio, config.zone_radius_m);
+        let grid = SpatialGrid::build(&topology, config.zone_radius_m);
+        let zones = if config.incremental_zones {
+            ZoneTable::build_indexed(&topology, &config.radio, &grid, config.zone_radius_m)
+        } else {
+            // The all-pairs reference build — bit-identical (see the
+            // `spms-net` proptests), just O(n²).
+            ZoneTable::build(&topology, &config.radio, config.zone_radius_m)
+        };
         let timeouts = config.timeout_policy.resolve(
             config.protocol,
             &zones,
@@ -261,6 +275,7 @@ impl Simulation {
             config,
             plan,
             topology,
+            grid,
             zones,
         };
 
@@ -401,20 +416,19 @@ impl Simulation {
     /// what a full rebuild under the current mask would produce.
     /// `old_zones` is `None` for pure liveness flips (zones unchanged).
     fn reconverge_incrementally(&mut self, old_zones: Option<&ZoneTable>, changed: &[NodeId]) {
-        let Some(dbf) = self.dbf.as_mut() else {
+        if self.dbf.is_none() {
             return;
-        };
+        }
         let mut changed: Vec<NodeId> = changed.to_vec();
         let mut in_changed = vec![false; self.alive.len()];
         for &c in &changed {
             in_changed[c.index()] = true;
         }
-        for (i, (&now_up, &at_last_run)) in self.alive.iter().zip(self.dbf_alive.iter()).enumerate()
-        {
-            if now_up != at_last_run && !in_changed[i] {
-                changed.push(NodeId::new(i as u32));
-            }
-        }
+        changed.extend(
+            self.flipped_since_last_run()
+                .filter(|f| !in_changed[f.index()]),
+        );
+        let dbf = self.dbf.as_mut().expect("checked above");
         let stats = dbf.update_topology(
             old_zones.unwrap_or(&self.zones),
             &self.zones,
@@ -423,6 +437,35 @@ impl Simulation {
         );
         self.dbf_alive = self.alive.clone();
         self.charge_dbf_run(&stats, true);
+    }
+
+    /// Delta re-convergence after an **in-place** zone patch: the old zone
+    /// table no longer exists, so the pre-move adjacency the engine needs
+    /// to retire stale routes rides in the [`ZoneDelta`]. Liveness flips
+    /// the engine was not told about at the time are folded in exactly as
+    /// in [`Simulation::reconverge_incrementally`] (no dedup against the
+    /// delta needed — `apply_zone_delta`'s affected marking is idempotent).
+    fn reconverge_from_zone_delta(&mut self, delta: &ZoneDelta) {
+        if self.dbf.is_none() {
+            return;
+        }
+        let flipped: Vec<NodeId> = self.flipped_since_last_run().collect();
+        let dbf = self.dbf.as_mut().expect("checked above");
+        let stats = dbf.apply_zone_delta(&self.zones, delta, &flipped, &self.alive);
+        self.dbf_alive = self.alive.clone();
+        self.charge_dbf_run(&stats, true);
+    }
+
+    /// Nodes whose liveness flipped since the last DBF convergence
+    /// (`dbf_alive` snapshot) — the silent failures/repairs/battery deaths
+    /// both incremental paths must fold into their changed sets.
+    fn flipped_since_last_run(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .zip(self.dbf_alive.iter())
+            .enumerate()
+            .filter(|(_, (&now_up, &at_last_run))| now_up != at_last_run)
+            .map(|(i, _)| NodeId::new(i as u32))
     }
 
     /// Charges a DBF execution's per-node broadcast energy (at the zone/ADV
@@ -668,24 +711,47 @@ impl Simulation {
         let Some(epoch) = self.staged_epoch.take() else {
             return;
         };
-        MobilityProcess::apply(&epoch, &mut self.topology);
-        let new_zones = ZoneTable::build(
-            &self.topology,
-            &self.config.radio,
-            self.config.zone_radius_m,
-        );
-        let old_zones = std::mem::replace(&mut self.zones, new_zones);
+        MobilityProcess::apply_indexed(&epoch, &mut self.topology, &mut self.grid);
         self.mobility_epochs += 1;
         self.trace.record_with(self.now, "move", || {
             format!("mobility epoch: {} nodes moved", epoch.moves.len())
         });
+        let moved: Vec<NodeId> = epoch.moves.iter().map(|&(node, _)| node).collect();
         // "As nodes move, the routing tables have to be modified and no
         // packet transfer can take place until the routing tables converge."
-        if self.config.incremental_routing && self.dbf.is_some() {
-            let moved: Vec<NodeId> = epoch.moves.iter().map(|&(node, _)| node).collect();
-            self.reconverge_incrementally(Some(&old_zones), &moved);
+        if self.config.incremental_zones {
+            // Patch only the zone rows the epoch perturbed; the returned
+            // delta names exactly the nodes routing must re-converge for.
+            let delta =
+                self.zones
+                    .apply_moves(&self.topology, &self.config.radio, &self.grid, &moved);
+            self.routing_cost.zone_patches += 1;
+            self.routing_cost.zone_rows_patched += delta.rows_patched() as u64;
+            self.trace.record_with(self.now, "move", || {
+                format!(
+                    "zone patch: {} of {} rows rebuilt",
+                    delta.rows_patched(),
+                    self.topology.len()
+                )
+            });
+            if self.config.incremental_routing && self.dbf.is_some() {
+                self.reconverge_from_zone_delta(&delta);
+            } else {
+                self.build_routing();
+            }
         } else {
-            self.build_routing();
+            // Reference path: rebuild the whole table all-pairs.
+            let new_zones = ZoneTable::build(
+                &self.topology,
+                &self.config.radio,
+                self.config.zone_radius_m,
+            );
+            let old_zones = std::mem::replace(&mut self.zones, new_zones);
+            if self.config.incremental_routing && self.dbf.is_some() {
+                self.reconverge_incrementally(Some(&old_zones), &moved);
+            } else {
+                self.build_routing();
+            }
         }
         for i in 0..self.protocols.len() {
             if !self.alive[i] {
@@ -1012,6 +1078,38 @@ mod tests {
             full.routing.bytes
         );
         assert_eq!(incremental.deliveries, incremental.deliveries_expected);
+    }
+
+    #[test]
+    fn incremental_zone_patches_match_the_reference_rebuild() {
+        // Same seed, zones patched in place vs rebuilt all-pairs every
+        // epoch: the patched table is bit-identical, so the runs must agree
+        // on everything — deliveries, messages, energy, even the DBF
+        // re-convergence traffic — except the zone-patch counters.
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = single_source_plan(12, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 21);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility =
+            Some(spms_net::MobilityConfig::new(SimTime::from_millis(30), 0.1).unwrap());
+        let patched = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        config.incremental_zones = false;
+        let reference = Simulation::run_with(config, topo, plan).unwrap();
+
+        assert!(patched.mobility_epochs > 0, "epochs must fire");
+        assert_eq!(patched.routing.zone_patches, patched.mobility_epochs);
+        assert!(patched.routing.zone_rows_patched > 0);
+        // On this tiny field one zone spans everything, so a patch may
+        // touch every row — but never more than a full rebuild would.
+        assert!(
+            patched.routing.zone_rows_patched <= patched.mobility_epochs * patched.nodes as u64,
+            "patches must not touch more rows than full rebuilds"
+        );
+        assert_eq!(reference.routing.zone_patches, 0);
+        let mut want = reference.clone();
+        want.routing.zone_patches = patched.routing.zone_patches;
+        want.routing.zone_rows_patched = patched.routing.zone_rows_patched;
+        assert_eq!(patched, want);
     }
 
     #[test]

@@ -14,6 +14,14 @@ pub struct RoutingCost {
     /// (scoped to the zones a mobility or failure event touched) rather
     /// than full from-scratch rebuilds.
     pub incremental_executions: u64,
+    /// Mobility epochs whose zone table was patched in place
+    /// (`ZoneTable::apply_moves` over the spatial grid) instead of rebuilt
+    /// from scratch.
+    pub zone_patches: u64,
+    /// Zone rows (link lists + density counts) those patches rebuilt — the
+    /// O(k) work actually done where a full build touches all `n` rows per
+    /// epoch.
+    pub zone_rows_patched: u64,
     /// Total synchronous rounds.
     pub rounds: u64,
     /// Total vector broadcasts.

@@ -5,16 +5,28 @@ use std::collections::BinaryHeap;
 
 use crate::SimTime;
 
-/// An entry in the queue: ordered by time, then by insertion sequence.
+/// An entry in the queue: ordered by `(time, insertion sequence)`, packed
+/// into a single precomputed `u128` key (`time << 64 | seq`) so every heap
+/// sift costs one integer compare instead of two chained `u64` compares —
+/// `Entry::cmp` is the hottest comparison in the simulator.
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    key: u128,
     event: E,
+}
+
+impl<E> Entry<E> {
+    const fn key(time: SimTime, seq: u64) -> u128 {
+        ((time.as_nanos() as u128) << 64) | seq as u128
+    }
+
+    const fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -28,13 +40,11 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. The sequence number makes simultaneous events FIFO, which is
-        // what makes runs reproducible.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key — the
+        // earliest time, ties broken by lowest sequence number — pops
+        // first. The sequence number makes simultaneous events FIFO, which
+        // is what makes runs reproducible.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -95,20 +105,23 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            key: Entry::<E>::key(time, seq),
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.popped += 1;
-        Some((entry.time, entry.event))
+        Some((entry.time(), entry.event))
     }
 
     /// The time of the earliest pending event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(Entry::time)
     }
 
     /// Number of pending events.
@@ -204,6 +217,18 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn extreme_times_round_trip_through_the_packed_key() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, "max");
+        q.schedule(SimTime::ZERO, "zero");
+        q.schedule(SimTime::from_nanos(1), "one");
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(q.pop(), Some((SimTime::ZERO, "zero")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), "one")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "max")));
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //! * [`placement`] — uniform-grid (the paper's uniform-density field) and
 //!   uniform-random placement,
 //! * [`Topology`] — positions plus range queries,
+//! * [`SpatialGrid`] — a uniform spatial-hash index over the field (cell
+//!   size = zone radius) bounding neighbor queries to O(k),
 //! * [`ZoneTable`] — per-node zone neighbor lists with the minimum power
 //!   level and link weight for each neighbor (the weighted graph DBF runs
-//!   on),
+//!   on), buildable all-pairs ([`ZoneTable::build`], the reference
+//!   oracle), grid-indexed ([`ZoneTable::build_indexed`]), or patched
+//!   incrementally after mobility ([`ZoneTable::apply_moves`] →
+//!   [`ZoneDelta`]),
 //! * [`MobilityProcess`] — the epoch-based random relocation model,
 //! * [`FailureProcess`] — the transient-failure injection schedule,
 //! * [`dijkstra`] — a centralized shortest-path oracle used to verify the
@@ -31,6 +36,7 @@ mod mobility;
 mod node;
 pub mod placement;
 mod point;
+mod spatial;
 mod topology;
 mod zone;
 
@@ -39,5 +45,6 @@ pub use graph::{dijkstra, dijkstra_masked, PathCost};
 pub use mobility::{MobilityConfig, MobilityEpoch, MobilityProcess};
 pub use node::NodeId;
 pub use point::Point;
+pub use spatial::SpatialGrid;
 pub use topology::{Field, Topology};
-pub use zone::{ZoneLink, ZoneTable};
+pub use zone::{MovedZone, ZoneDelta, ZoneLink, ZoneTable};

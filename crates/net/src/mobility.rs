@@ -112,6 +112,22 @@ impl MobilityProcess {
             topology.move_node(*node, *dest);
         }
     }
+
+    /// Applies an epoch's relocations to `topology` and keeps a
+    /// [`SpatialGrid`] bucketed over it in sync (re-bucketing each moved
+    /// node at its clamped final position).
+    ///
+    /// [`SpatialGrid`]: crate::SpatialGrid
+    pub fn apply_indexed(
+        epoch: &MobilityEpoch,
+        topology: &mut Topology,
+        grid: &mut crate::SpatialGrid,
+    ) {
+        for (node, dest) in &epoch.moves {
+            topology.move_node(*node, *dest);
+            grid.move_node(*node, topology.position(*node));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +207,17 @@ mod tests {
             .filter(|n| e.moves.iter().all(|(m, _)| m != n))
             .all(|n| t.position(n) == before.position(n));
         assert!(unmoved);
+    }
+
+    #[test]
+    fn apply_indexed_matches_a_rebucketed_grid() {
+        let cfg = MobilityConfig::new(SimTime::from_millis(100), 0.3).unwrap();
+        let mut p = MobilityProcess::new(cfg, SimRng::new(7));
+        let mut t = topo();
+        let mut grid = crate::SpatialGrid::build(&t, 10.0);
+        let e = p.next_epoch(SimTime::ZERO, &t);
+        MobilityProcess::apply_indexed(&e, &mut t, &mut grid);
+        assert_eq!(grid, crate::SpatialGrid::build(&t, 10.0));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use spms_phy::{PowerLevel, RadioProfile};
 
-use crate::{NodeId, Topology};
+use crate::{NodeId, SpatialGrid, Topology};
 
 /// One link from a node to a zone neighbor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,8 +54,102 @@ pub struct ZoneTable {
     level_counts: Vec<Vec<u32>>,
 }
 
+/// One relocated node plus its zone neighbors *before* the move.
+///
+/// The routing layer needs the pre-move adjacency to retire state the new
+/// zone table can no longer justify: the moved node and its old neighbors
+/// may still hold routes to each other, and nothing in the patched table
+/// names that stale pairing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MovedZone {
+    /// The relocated node.
+    pub node: NodeId,
+    /// Its zone neighbors before the move, in id order.
+    pub old_neighbors: Vec<NodeId>,
+}
+
+/// The result of an incremental zone patch ([`ZoneTable::apply_moves`]):
+/// which rows changed and the pre-move adjacency of each relocated node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZoneDelta {
+    /// One record per relocated node, in the order they were reported.
+    pub moves: Vec<MovedZone>,
+    /// Every node whose links row and density counts were rebuilt — the
+    /// moved nodes plus everyone inside either their old or new zones — in
+    /// ascending id order. This is exactly the `changed` set the routing
+    /// layer's incremental re-convergence needs.
+    pub changed_nodes: Vec<NodeId>,
+}
+
+impl ZoneDelta {
+    /// Number of zone rows the patch rebuilt (out of `n` in the table).
+    #[must_use]
+    pub fn rows_patched(&self) -> usize {
+        self.changed_nodes.len()
+    }
+}
+
+/// Recomputes `node`'s zone links and per-level density counts from a
+/// candidate set, writing into `row`/`counts` (cleared first).
+///
+/// `candidates` must be a superset of every node within `zone_radius_m` of
+/// `node`, sorted ascending — rows inherit that order, which the binary
+/// search in [`ZoneTable::link_to`] relies on. Candidates outside the
+/// radius are distance-filtered here, so a grid's whole-cell supersets are
+/// fine. The arithmetic is identical to the all-pairs reference build, so
+/// tables assembled from either path compare equal bit for bit.
+fn compute_row(
+    topology: &Topology,
+    radio: &RadioProfile,
+    zone_radius_m: f64,
+    node: NodeId,
+    candidates: &[NodeId],
+    row: &mut Vec<ZoneLink>,
+    counts: &mut [u32],
+) {
+    row.clear();
+    counts.fill(0);
+    let pa = topology.position(node);
+    for &b in candidates {
+        let d = pa.distance(topology.position(b));
+        // The contention domain is capped at the zone radius: only zone
+        // members participate in the protocol with this node, which is
+        // also what makes the paper's n1 ≈ 45 at a 20 m radius. Neighbors
+        // beyond the radio's absolute reach contribute nothing even inside
+        // the configured radius.
+        if d > zone_radius_m {
+            continue;
+        }
+        let Some(level) = radio.level_for_distance(d) else {
+            continue;
+        };
+        // A node within level ℓ's range is also within the range of every
+        // stronger level. Counts include self at d = 0; links do not.
+        for count in &mut counts[..=level.index()] {
+            *count += 1;
+        }
+        if b != node {
+            row.push(ZoneLink {
+                neighbor: b,
+                distance_m: d,
+                level,
+                weight: radio.power_mw(level),
+            });
+        }
+    }
+}
+
 impl ZoneTable {
-    /// Builds zone tables for every node.
+    /// Expected zone population for pre-sizing link rows: the field's mean
+    /// density over a zone-radius disc, capped at the node count.
+    fn row_capacity(topology: &Topology, zone_radius_m: f64) -> usize {
+        let expected = std::f64::consts::PI * zone_radius_m * zone_radius_m * topology.density();
+        (expected.ceil() as usize).min(topology.len())
+    }
+
+    /// Builds zone tables for every node by the all-pairs distance pass —
+    /// O(n²), kept as the reference oracle the indexed and incremental
+    /// paths are property-tested against.
     ///
     /// `zone_radius_m` is the experiment's transmission radius; the ADV
     /// broadcast level is the cheapest level covering it (saturating at the
@@ -63,47 +157,170 @@ impl ZoneTable {
     /// excluded even if inside the configured radius.
     #[must_use]
     pub fn build(topology: &Topology, radio: &RadioProfile, zone_radius_m: f64) -> Self {
-        let adv_level = radio.level_for_radius_saturating(zone_radius_m);
         let n = topology.len();
+        let all: Vec<NodeId> = topology.nodes().collect();
+        let cap = Self::row_capacity(topology, zone_radius_m);
         let mut links = Vec::with_capacity(n);
         let mut level_counts = vec![vec![0u32; radio.num_levels()]; n];
         for a in topology.nodes() {
-            let pa = topology.position(a);
-            let mut row = Vec::new();
-            for b in topology.nodes() {
-                let d = pa.distance(topology.position(b));
-                // Per-level density counts (including self at d = 0). The
-                // contention domain is capped at the zone radius: only zone
-                // members participate in the protocol with this node, which
-                // is also what makes the paper's n1 ≈ 45 at a 20 m radius.
-                if d <= zone_radius_m {
-                    if let Some(lvl) = radio.level_for_distance(d) {
-                        // A node within level ℓ's range is also within the
-                        // range of every stronger level.
-                        for count in &mut level_counts[a.index()][..=lvl.index()] {
-                            *count += 1;
-                        }
-                    }
-                }
-                if a == b || d > zone_radius_m {
-                    continue;
-                }
-                if let Some(level) = radio.level_for_distance(d) {
-                    row.push(ZoneLink {
-                        neighbor: b,
-                        distance_m: d,
-                        level,
-                        weight: radio.power_mw(level),
-                    });
-                }
-            }
+            let mut row = Vec::with_capacity(cap);
+            compute_row(
+                topology,
+                radio,
+                zone_radius_m,
+                a,
+                &all,
+                &mut row,
+                &mut level_counts[a.index()],
+            );
             links.push(row);
         }
         ZoneTable {
             zone_radius_m,
-            adv_level,
+            adv_level: radio.level_for_radius_saturating(zone_radius_m),
             links,
             level_counts,
+        }
+    }
+
+    /// Builds the same table as [`ZoneTable::build`] — bit for bit — but
+    /// sources each node's candidate neighbors from a [`SpatialGrid`]
+    /// instead of scanning all `n` positions: O(n·k) for zone population
+    /// `k` when the grid's cell size is the zone radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid tracks a different node count than `topology`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spms_net::{placement, SpatialGrid, ZoneTable};
+    /// use spms_phy::RadioProfile;
+    ///
+    /// let topo = placement::grid(13, 13, 5.0).unwrap();
+    /// let radio = RadioProfile::mica2();
+    /// let grid = SpatialGrid::build(&topo, 20.0);
+    /// let indexed = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+    /// assert_eq!(indexed, ZoneTable::build(&topo, &radio, 20.0));
+    /// ```
+    #[must_use]
+    pub fn build_indexed(
+        topology: &Topology,
+        radio: &RadioProfile,
+        grid: &SpatialGrid,
+        zone_radius_m: f64,
+    ) -> Self {
+        assert_eq!(grid.len(), topology.len(), "grid/topology length mismatch");
+        let n = topology.len();
+        let cap = Self::row_capacity(topology, zone_radius_m);
+        let mut links = Vec::with_capacity(n);
+        let mut level_counts = vec![vec![0u32; radio.num_levels()]; n];
+        let mut candidates = Vec::with_capacity(cap);
+        for a in topology.nodes() {
+            grid.candidates_within(topology.position(a), zone_radius_m, &mut candidates);
+            let mut row = Vec::with_capacity(cap);
+            compute_row(
+                topology,
+                radio,
+                zone_radius_m,
+                a,
+                &candidates,
+                &mut row,
+                &mut level_counts[a.index()],
+            );
+            links.push(row);
+        }
+        ZoneTable {
+            zone_radius_m,
+            adv_level: radio.level_for_radius_saturating(zone_radius_m),
+            links,
+            level_counts,
+        }
+    }
+
+    /// Patches the table in place after the nodes in `moved` relocated,
+    /// rebuilding **only** the affected rows: each moved node plus every
+    /// node inside either its old zone (read from this table before the
+    /// patch) or its new zone (queried from the grid). Everything else is
+    /// untouched — a single-node move costs O(k²) row work instead of the
+    /// O(n²) full build — and the result is bit-identical to a from-scratch
+    /// [`ZoneTable::build`] of the new topology (property-tested).
+    ///
+    /// `topology` and `grid` must already reflect the **new** positions
+    /// (see [`MobilityProcess::apply_indexed`]); this table still holds the
+    /// pre-move state, which is how the old zones are recovered. Returns
+    /// the [`ZoneDelta`] naming every rebuilt row, ready to feed the
+    /// routing layer's incremental re-convergence.
+    ///
+    /// [`MobilityProcess::apply_indexed`]: crate::MobilityProcess::apply_indexed
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table, topology, and grid disagree on the node count.
+    pub fn apply_moves(
+        &mut self,
+        topology: &Topology,
+        radio: &RadioProfile,
+        grid: &SpatialGrid,
+        moved: &[NodeId],
+    ) -> ZoneDelta {
+        let n = self.links.len();
+        assert_eq!(topology.len(), n, "table/topology length mismatch");
+        assert_eq!(grid.len(), n, "table/grid length mismatch");
+        let mut affected = vec![false; n];
+        let mut moves = Vec::with_capacity(moved.len());
+        let mut candidates = Vec::new();
+        for &m in moved {
+            affected[m.index()] = true;
+            // The old zone, by symmetry: the nodes whose rows mention `m`
+            // are exactly the nodes `m`'s stale row mentions.
+            let old_neighbors: Vec<NodeId> =
+                self.links[m.index()].iter().map(|l| l.neighbor).collect();
+            for &a in &old_neighbors {
+                affected[a.index()] = true;
+            }
+            // The new zone: everyone within the radius of the new position
+            // (a candidate superset is fine — rebuilding an untouched row
+            // reproduces it exactly, so over-approximation costs only
+            // time, and the distance filter keeps the set tight).
+            let pm = topology.position(m);
+            grid.candidates_within(pm, self.zone_radius_m, &mut candidates);
+            for &b in &candidates {
+                if topology.position(b).within(pm, self.zone_radius_m) {
+                    affected[b.index()] = true;
+                }
+            }
+            moves.push(MovedZone {
+                node: m,
+                old_neighbors,
+            });
+        }
+        // Old rows are all captured; now rebuild every affected row from
+        // the grid, exactly as `build_indexed` would.
+        let mut changed_nodes = Vec::new();
+        for (i, &hit) in affected.iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            let a = NodeId::new(i as u32);
+            grid.candidates_within(topology.position(a), self.zone_radius_m, &mut candidates);
+            let mut row = std::mem::take(&mut self.links[i]);
+            compute_row(
+                topology,
+                radio,
+                self.zone_radius_m,
+                a,
+                &candidates,
+                &mut row,
+                &mut self.level_counts[i],
+            );
+            self.links[i] = row;
+            changed_nodes.push(a);
+        }
+        ZoneDelta {
+            moves,
+            changed_nodes,
         }
     }
 
@@ -281,6 +498,55 @@ mod tests {
         assert_eq!(zones.zone_size(NodeId::new(0)), 2);
         assert_eq!(zones.links(NodeId::new(0)).len(), 1);
         assert!(zones.mean_zone_size() > 1.9);
+    }
+
+    #[test]
+    fn indexed_build_is_bit_identical_to_reference() {
+        for radius in [5.0, 12.5, 20.0, 150.0] {
+            let topo = placement::grid(7, 5, 5.0).unwrap();
+            let radio = RadioProfile::mica2();
+            let grid = SpatialGrid::build(&topo, radius);
+            assert_eq!(
+                ZoneTable::build_indexed(&topo, &radio, &grid, radius),
+                ZoneTable::build(&topo, &radio, radius),
+                "radius {radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_moves_patches_to_the_full_rebuild() {
+        let mut topo = placement::grid(7, 7, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::build(&topo, 20.0);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        // A two-cell hop by the center node.
+        let moved = NodeId::new(24);
+        topo.move_node(moved, crate::Point::new(2.5, 2.5));
+        grid.move_node(moved, topo.position(moved));
+        let delta = zones.apply_moves(&topo, &radio, &grid, &[moved]);
+        assert_eq!(zones, ZoneTable::build(&topo, &radio, 20.0));
+        // The delta names the moved node, is sorted, and is a strict
+        // subset of the field.
+        assert!(delta.changed_nodes.contains(&moved));
+        assert!(delta.changed_nodes.windows(2).all(|w| w[0] < w[1]));
+        assert!(delta.rows_patched() < topo.len());
+        assert_eq!(delta.moves.len(), 1);
+        assert_eq!(delta.moves[0].node, moved);
+        assert!(!delta.moves[0].old_neighbors.is_empty());
+    }
+
+    #[test]
+    fn apply_moves_with_no_moves_changes_nothing() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let grid = SpatialGrid::build(&topo, 20.0);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        let before = zones.clone();
+        let delta = zones.apply_moves(&topo, &radio, &grid, &[]);
+        assert_eq!(zones, before);
+        assert_eq!(delta.rows_patched(), 0);
+        assert!(delta.moves.is_empty());
     }
 
     #[test]

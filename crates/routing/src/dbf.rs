@@ -35,7 +35,7 @@
 
 use std::collections::BTreeSet;
 
-use spms_net::{NodeId, ZoneTable};
+use spms_net::{NodeId, ZoneDelta, ZoneTable};
 
 use crate::{DbfWireFormat, RouteEntry, RoutingTable};
 
@@ -467,10 +467,10 @@ impl DbfEngine {
             }
         }
 
-        // Wipe every maintainer's routes to the affected destinations, then
-        // reseed the surviving direct routes. Maintainers of `d` are exactly
-        // `d`'s zone neighbors (old neighbors may hold routes that must go;
-        // new neighbors get the fresh seeds).
+        // Old maintainers may hold routes the new adjacency no longer
+        // justifies: wipe the affected destinations at their *old* zone
+        // neighbors first; the shared tail handles the new-adjacency wipe
+        // and reseed.
         for &d in &dests {
             for link in old_zones.links(d) {
                 let a = link.neighbor.index();
@@ -478,7 +478,123 @@ impl DbfEngine {
                     self.tables[a].remove_dest(d);
                 }
             }
-            for link in new_zones.links(d) {
+        }
+        self.scratch.affected = affected;
+        self.scratch.dests = dests;
+
+        self.reconverge_affected(new_zones, alive, &mut stats);
+        stats
+    }
+
+    /// Incrementally re-converges after an **in-place** zone patch
+    /// ([`ZoneTable::apply_moves`]): the old zone table no longer exists,
+    /// so the pre-move adjacency needed to retire stale routes comes from
+    /// the [`ZoneDelta`] instead. `also_changed` names nodes whose
+    /// liveness flipped since the last convergence without a zone change
+    /// (their zones are invalidated under the current — unchanged — table,
+    /// as [`DbfEngine::invalidate_zone`] would); `alive` is the current
+    /// mask. Tables end bit-identical to a from-scratch rebuild under the
+    /// patched zones (property-tested alongside
+    /// [`DbfEngine::update_topology`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone table and alive mask disagree on the node count,
+    /// or if the exchange fails to converge within the same bound as the
+    /// full rebuild.
+    pub fn apply_zone_delta(
+        &mut self,
+        zones: &ZoneTable,
+        delta: &ZoneDelta,
+        also_changed: &[NodeId],
+        alive: &[bool],
+    ) -> DbfStats {
+        let n = zones.len();
+        assert_eq!(alive.len(), n, "alive mask length mismatch");
+        let mut stats = DbfStats {
+            per_node_bytes: vec![0; n],
+            ..DbfStats::default()
+        };
+
+        // Affected destinations: the patch already rebuilt the rows of
+        // every moved node and everyone inside its old or new zone —
+        // `changed_nodes` is exactly that set. Liveness flips add their
+        // own (unchanged) zones, and pending triggered updates are flushed
+        // as in `update_topology`.
+        let mut affected = std::mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.resize(n, false);
+        for &c in &delta.changed_nodes {
+            affected[c.index()] = true;
+        }
+        for &c in also_changed {
+            affected[c.index()] = true;
+            for link in zones.links(c) {
+                affected[link.neighbor.index()] = true;
+            }
+        }
+        for set in &self.dirty {
+            for &d in set {
+                affected[d.index()] = true;
+            }
+        }
+        let mut dests = std::mem::take(&mut self.scratch.dests);
+        dests.clear();
+        dests.extend(
+            (0..n)
+                .filter(|&i| affected[i])
+                .map(|i| NodeId::new(i as u32)),
+        );
+
+        // A changed node that is down holds no routes at all.
+        for c in delta
+            .moves
+            .iter()
+            .map(|mv| mv.node)
+            .chain(also_changed.iter().copied())
+        {
+            if !alive[c.index()] {
+                self.tables[c.index()].clear();
+                self.dirty[c.index()].clear();
+            }
+        }
+
+        // The old-adjacency wipe `update_topology` reads from `old_zones`:
+        // for non-moved pairs the old and new maintainer sets coincide
+        // (their mutual distances did not change), so the only stale state
+        // the new table cannot name is between a moved node and its
+        // pre-move neighbors — exactly what the delta recorded.
+        for mv in &delta.moves {
+            let m = mv.node.index();
+            for &a in &mv.old_neighbors {
+                if alive[a.index()] {
+                    self.tables[a.index()].remove_dest(mv.node);
+                }
+                if alive[m] {
+                    self.tables[m].remove_dest(a);
+                }
+            }
+        }
+        self.scratch.affected = affected;
+        self.scratch.dests = dests;
+
+        self.reconverge_affected(zones, alive, &mut stats);
+        stats
+    }
+
+    /// Shared tail of the incremental paths. Expects the affected
+    /// destination set in `scratch.affected`/`scratch.dests` (and any
+    /// old-adjacency wipes already done): wipes every maintainer's routes
+    /// to the affected destinations under the **new** adjacency, reseeds
+    /// the surviving direct routes, precomputes the delta-round zone
+    /// scoping, and re-converges.
+    fn reconverge_affected(&mut self, zones: &ZoneTable, alive: &[bool], stats: &mut DbfStats) {
+        let n = zones.len();
+        let dests = std::mem::take(&mut self.scratch.dests);
+        // Maintainers of `d` are exactly `d`'s zone neighbors: stale
+        // routes go, then the surviving direct routes are reseeded.
+        for &d in &dests {
+            for link in zones.links(d) {
                 let a = link.neighbor.index();
                 if alive[a] {
                     self.tables[a].remove_dest(d);
@@ -487,7 +603,7 @@ impl DbfEngine {
             if !alive[d.index()] {
                 continue; // nobody routes to a dead destination
             }
-            for link in new_zones.links(d) {
+            for link in zones.links(d) {
                 let a = link.neighbor.index();
                 if !alive[a] {
                     continue;
@@ -520,17 +636,15 @@ impl DbfEngine {
         member.resize(n * nd, false);
         for (di, &d) in dests.iter().enumerate() {
             dest_index[d.index()] = di as u32;
-            for link in new_zones.links(d) {
+            for link in zones.links(d) {
                 member[link.neighbor.index() * nd + di] = true;
             }
         }
-        self.scratch.affected = affected;
         self.scratch.dests = dests;
         self.scratch.dest_index = dest_index;
         self.scratch.member = member;
 
-        self.run_delta_rounds(new_zones, alive, &mut stats);
-        stats
+        self.run_delta_rounds(zones, alive, stats);
     }
 
     /// Delta rounds: only nodes with a non-empty dirty set broadcast, and
@@ -834,6 +948,37 @@ mod tests {
         let mut reference = DbfEngine::new(&new_zones, 2);
         reference.run_to_convergence(&new_zones);
         for i in 0..new_zones.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn zone_delta_path_matches_full_rebuild() {
+        // The in-place variant: zones patched by `apply_moves`, routing
+        // re-converged from the ZoneDelta (no old zone table anywhere),
+        // with a silent liveness flip folded in on top.
+        let mut topo = placement::grid(5, 5, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = spms_net::SpatialGrid::build(&topo, 20.0);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        let mut dbf = DbfEngine::new(&zones, 2);
+        dbf.run_to_convergence(&zones);
+
+        let moved = NodeId::new(7);
+        let mut alive = vec![true; zones.len()];
+        alive[18] = false; // silent flip, reported via `also_changed`
+        topo.move_node(moved, spms_net::Point::new(19.0, 17.0));
+        grid.move_node(moved, topo.position(moved));
+        let delta = zones.apply_moves(&topo, &radio, &grid, &[moved]);
+        let stats = dbf.apply_zone_delta(&zones, &delta, &[NodeId::new(18)], &alive);
+        assert!(stats.messages > 0);
+        assert_eq!(stats.per_node_bytes.iter().sum::<u64>(), stats.bytes_total);
+
+        let mut reference = DbfEngine::new(&zones, 2);
+        reference.reset(&zones, &alive);
+        reference.run_to_convergence_masked(&zones, &alive);
+        for i in 0..zones.len() {
             let node = NodeId::new(i as u32);
             assert_eq!(dbf.table(node), reference.table(node), "node {node}");
         }

@@ -11,7 +11,7 @@
 //! guards against both distributed paths drifting together.
 
 use proptest::prelude::*;
-use spms_net::{placement, NodeId, Point, Topology, ZoneTable};
+use spms_net::{placement, NodeId, Point, SpatialGrid, Topology, ZoneTable};
 use spms_phy::RadioProfile;
 use spms_routing::{oracle_tables_masked, DbfEngine};
 
@@ -185,6 +185,75 @@ proptest! {
                     )?;
                 }
                 // Silent flips: applied to the mask, reported later.
+                Op::Kill(node) => {
+                    alive[node] = false;
+                    unreported.push(NodeId::new(node as u32));
+                }
+                Op::Revive(node) => {
+                    alive[node] = true;
+                    unreported.push(NodeId::new(node as u32));
+                }
+            }
+        }
+        if !unreported.is_empty() {
+            unreported.dedup();
+            dbf.invalidate_zone(&zones, &unreported, &alive);
+            assert_matches_reference(&dbf, &zones, &alive, "final flush")?;
+        }
+    }
+
+    /// The fully incremental stack: zones maintained **in place** by
+    /// `ZoneTable::apply_moves` over a spatial grid (no old zone table
+    /// ever exists), routing re-converged from the resulting `ZoneDelta`
+    /// via `apply_zone_delta`, with kills/revives ridden out silently and
+    /// folded in at the next move — after every event the tables equal a
+    /// from-scratch masked rebuild exactly. This mirrors the simulation
+    /// engine's `incremental_zones` + `incremental_routing` epoch path.
+    #[test]
+    fn patched_zone_sequences_match_from_scratch_rebuild(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        radius in 12.0f64..24.0,
+        k in 2usize..4,
+        raw_ops in prop::collection::vec((0u8..6, 0u16..64, 0.0f64..1.0, 0.0f64..1.0), 1..8),
+    ) {
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let ops = decode_ops(&raw_ops, n);
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::build(&topo, radius);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, radius);
+        let mut alive = vec![true; n];
+        let mut dbf = DbfEngine::new(&zones, k);
+        dbf.run_to_convergence(&zones);
+        let mut unreported: Vec<NodeId> = Vec::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Move(node, fx, fy) => {
+                    let field = topo.field();
+                    let moved = NodeId::new(node as u32);
+                    topo.move_node(moved, Point::new(fx * field.width, fy * field.height));
+                    grid.move_node(moved, topo.position(moved));
+                    let delta = zones.apply_moves(&topo, &radio, &grid, &[moved]);
+                    prop_assert_eq!(
+                        &zones,
+                        &ZoneTable::build(&topo, &radio, radius),
+                        "step {}: zone patch diverged",
+                        step
+                    );
+                    unreported.dedup();
+                    dbf.apply_zone_delta(&zones, &delta, &unreported, &alive);
+                    unreported.clear();
+                    assert_matches_reference(
+                        &dbf,
+                        &zones,
+                        &alive,
+                        &format!("step {step} (patched move of {moved})"),
+                    )?;
+                }
+                // Silent flips: applied to the mask, folded in at the next
+                // zone patch.
                 Op::Kill(node) => {
                     alive[node] = false;
                     unreported.push(NodeId::new(node as u32));

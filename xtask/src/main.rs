@@ -6,15 +6,16 @@
 //!   `BENCH_smoke.json` in CI and to (re)seed the checked-in
 //!   `BENCH_baseline.json`.
 //! * `bench-gate --baseline <json> --current <json> [--threshold 1.25]
-//!   [--ratio-num <id> --ratio-den <id> --ratio-max <f>]` — the CI
+//!   [--ratio-num <id> --ratio-den <id> --ratio-max <f>]...` — the CI
 //!   regression gate: every bench tracked in the baseline must be present
 //!   in the current results and its `min_ns` must not exceed
-//!   `baseline × threshold`. The optional ratio check is hardware
-//!   independent — it constrains two benches *of the same run* (e.g.
-//!   incremental DBF re-convergence must stay ≤ 0.35× the full rebuild,
-//!   the repo's ≥3× speedup acceptance criterion). Exits non-zero
-//!   (failing the CI job) on any regression, missing bench, or ratio
-//!   breach.
+//!   `baseline × threshold`. The optional ratio checks (the flag triple
+//!   may repeat) are hardware independent — each constrains two benches
+//!   *of the same run* (e.g. incremental DBF re-convergence ≤ 0.35× the
+//!   full rebuild, and the incremental zone patch ≤ 0.35× the full
+//!   indexed zone build — the repo's ≥~3× speedup acceptance criteria).
+//!   Exits non-zero (failing the CI job) on any regression, missing
+//!   bench, or ratio breach.
 //!
 //! The workspace is offline (no serde), so records are read with a tiny
 //! scanner that understands exactly the flat objects the reporter emits.
@@ -196,6 +197,15 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// All values of a repeatable flag, in order.
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
 fn run_collect(args: &[String]) -> Result<(), String> {
     let input = arg_value(args, "--input").ok_or("collect needs --input <jsonl>")?;
     let output = arg_value(args, "--output").ok_or("collect needs --output <json>")?;
@@ -240,25 +250,27 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
             println!("  untracked          {} (not in baseline)", c.id);
         }
     }
-    let ratio_flags = (
-        arg_value(args, "--ratio-num"),
-        arg_value(args, "--ratio-den"),
-        arg_value(args, "--ratio-max"),
-    );
-    match ratio_flags {
-        (Some(num), Some(den), Some(max)) => {
-            let max: f64 = max
-                .parse()
-                .map_err(|e| format!("bad --ratio-max {max}: {e}"))?;
-            let ratio = check_ratio(&current, &num, &den, max)?;
-            println!("  ratio ok  {ratio:>6.2}×  {num} / {den} (max {max:.2})");
-        }
-        (None, None, None) => {}
-        _ => {
-            // A partially-specified ratio must not silently disable the
-            // hardware-independent gate.
-            return Err("ratio check needs all of --ratio-num, --ratio-den, --ratio-max".into());
-        }
+    // Ratio checks are repeatable: the i-th --ratio-num / --ratio-den /
+    // --ratio-max form one constraint. A ragged specification must not
+    // silently disable the hardware-independent gate.
+    let nums = arg_values(args, "--ratio-num");
+    let dens = arg_values(args, "--ratio-den");
+    let maxes = arg_values(args, "--ratio-max");
+    if nums.len() != dens.len() || nums.len() != maxes.len() {
+        return Err(format!(
+            "ratio checks need matching --ratio-num/--ratio-den/--ratio-max triples \
+             (got {}/{}/{})",
+            nums.len(),
+            dens.len(),
+            maxes.len()
+        ));
+    }
+    for ((num, den), max) in nums.iter().zip(&dens).zip(&maxes) {
+        let max: f64 = max
+            .parse()
+            .map_err(|e| format!("bad --ratio-max {max}: {e}"))?;
+        let ratio = check_ratio(&current, num, den, max)?;
+        println!("  ratio ok  {ratio:>6.2}×  {num} / {den} (max {max:.2})");
     }
     if failures > 0 {
         return Err(format!(
@@ -375,6 +387,31 @@ mod tests {
         assert!(check_ratio(&current, "delta", "full", 0.35).is_ok());
         assert!(check_ratio(&current, "delta", "full", 0.25).is_err());
         assert!(check_ratio(&current, "absent", "full", 0.35).is_err());
+    }
+
+    #[test]
+    fn repeated_flags_collect_in_order() {
+        let args: Vec<String> = [
+            "--ratio-num",
+            "a",
+            "--ratio-den",
+            "b",
+            "--ratio-max",
+            "0.35",
+            "--ratio-num",
+            "c",
+            "--ratio-den",
+            "d",
+            "--ratio-max",
+            "0.5",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        assert_eq!(arg_values(&args, "--ratio-num"), ["a", "c"]);
+        assert_eq!(arg_values(&args, "--ratio-den"), ["b", "d"]);
+        assert_eq!(arg_values(&args, "--ratio-max"), ["0.35", "0.5"]);
+        assert!(arg_values(&args, "--absent").is_empty());
     }
 
     #[test]
