@@ -1,0 +1,165 @@
+//! Zone-sharded, epoch-batched delta re-convergence at growing scale:
+//! n = 225 / 625 / 1024 (the paper's 13×13 field is only 169 nodes).
+//!
+//! The scenario is the post-PR-3 hot path ROADMAP names: zone maintenance
+//! is down to ~105 µs per epoch, so the delta-DBF exchange itself is the
+//! dominant mobility cost. One epoch relocates eight nodes spread across
+//! the field — enough disjoint dirty zones for the shard planner to have
+//! real work everywhere — and the engines re-converge it:
+//!
+//! * `dbf_delta_seq_n` — the sequential delta path (the mid-level oracle),
+//! * `dbf_delta_sharded_n` — the zone-shard planner at the host's
+//!   available parallelism (bit-identical tables and stats, proptested;
+//!   only wall-clock may differ),
+//! * `dbf_batch4_per_epoch_625` / `dbf_batch4_window_625` — four epochs
+//!   re-converged one by one versus coalesced into a single batched
+//!   window (`SimConfig::batch_epochs`-style), sequential engine.
+//!
+//! CI's hardware-independent ratio gate pins sharded ≤ 0.7× sequential at
+//! n = 625 (see `xtask bench-gate`) — ≥ ~1.4× from a 2-core runner; wider
+//! machines only widen the margin. On a single-core host the engine
+//! resolves to one shard and dispatches to the very same sequential loop,
+//! so the ratio is only meaningful where parallelism exists (the CI step
+//! skips the gate when `nproc` is 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_net::{placement, NodeId, Point, Topology, ZoneTable};
+use spms_phy::RadioProfile;
+use spms_routing::DbfEngine;
+
+const RADIUS_M: f64 = 20.0;
+const SPACING_M: f64 = 5.0;
+
+/// Eight movers spread across the field: quarter-grid anchor points, so
+/// their zones are pairwise disjoint at every benched size.
+fn movers(side: usize) -> Vec<NodeId> {
+    let q = side / 4;
+    let h = side / 2;
+    [
+        (q, q),
+        (q, h),
+        (q, 3 * q),
+        (h, q),
+        (h, 3 * q),
+        (3 * q, q),
+        (3 * q, h),
+        (3 * q, 3 * q),
+    ]
+    .iter()
+    .map(|&(c, r)| NodeId::new((r * side + c) as u32))
+    .collect()
+}
+
+/// The epoch: every mover hops ~1.5 cells diagonally (old and new zones
+/// overlap — the common mobility case), yielding the before/after zone
+/// tables the ping-ponged `update_topology` calls swap between.
+fn before_after(side: usize) -> (Vec<NodeId>, ZoneTable, ZoneTable) {
+    let mut topo: Topology = placement::grid(side, side, SPACING_M).unwrap();
+    let radio = RadioProfile::mica2();
+    let moved = movers(side);
+    let before = ZoneTable::build(&topo, &radio, RADIUS_M);
+    for &m in &moved {
+        let p = topo.position(m);
+        topo.move_node(m, Point::new(p.x + 7.5, p.y + 12.5));
+    }
+    let after = ZoneTable::build(&topo, &radio, RADIUS_M);
+    (moved, before, after)
+}
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn bench_delta_paths(c: &mut Criterion) {
+    for side in [15usize, 25, 32] {
+        let n = side * side;
+        let (moved, before, after) = before_after(side);
+        let alive = vec![true; n];
+
+        let mut seq = DbfEngine::new(&before, 2);
+        seq.run_to_convergence(&before);
+        let mut forward = true;
+        c.bench_function(&format!("routing/dbf_delta_seq_{n}"), |b| {
+            b.iter(|| {
+                let (old, new) = if forward {
+                    (&before, &after)
+                } else {
+                    (&after, &before)
+                };
+                forward = !forward;
+                std::hint::black_box(seq.update_topology(old, new, &moved, &alive))
+            })
+        });
+
+        let mut sharded = DbfEngine::new(&before, 2).with_shards(shard_count());
+        sharded.run_to_convergence(&before);
+        let mut forward = true;
+        c.bench_function(&format!("routing/dbf_delta_sharded_{n}"), |b| {
+            b.iter(|| {
+                let (old, new) = if forward {
+                    (&before, &after)
+                } else {
+                    (&after, &before)
+                };
+                forward = !forward;
+                std::hint::black_box(sharded.update_topology(old, new, &moved, &alive))
+            })
+        });
+    }
+}
+
+fn bench_batched_window(c: &mut Criterion) {
+    // Four single-mover epochs at n = 625: re-converged one by one versus
+    // coalesced into one batched window. The zone tables are prebuilt
+    // cumulatively (Z0 = all home … Z4 = all moved), so each iteration
+    // measures pure re-convergence, not zone maintenance.
+    let side = 25usize;
+    let n = side * side;
+    let mut topo: Topology = placement::grid(side, side, SPACING_M).unwrap();
+    let radio = RadioProfile::mica2();
+    let moved = &movers(side)[..4];
+    let mut tables = vec![ZoneTable::build(&topo, &radio, RADIUS_M)];
+    for &m in moved {
+        let p = topo.position(m);
+        topo.move_node(m, Point::new(p.x + 7.5, p.y + 12.5));
+        tables.push(ZoneTable::build(&topo, &radio, RADIUS_M));
+    }
+    let alive = vec![true; n];
+
+    let mut per_epoch = DbfEngine::new(&tables[0], 2);
+    per_epoch.run_to_convergence(&tables[0]);
+    let mut forward = true;
+    c.bench_function(&format!("routing/dbf_batch4_per_epoch_{n}"), |b| {
+        b.iter(|| {
+            if forward {
+                for (i, &m) in moved.iter().enumerate() {
+                    per_epoch.update_topology(&tables[i], &tables[i + 1], &[m], &alive);
+                }
+            } else {
+                for (i, &m) in moved.iter().enumerate().rev() {
+                    per_epoch.update_topology(&tables[i + 1], &tables[i], &[m], &alive);
+                }
+            }
+            forward = !forward;
+        })
+    });
+
+    let mut batched = DbfEngine::new(&tables[0], 2);
+    batched.run_to_convergence(&tables[0]);
+    let mut forward = true;
+    let last = tables.len() - 1;
+    c.bench_function(&format!("routing/dbf_batch4_window_{n}"), |b| {
+        b.iter(|| {
+            let (old, new) = if forward {
+                (&tables[0], &tables[last])
+            } else {
+                (&tables[last], &tables[0])
+            };
+            forward = !forward;
+            std::hint::black_box(batched.update_topology(old, new, moved, &alive))
+        })
+    });
+}
+
+criterion_group!(benches, bench_delta_paths, bench_batched_window);
+criterion_main!(benches);

@@ -17,6 +17,11 @@
 //! CI's hardware-independent ratio gate pins patch ≤ 0.35× indexed build
 //! at n = 625 (see `xtask bench-gate`); in practice the patch is far
 //! below that and the margin widens with n.
+//!
+//! Grids come from [`SpatialGrid::for_radius`]: on the n = 225 field the
+//! adaptive sizing collapses to the sort-free single-cell scan (closing
+//! the old small-n gap to the all-pairs build), while 625 and 1024 keep
+//! the pruning zone-radius cells.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spms_net::{placement, NodeId, Point, SpatialGrid, Topology, ZoneTable};
@@ -36,7 +41,7 @@ fn bench_builds(c: &mut Criterion) {
         c.bench_function(&format!("net/zone_build_full_{n}"), |b| {
             b.iter(|| std::hint::black_box(ZoneTable::build(&topo, &radio, RADIUS_M)))
         });
-        let grid = SpatialGrid::build(&topo, RADIUS_M);
+        let grid = SpatialGrid::for_radius(&topo, RADIUS_M);
         c.bench_function(&format!("net/zone_build_indexed_{n}"), |b| {
             b.iter(|| {
                 std::hint::black_box(ZoneTable::build_indexed(&topo, &radio, &grid, RADIUS_M))
@@ -50,7 +55,7 @@ fn bench_single_move_patch(c: &mut Criterion) {
     for side in [25usize, 32] {
         let n = side * side;
         let mut topo = field(side);
-        let mut grid = SpatialGrid::build(&topo, RADIUS_M);
+        let mut grid = SpatialGrid::for_radius(&topo, RADIUS_M);
         let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, RADIUS_M);
         // The center node (worst case — densest zone) hops between its
         // home position and a spot two cells away, so old and new zones

@@ -294,6 +294,28 @@ pub struct SimConfig {
     /// epoch cost shrinks from O(n²) to O(k) rows. `false` rebuilds the
     /// table all-pairs every epoch — the reference path.
     pub incremental_zones: bool,
+    /// Shard partitions for the delta re-convergence
+    /// ([`spms_routing::DbfEngine::with_shards`]): each mobility window's
+    /// dirty-destination exchange is cut into contiguous receiver ranges of
+    /// balanced load and run on scoped OS threads. `0` (the default)
+    /// resolves to the host's available parallelism. The shard count can
+    /// never change results — tables *and* stats are bit-identical for
+    /// every value (property-tested in `spms-routing`), which
+    /// `tests/integration_determinism.rs` re-checks end to end on whole
+    /// `RunMetrics`.
+    pub dbf_shards: usize,
+    /// Mobility-epoch batching window: epochs accumulate their zone deltas
+    /// (and any silent liveness flips) and re-converge routing **once** per
+    /// `batch_epochs` epochs instead of per epoch. `1` (the default)
+    /// re-converges every epoch — the paper's model. Larger windows trade
+    /// bounded routing staleness inside the window (frames to stale links
+    /// drop and protocols fail over, exactly as with
+    /// `reconverge_on_failure = false`) for proportionally fewer delta
+    /// exchanges; the flushed tables are bit-identical to per-epoch
+    /// re-convergence under the final topology (property-tested). Only
+    /// consulted with `incremental_routing` in
+    /// [`RoutingMode::Distributed`].
+    pub batch_epochs: u32,
     /// In [`RoutingMode::Distributed`] with `incremental_routing`, also
     /// re-converge the affected zone when a node fails, repairs, or dies of
     /// battery depletion. The paper's protocol instead rides out failures
@@ -359,6 +381,8 @@ impl SimConfig {
             routing_mode: RoutingMode::Oracle,
             incremental_routing: true,
             incremental_zones: true,
+            dbf_shards: 0,
+            batch_epochs: 1,
             reconverge_on_failure: false,
             idle_listening_mw: None,
             failures: None,
@@ -388,6 +412,9 @@ impl SimConfig {
         self.interzone.validate()?;
         if self.reconverge_on_failure && !self.incremental_routing {
             return Err("reconverge_on_failure requires incremental_routing".into());
+        }
+        if self.batch_epochs == 0 {
+            return Err("batch_epochs must be at least 1".into());
         }
         if self.horizon == SimTime::ZERO {
             return Err("horizon must be positive".into());
@@ -455,6 +482,12 @@ mod tests {
             dat_factor: 1.0,
         };
         assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        c.batch_epochs = 0;
+        assert!(c.validate().is_err());
+        c.batch_epochs = 4;
+        c.dbf_shards = 16;
+        assert!(c.validate().is_ok(), "any shard count is valid (0 = auto)");
     }
 
     #[test]

@@ -95,6 +95,18 @@ pub struct Simulation {
     /// flipped since then without a re-convergence (failures ridden out on
     /// alternative routes) are invalidated at the next incremental rebuild.
     dbf_alive: Vec<bool>,
+    /// The epoch batcher (`SimConfig::batch_epochs`): zone deltas of epochs
+    /// that have not re-converged yet, merged into one. `None` when the
+    /// window is empty or the run maintains zones all-pairs.
+    pending_delta: Option<ZoneDelta>,
+    /// Reference-zone (`incremental_zones = false`) counterpart of
+    /// `pending_delta`: the zone table as of the window start — the
+    /// adjacency the engine's stale routes were converged under.
+    pending_old_zones: Option<ZoneTable>,
+    /// Movers accumulated since the window started (reference-zone path).
+    pending_changed: Vec<NodeId>,
+    /// Epochs queued in the current batching window.
+    pending_epochs: u32,
     protocols: Vec<NodeProtocol>,
     alive: Vec<bool>,
     down_gen: Vec<u32>,
@@ -153,7 +165,11 @@ impl Simulation {
                 return Err(format!("generation source {} out of range", g.source));
             }
         }
-        let grid = SpatialGrid::build(&topology, config.zone_radius_m);
+        // Radius-adaptive cells: on fields too small for a zone-radius
+        // grid to prune, the grid collapses to one cell and candidate
+        // queries become the plain (sort-free) scan, so the indexed zone
+        // build no longer loses to the all-pairs reference at small n.
+        let grid = SpatialGrid::for_radius(&topology, config.zone_radius_m);
         let zones = if config.incremental_zones {
             ZoneTable::build_indexed(&topology, &config.radio, &grid, config.zone_radius_m)
         } else {
@@ -238,6 +254,10 @@ impl Simulation {
             tables: (0..n).map(|_| RoutingTable::new(config.k_routes)).collect(),
             dbf: None,
             dbf_alive: vec![true; n],
+            pending_delta: None,
+            pending_old_zones: None,
+            pending_changed: Vec::new(),
+            pending_epochs: 0,
             protocols,
             alive: vec![true; n],
             down_gen: vec![0; n],
@@ -391,16 +411,61 @@ impl Simulation {
                 self.dbf = None;
             }
             RoutingMode::Distributed => {
-                let mut dbf = self
-                    .dbf
-                    .take()
-                    .unwrap_or_else(|| DbfEngine::new(&self.zones, self.config.k_routes));
+                let shards = self.resolved_shards();
+                let mut dbf = self.dbf.take().unwrap_or_else(|| {
+                    DbfEngine::new(&self.zones, self.config.k_routes).with_shards(shards)
+                });
                 dbf.reset(&self.zones, &self.alive);
                 let stats = dbf.run_to_convergence_masked(&self.zones, &self.alive);
                 self.dbf = Some(dbf);
                 self.dbf_alive = self.alive.clone();
                 self.charge_dbf_run(&stats, false);
             }
+        }
+    }
+
+    /// The shard count the delta re-convergence runs with: the configured
+    /// `dbf_shards`, with `0` resolving to the host's available
+    /// parallelism. Purely a wall-clock knob — results are bit-identical
+    /// for every value.
+    fn resolved_shards(&self) -> usize {
+        match self.config.dbf_shards {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            s => s,
+        }
+    }
+
+    /// Queues one mobility epoch on the batching window and flushes the
+    /// window once `batch_epochs` have accumulated. Deferred epochs ride
+    /// out their staleness exactly like unreported failures do: frames to
+    /// stale links drop at delivery and protocols fail over.
+    fn note_epoch_queued(&mut self) {
+        self.pending_epochs += 1;
+        if self.pending_epochs >= self.config.batch_epochs {
+            self.flush_pending_reconvergence();
+        } else {
+            self.routing_cost.epochs_coalesced += 1;
+        }
+    }
+
+    /// Flushes the epoch-batching window: one delta re-convergence covering
+    /// every queued epoch (and every silent liveness flip folded in by the
+    /// incremental paths). A no-op on an empty window. Also invoked before
+    /// any out-of-band re-convergence (`reconverge_on_failure`), so the
+    /// engine never mixes a liveness invalidation with stale pending moves.
+    fn flush_pending_reconvergence(&mut self) {
+        if self.pending_epochs == 0 {
+            return;
+        }
+        self.pending_epochs = 0;
+        self.routing_cost.batch_windows += 1;
+        if let Some(delta) = self.pending_delta.take() {
+            self.reconverge_from_zone_delta(&delta);
+        } else if let Some(old_zones) = self.pending_old_zones.take() {
+            let mut changed = std::mem::take(&mut self.pending_changed);
+            changed.sort_unstable();
+            changed.dedup();
+            self.reconverge_incrementally(Some(&old_zones), &changed);
         }
     }
 
@@ -505,6 +570,10 @@ impl Simulation {
         self.pause_until = self.pause_until.max(self.now + converge);
         self.routing_cost.executions += 1;
         self.routing_cost.incremental_executions += u64::from(incremental);
+        // Counts plans, not threads: bit-identical across shard counts, so
+        // same-seed metrics compare byte for byte whatever the host offers.
+        let sharded = self.dbf.as_ref().is_some_and(|d| d.shards().is_some());
+        self.routing_cost.sharded_executions += u64::from(incremental && sharded);
         self.routing_cost.rounds += u64::from(stats.rounds);
         self.routing_cost.messages += stats.messages;
         self.routing_cost.bytes += stats.bytes_total;
@@ -655,6 +724,9 @@ impl Simulation {
         if !self.config.reconverge_on_failure {
             return;
         }
+        // Any queued mobility window flushes first: the liveness
+        // invalidation below assumes routing state and zone table agree.
+        self.flush_pending_reconvergence();
         self.reconverge_incrementally(None, &[node]);
     }
 
@@ -719,6 +791,9 @@ impl Simulation {
         let moved: Vec<NodeId> = epoch.moves.iter().map(|&(node, _)| node).collect();
         // "As nodes move, the routing tables have to be modified and no
         // packet transfer can take place until the routing tables converge."
+        // Zone state always updates immediately (MAC densities and delivery
+        // reachability must track real positions); routing re-convergence
+        // queues on the batching window and flushes every `batch_epochs`.
         if self.config.incremental_zones {
             // Patch only the zone rows the epoch perturbed; the returned
             // delta names exactly the nodes routing must re-converge for.
@@ -735,7 +810,11 @@ impl Simulation {
                 )
             });
             if self.config.incremental_routing && self.dbf.is_some() {
-                self.reconverge_from_zone_delta(&delta);
+                match &mut self.pending_delta {
+                    Some(pending) => pending.merge(delta),
+                    None => self.pending_delta = Some(delta),
+                }
+                self.note_epoch_queued();
             } else {
                 self.build_routing();
             }
@@ -748,7 +827,12 @@ impl Simulation {
             );
             let old_zones = std::mem::replace(&mut self.zones, new_zones);
             if self.config.incremental_routing && self.dbf.is_some() {
-                self.reconverge_incrementally(Some(&old_zones), &moved);
+                // The window keeps the *first* pre-epoch table: stale
+                // routes were last converged under it, and interior
+                // epochs' tables never made it into any routing state.
+                self.pending_old_zones.get_or_insert(old_zones);
+                self.pending_changed.extend(moved.iter().copied());
+                self.note_epoch_queued();
             } else {
                 self.build_routing();
             }
@@ -1110,6 +1194,72 @@ mod tests {
         want.routing.zone_patches = patched.routing.zone_patches;
         want.routing.zone_rows_patched = patched.routing.zone_rows_patched;
         assert_eq!(patched, want);
+    }
+
+    #[test]
+    fn batched_epochs_reconverge_once_per_window() {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = single_source_plan(12, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 11);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility =
+            Some(spms_net::MobilityConfig::new(SimTime::from_millis(30), 0.1).unwrap());
+        let per_epoch = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        config.batch_epochs = 3;
+        let batched = Simulation::run_with(config, topo, plan).unwrap();
+
+        assert!(per_epoch.mobility_epochs > 1, "epochs must fire");
+        assert_eq!(per_epoch.routing.batch_windows, per_epoch.mobility_epochs);
+        assert_eq!(per_epoch.routing.epochs_coalesced, 0);
+        assert_eq!(
+            per_epoch.routing.sharded_executions,
+            per_epoch.routing.incremental_executions
+        );
+        // Batching changes convergence pauses and therefore run pacing, so
+        // epoch counts need not match across runs — the invariants are per
+        // run: one flush per full 3-epoch window, everything else deferred.
+        assert!(batched.mobility_epochs > 1);
+        assert_eq!(
+            batched.routing.batch_windows,
+            batched.mobility_epochs / 3,
+            "one flush per full window"
+        );
+        assert_eq!(
+            batched.routing.incremental_executions,
+            batched.routing.batch_windows
+        );
+        // Every epoch either fills its window (flushes) or is coalesced;
+        // a trailing partial window stays coalesced to the end of the run.
+        assert_eq!(
+            batched.routing.epochs_coalesced,
+            batched.mobility_epochs - batched.routing.batch_windows
+        );
+        assert!(
+            batched.routing.bytes < per_epoch.routing.bytes,
+            "coalesced windows must shrink the wire cost: {} vs {}",
+            batched.routing.bytes,
+            per_epoch.routing.bytes
+        );
+        assert_eq!(batched.deliveries, batched.deliveries_expected);
+    }
+
+    #[test]
+    fn batching_applies_to_the_reference_zone_path_too() {
+        // incremental_zones = false still batches: the window keeps the
+        // zone table from its start and flushes one update_topology call.
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = single_source_plan(12, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 21);
+        config.routing_mode = RoutingMode::Distributed;
+        config.incremental_zones = false;
+        config.batch_epochs = 2;
+        config.mobility =
+            Some(spms_net::MobilityConfig::new(SimTime::from_millis(30), 0.1).unwrap());
+        let m = Simulation::run_with(config, topo, plan).unwrap();
+        assert!(m.mobility_epochs > 1);
+        assert_eq!(m.routing.batch_windows, m.mobility_epochs / 2);
+        assert_eq!(m.routing.incremental_executions, m.routing.batch_windows);
+        assert_eq!(m.deliveries, m.deliveries_expected);
     }
 
     #[test]

@@ -14,6 +14,24 @@ pub struct RoutingCost {
     /// (scoped to the zones a mobility or failure event touched) rather
     /// than full from-scratch rebuilds.
     pub incremental_executions: u64,
+    /// Delta re-convergences routed through the zone-shard planner
+    /// (`SimConfig::dbf_shards`). Deliberately counts *plans*, not
+    /// threads, so same-seed runs stay byte-comparable across machines
+    /// and shard counts. In the current engine every delta re-convergence
+    /// is planner-executed, so this equals
+    /// [`RoutingCost::incremental_executions`] by construction (asserted
+    /// in tests); it names the execution mode explicitly and will diverge
+    /// only if a sequential-engine escape hatch is ever added.
+    pub sharded_executions: u64,
+    /// Re-convergence windows flushed by the mobility-epoch batcher
+    /// (`SimConfig::batch_epochs`). With the default window of 1 this
+    /// equals the incremental mobility re-convergences; larger windows
+    /// make it the count of *windows*, each covering several epochs.
+    pub batch_windows: u64,
+    /// Mobility epochs whose re-convergence was deferred into a later
+    /// window flush — the per-epoch exchanges the batcher saved. Zero with
+    /// the default `batch_epochs = 1`.
+    pub epochs_coalesced: u64,
     /// Mobility epochs whose zone table was patched in place
     /// (`ZoneTable::apply_moves` over the spatial grid) instead of rebuilt
     /// from scratch.

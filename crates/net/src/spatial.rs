@@ -6,6 +6,14 @@
 //! zone radius bounds the search to the 3×3 cell neighborhood of the query
 //! point, so the same rebuild touches only the O(k) actual candidates.
 //!
+//! Cell sizing is radius-adaptive: [`SpatialGrid::for_radius`] uses cells
+//! of the query radius only when the field is wide enough for the 3×3
+//! query window to actually prune, and otherwise collapses to a single
+//! cell so queries degenerate to the (sort-free) all-pairs scan — the
+//! small-field regime where a non-pruning grid used to cost more than it
+//! saved. [`SpatialGrid::build`] keeps the explicit cell size for callers
+//! that want one.
+//!
 //! The grid is a plain acceleration structure: it holds node ids bucketed
 //! by position and nothing else. [`ZoneTable::build_indexed`] and
 //! [`ZoneTable::apply_moves`] consume it; the simulation engine keeps it in
@@ -49,6 +57,13 @@ pub struct SpatialGrid {
     cell_of: Vec<u32>,
 }
 
+/// Minimum cells per axis for the grid to actually prune: a radius query
+/// spans up to 3 cells per axis, so below 5 the query window covers most
+/// of the field and the grid only adds bucket-gather and sort overhead on
+/// top of the same distance checks — the small-n regime where the indexed
+/// zone build used to lose to the all-pairs scan.
+const MIN_PRUNING_CELLS: usize = 5;
+
 impl SpatialGrid {
     /// Builds a grid over `topology`'s field with square cells of side
     /// `cell_m` (use the zone radius, so a radius query never needs more
@@ -81,6 +96,43 @@ impl SpatialGrid {
             grid.cells[cell].push(node);
         }
         grid
+    }
+
+    /// Builds the grid that serves `radius_m` queries best: cells of the
+    /// query radius when **either** axis is long enough for the 3-cell
+    /// query window to prune, otherwise one cell spanning the whole field.
+    /// An elongated field (say a pipeline 10 cells long and 1 tall) keeps
+    /// its radius cells — pruning along the long axis is exactly what a
+    /// line deployment needs — while a compact small field collapses.
+    ///
+    /// The degenerate single-cell grid is deliberate, not a failure mode:
+    /// on a small field every radius query window covers most of the cells
+    /// anyway, so the grid gathers ~all `n` ids *and* pays a sort to
+    /// restore id order — measurably slower than the all-pairs scan below
+    /// n ≈ 400 (see ROADMAP). With one cell, [`SpatialGrid::candidates_within`]
+    /// returns the single already-sorted bucket without sorting, which is
+    /// exactly the all-pairs candidate enumeration; the indexed zone build
+    /// then matches the reference build's cost instead of losing to it,
+    /// while large fields keep the O(n·k) pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `radius_m` is positive and finite.
+    #[must_use]
+    pub fn for_radius(topology: &Topology, radius_m: f64) -> Self {
+        assert!(
+            radius_m.is_finite() && radius_m > 0.0,
+            "bad spatial grid query radius {radius_m}"
+        );
+        let field = topology.field();
+        let cols = ((field.width / radius_m).ceil() as usize).max(1);
+        let rows = ((field.height / radius_m).ceil() as usize).max(1);
+        let cell_m = if cols < MIN_PRUNING_CELLS && rows < MIN_PRUNING_CELLS {
+            field.width.max(field.height).max(radius_m)
+        } else {
+            radius_m
+        };
+        Self::build(topology, cell_m)
     }
 
     /// The cell side length in metres.
@@ -168,6 +220,9 @@ impl SpatialGrid {
             for cx in c0..=c1 {
                 out.extend_from_slice(&self.cells[cy * self.cols + cx]);
             }
+        }
+        if r0 == r1 && c0 == c1 {
+            return; // a single bucket is already id-sorted
         }
         // Buckets are id-sorted but concatenation is not; one unstable sort
         // over the O(k) candidates restores the global order determinism
@@ -279,5 +334,54 @@ mod tests {
     fn zero_cell_size_panics() {
         let topo = placement::grid(2, 2, 5.0).unwrap();
         let _ = SpatialGrid::build(&topo, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad spatial grid query radius")]
+    fn bad_radius_panics() {
+        let topo = placement::grid(2, 2, 5.0).unwrap();
+        let _ = SpatialGrid::for_radius(&topo, f64::NAN);
+    }
+
+    #[test]
+    fn for_radius_collapses_small_fields_to_one_cell() {
+        // 13×13 at 5 m spacing = a 60 m field: 3 cells per axis at a 20 m
+        // radius cannot prune, so the adaptive grid degenerates to a single
+        // already-sorted bucket and queries skip the sort entirely.
+        let topo = placement::grid(13, 13, 5.0).unwrap();
+        let grid = SpatialGrid::for_radius(&topo, 20.0);
+        assert_eq!(grid.dims(), (1, 1));
+        let mut cand = Vec::new();
+        grid.candidates_within(topo.position(NodeId::new(0)), 20.0, &mut cand);
+        assert_eq!(cand.len(), topo.len(), "degenerate grid scans everyone");
+        assert!(cand.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn for_radius_keeps_radius_cells_on_elongated_fields() {
+        // A pipeline: 40×2 at 5 m spacing = 195 m × 5 m. The y axis can
+        // never prune, but the x axis prunes hard — the grid must keep its
+        // radius cells instead of collapsing to an all-pairs scan.
+        let topo = placement::grid(40, 2, 5.0).unwrap();
+        let grid = SpatialGrid::for_radius(&topo, 20.0);
+        assert_eq!(grid.dims(), (10, 1));
+        let mut cand = Vec::new();
+        grid.candidates_within(topo.position(NodeId::new(0)), 20.0, &mut cand);
+        assert!(
+            cand.len() < topo.len() / 2,
+            "end-of-line query must prune most of the pipeline"
+        );
+    }
+
+    #[test]
+    fn for_radius_keeps_pruning_cells_on_large_fields() {
+        // 25×25 at 5 m = a 120 m field: 6 cells per axis prune for real.
+        let topo = placement::grid(25, 25, 5.0).unwrap();
+        let grid = SpatialGrid::for_radius(&topo, 20.0);
+        assert_eq!(grid.dims(), (6, 6));
+        assert_eq!(grid.cell_m(), 20.0);
+        let mut cand = Vec::new();
+        grid.candidates_within(topo.position(NodeId::new(0)), 20.0, &mut cand);
+        assert!(cand.len() < topo.len(), "corner query must prune");
     }
 }

@@ -87,6 +87,32 @@ impl ZoneDelta {
     pub fn rows_patched(&self) -> usize {
         self.changed_nodes.len()
     }
+
+    /// Folds a later patch's delta into this one, so several mobility
+    /// epochs can share a single routing re-convergence (the engine's
+    /// `batch_epochs` window). Move records append in event order — a node
+    /// that moved twice appears twice, each with the pre-move adjacency of
+    /// *its* move, which is exactly the stale-pair set routing must retire
+    /// — and the changed-row sets union (kept sorted and distinct).
+    pub fn merge(&mut self, later: ZoneDelta) {
+        self.moves.extend(later.moves);
+        let earlier = std::mem::take(&mut self.changed_nodes);
+        let mut a = earlier.into_iter().peekable();
+        let mut b = later.changed_nodes.into_iter().peekable();
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            let next = match x.cmp(&y) {
+                std::cmp::Ordering::Less => a.next(),
+                std::cmp::Ordering::Greater => b.next(),
+                std::cmp::Ordering::Equal => {
+                    b.next();
+                    a.next()
+                }
+            };
+            self.changed_nodes.extend(next);
+        }
+        self.changed_nodes.extend(a);
+        self.changed_nodes.extend(b);
+    }
 }
 
 /// Recomputes `node`'s zone links and per-level density counts from a
@@ -534,6 +560,69 @@ mod tests {
         assert_eq!(delta.moves.len(), 1);
         assert_eq!(delta.moves[0].node, moved);
         assert!(!delta.moves[0].old_neighbors.is_empty());
+    }
+
+    #[test]
+    fn merged_deltas_union_rows_and_keep_move_order() {
+        let mut topo = placement::grid(7, 7, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::build(&topo, 20.0);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        let first = NodeId::new(24);
+        let second = NodeId::new(3);
+        topo.move_node(first, crate::Point::new(2.5, 2.5));
+        grid.move_node(first, topo.position(first));
+        let mut merged = zones.apply_moves(&topo, &radio, &grid, &[first]);
+        topo.move_node(second, crate::Point::new(27.5, 27.5));
+        grid.move_node(second, topo.position(second));
+        let later = zones.apply_moves(&topo, &radio, &grid, &[second]);
+        let union: Vec<NodeId> = {
+            let mut u = merged.changed_nodes.clone();
+            u.extend(later.changed_nodes.iter().copied());
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        merged.merge(later);
+        assert_eq!(merged.changed_nodes, union);
+        assert!(merged.changed_nodes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(merged.moves.len(), 2);
+        assert_eq!(merged.moves[0].node, first, "event order preserved");
+        assert_eq!(merged.moves[1].node, second);
+    }
+
+    #[test]
+    fn indexed_build_over_adaptive_grids_matches_at_the_crossover_sizes() {
+        // The sizes around the old n ≈ 400 crossover where the fixed-cell
+        // grid lost to the all-pairs build: the adaptive grid must stay
+        // bit-identical to the reference whichever sizing it picks.
+        let radio = RadioProfile::mica2();
+        for side in [13usize, 15, 20, 25] {
+            let topo = placement::grid(side, side, 5.0).unwrap();
+            let grid = SpatialGrid::for_radius(&topo, 20.0);
+            assert_eq!(
+                ZoneTable::build_indexed(&topo, &radio, &grid, 20.0),
+                ZoneTable::build(&topo, &radio, 20.0),
+                "n = {}",
+                side * side
+            );
+        }
+    }
+
+    #[test]
+    fn apply_moves_tracks_the_reference_across_an_adaptive_grid() {
+        // Patching over the degenerate single-cell grid (small field) must
+        // be as bit-identical as over a pruning grid.
+        let mut topo = placement::grid(9, 9, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::for_radius(&topo, 20.0);
+        assert_eq!(grid.dims(), (1, 1), "small field collapses");
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        let moved = NodeId::new(40);
+        topo.move_node(moved, crate::Point::new(1.0, 38.0));
+        grid.move_node(moved, topo.position(moved));
+        zones.apply_moves(&topo, &radio, &grid, &[moved]);
+        assert_eq!(zones, ZoneTable::build(&topo, &radio, 20.0));
     }
 
     #[test]

@@ -22,6 +22,19 @@
 //!   destinations it can actually affect, reseeds their direct routes, and
 //!   re-converges with vectors that carry only the changed entries.
 //!
+//! The delta rounds additionally come in two executions sharing one
+//! semantics: the **sequential** round loop (the default — the mid-level
+//! oracle of the equivalence chain) and the **zone-sharded** runner
+//! ([`DbfEngine::with_shards`]), which partitions each round's receivers
+//! into contiguous id ranges of balanced relaxation load and runs them on
+//! scoped OS threads. Receivers are the unit of ownership: a node's table
+//! is only ever touched by the shard that owns its id, and each receiver
+//! replays its incoming vectors in exactly the broadcast order the
+//! sequential loop uses, so the merge is a no-op and the tables (and even
+//! the [`DbfStats`]) are bit-identical for *every* shard count — the
+//! property the `sharded` proptest suite pins against both oracles. Thread
+//! count can therefore never change routing results, only wall-clock time.
+//!
 //! The incremental scheme leans on a structural fact of zone routing: a
 //! node only maintains destinations inside its own zone, and every relay on
 //! a path toward destination `d` must itself maintain `d` — so every route
@@ -36,6 +49,15 @@
 use std::collections::BTreeSet;
 
 use spms_net::{NodeId, ZoneDelta, ZoneTable};
+
+/// Minimum total relaxation load (vector entries addressed this round)
+/// before a sharded round spawns threads; lighter rounds run inline. A
+/// delta convergence tapers — the last few rounds carry a handful of
+/// entries — and a thread spawn costs tens of microseconds, so paying it
+/// only on heavy rounds keeps the parallel path's overhead on the tail at
+/// zero. Purely a scheduling choice: the executed relaxation is identical
+/// either way.
+const SHARD_MIN_LOAD: u64 = 1024;
 
 use crate::{DbfWireFormat, RouteEntry, RoutingTable};
 
@@ -90,6 +112,26 @@ struct Scratch {
     /// once per event turns the per-entry membership check on the delta
     /// hot path into one array load instead of a binary search.
     member: Vec<bool>,
+    /// Nodes with at least one `member` bit — the maintainers whose tables
+    /// the invalidation wipe must visit.
+    touched: Vec<bool>,
+    /// Per-maintainer wipe list, reused across maintainers.
+    wipe: Vec<NodeId>,
+    /// Sharded rounds: CSR prefix (`n + 1` entries) of each receiver's
+    /// inbox for the current round.
+    inbox_start: Vec<u32>,
+    /// Sharded rounds: `snap_from` index of each inbox vector, grouped by
+    /// receiver, in broadcast (sender-id) order within each group.
+    inbox_msg: Vec<u32>,
+    /// Sharded rounds: the receiver's link weight to each inbox sender.
+    inbox_weight: Vec<f64>,
+    /// Sharded rounds: per-receiver relaxation load (entries addressed to
+    /// it this round) — the shard planner's balancing weight.
+    load: Vec<u64>,
+    /// Sharded rounds: scatter cursors while filling the inbox.
+    fill: Vec<u32>,
+    /// Sharded rounds: shard boundary node ids (`bounds[i]..bounds[i+1]`).
+    bounds: Vec<usize>,
 }
 
 /// The distributed Bellman-Ford engine: one routing table per node.
@@ -118,6 +160,10 @@ pub struct DbfEngine {
     dirty: Vec<BTreeSet<NodeId>>,
     k: usize,
     wire: DbfWireFormat,
+    /// `None` runs the delta rounds sequentially (the mid-level oracle);
+    /// `Some(s)` runs them through the zone-shard planner with `s`
+    /// receiver partitions. Bit-identical either way.
+    shards: Option<usize>,
     scratch: Scratch,
 }
 
@@ -135,6 +181,7 @@ impl DbfEngine {
             dirty: vec![BTreeSet::new(); zones.len()],
             k,
             wire: DbfWireFormat::default(),
+            shards: None,
             scratch: Scratch::default(),
         };
         engine.reset(zones, &vec![true; zones.len()]);
@@ -146,6 +193,32 @@ impl DbfEngine {
     pub fn with_wire_format(mut self, wire: DbfWireFormat) -> Self {
         self.wire = wire;
         self
+    }
+
+    /// Routes the delta re-convergence through the zone-shard planner with
+    /// `shards` receiver partitions (shards beyond the round's active
+    /// receivers idle). One partition dispatches straight to the
+    /// sequential round loop — a single-core host pays zero planning
+    /// overhead — while [`DbfEngine::shards`] still reports the
+    /// configuration, so accounting that names the execution mode stays
+    /// byte-comparable with a parallel host. Tables and stats are
+    /// bit-identical to the sequential path for every shard count
+    /// (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shards must be at least 1");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The configured shard count (`None` = sequential delta rounds).
+    #[must_use]
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
     }
 
     /// The number of route alternatives kept per destination.
@@ -587,19 +660,60 @@ impl DbfEngine {
     /// old-adjacency wipes already done): wipes every maintainer's routes
     /// to the affected destinations under the **new** adjacency, reseeds
     /// the surviving direct routes, precomputes the delta-round zone
-    /// scoping, and re-converges.
+    /// scoping, and re-converges — sequentially or through the zone-shard
+    /// planner, per [`DbfEngine::with_shards`].
     fn reconverge_affected(&mut self, zones: &ZoneTable, alive: &[bool], stats: &mut DbfStats) {
         let n = zones.len();
         let dests = std::mem::take(&mut self.scratch.dests);
-        // Maintainers of `d` are exactly `d`'s zone neighbors: stale
-        // routes go, then the surviving direct routes are reseeded.
-        for &d in &dests {
+        // Precompute the zone scoping first: every entry the delta exchange
+        // carries targets an affected destination, so one dense
+        // (node × affected-dest) bitmap replaces the per-entry `in_zone`
+        // lookup; self-links are absent by construction, which also
+        // subsumes the `dest == at` skip. The same bitmap doubles as the
+        // wipe plan — maintainers of `d` are exactly `d`'s zone neighbors.
+        let nd = dests.len();
+        let mut dest_index = std::mem::take(&mut self.scratch.dest_index);
+        dest_index.clear();
+        dest_index.resize(n, u32::MAX);
+        let mut member = std::mem::take(&mut self.scratch.member);
+        member.clear();
+        member.resize(n * nd, false);
+        let mut touched = std::mem::take(&mut self.scratch.touched);
+        touched.clear();
+        touched.resize(n, false);
+        for (di, &d) in dests.iter().enumerate() {
+            dest_index[d.index()] = di as u32;
             for link in zones.links(d) {
-                let a = link.neighbor.index();
-                if alive[a] {
-                    self.tables[a].remove_dest(d);
-                }
+                member[link.neighbor.index() * nd + di] = true;
+                touched[link.neighbor.index()] = true;
             }
+        }
+        // Batched invalidation: each touched maintainer drops its whole
+        // affected-destination slice in one arena compaction instead of one
+        // shift per destination — the wipe lists grow with the batching
+        // window, the compaction cost does not.
+        let mut wipe = std::mem::take(&mut self.scratch.wipe);
+        for (a, &hit) in touched.iter().enumerate() {
+            if !hit || !alive[a] {
+                continue;
+            }
+            wipe.clear();
+            let base = a * nd;
+            wipe.extend(
+                dests
+                    .iter()
+                    .enumerate()
+                    .filter(|&(di, _)| member[base + di])
+                    .map(|(_, &d)| d),
+            );
+            self.tables[a].remove_dests(&wipe);
+        }
+        self.scratch.wipe = wipe;
+        self.scratch.touched = touched;
+        // Reseed the surviving direct routes. Link weights are symmetric
+        // (shared radio profile), so the d→a weight doubles as a's direct
+        // cost to d.
+        for &d in &dests {
             if !alive[d.index()] {
                 continue; // nobody routes to a dead destination
             }
@@ -608,8 +722,6 @@ impl DbfEngine {
                 if !alive[a] {
                     continue;
                 }
-                // Link weights are symmetric (shared radio profile), so the
-                // d→a weight doubles as a's direct cost to d.
                 if self.tables[a].offer(
                     d,
                     RouteEntry {
@@ -622,29 +734,69 @@ impl DbfEngine {
                 }
             }
         }
-        // Precompute the zone scoping for the delta rounds: every entry the
-        // delta exchange carries targets an affected destination, so one
-        // dense (node × affected-dest) bitmap replaces the per-entry
-        // `in_zone` lookup. Self-links are absent by construction, which
-        // also subsumes the `dest == at` skip.
-        let nd = dests.len();
-        let mut dest_index = std::mem::take(&mut self.scratch.dest_index);
-        dest_index.clear();
-        dest_index.resize(n, u32::MAX);
-        let mut member = std::mem::take(&mut self.scratch.member);
-        member.clear();
-        member.resize(n * nd, false);
-        for (di, &d) in dests.iter().enumerate() {
-            dest_index[d.index()] = di as u32;
-            for link in zones.links(d) {
-                member[link.neighbor.index() * nd + di] = true;
-            }
-        }
         self.scratch.dests = dests;
         self.scratch.dest_index = dest_index;
         self.scratch.member = member;
 
-        self.run_delta_rounds(zones, alive, stats);
+        match self.shards {
+            // One partition would replay the sequential order anyway: skip
+            // the planner (inbox scatter, bounds) entirely. `shards()`
+            // still reports the configuration for mode accounting.
+            None | Some(1) => self.run_delta_rounds(zones, alive, stats),
+            Some(shards) => self.run_delta_rounds_sharded(zones, alive, shards, stats),
+        }
+    }
+
+    /// Drains every alive node's dirty set into the snapshot arena: the
+    /// round opening shared verbatim by the sequential and sharded delta
+    /// loops, so the two executions can never drift apart on what gets
+    /// broadcast. Dead broadcasters clear silently; an all-withdrawn delta
+    /// has nothing to say (its neighbors were invalidated by the same
+    /// event, so silence is correct).
+    fn snapshot_delta_round(
+        &mut self,
+        alive: &[bool],
+        snap_entries: &mut Vec<(NodeId, f64, u32)>,
+        snap_from: &mut Vec<(NodeId, u32, u32)>,
+    ) {
+        snap_entries.clear();
+        snap_from.clear();
+        for (i, &up) in alive.iter().enumerate() {
+            if self.dirty[i].is_empty() {
+                continue;
+            }
+            if !up {
+                self.dirty[i].clear();
+                continue;
+            }
+            let start = snap_entries.len() as u32;
+            let table = &self.tables[i];
+            snap_entries.extend(
+                self.dirty[i]
+                    .iter()
+                    .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
+            );
+            self.dirty[i].clear();
+            if snap_entries.len() as u32 == start {
+                continue;
+            }
+            snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
+        }
+    }
+
+    /// Wire accounting for one round's snapshot, shared by both delta
+    /// loops. All sums are integers, so accumulation order cannot affect
+    /// the totals — the sharded rounds stay byte-identical to the
+    /// sequential ones on every stats field.
+    fn account_delta_round(&self, snap_from: &[(NodeId, u32, u32)], stats: &mut DbfStats) {
+        for &(from, start, end) in snap_from {
+            let len = (end - start) as usize;
+            stats.messages += 1;
+            stats.entries_sent += len as u64;
+            let bytes = u64::from(self.wire.message_bytes(len));
+            stats.bytes_total += bytes;
+            stats.per_node_bytes[from.index()] += bytes;
+        }
     }
 
     /// Delta rounds: only nodes with a non-empty dirty set broadcast, and
@@ -665,38 +817,10 @@ impl DbfEngine {
             }
             let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
             let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
-            snap_entries.clear();
-            snap_from.clear();
-            for (i, &up) in alive.iter().enumerate() {
-                if self.dirty[i].is_empty() {
-                    continue;
-                }
-                if !up {
-                    self.dirty[i].clear();
-                    continue;
-                }
-                let start = snap_entries.len() as u32;
-                let table = &self.tables[i];
-                snap_entries.extend(
-                    self.dirty[i]
-                        .iter()
-                        .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
-                );
-                self.dirty[i].clear();
-                // An all-withdrawn delta has nothing to say: the neighbors
-                // were invalidated by the same event, so silence is correct.
-                if snap_entries.len() as u32 == start {
-                    continue;
-                }
-                snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
-            }
+            self.snapshot_delta_round(alive, &mut snap_entries, &mut snap_from);
+            self.account_delta_round(&snap_from, stats);
             for &(from, start, end) in &snap_from {
                 let entries = &snap_entries[start as usize..end as usize];
-                stats.messages += 1;
-                stats.entries_sent += entries.len() as u64;
-                let bytes = u64::from(self.wire.message_bytes(entries.len()));
-                stats.bytes_total += bytes;
-                stats.per_node_bytes[from.index()] += bytes;
                 for link in zones.links(from) {
                     let to = link.neighbor;
                     if !alive[to.index()] {
@@ -731,6 +855,209 @@ impl DbfEngine {
             self.scratch.snap_from = snap_from;
         }
         panic!("incremental DBF failed to converge within {max_rounds} rounds");
+    }
+
+    /// Delta rounds through the zone-shard planner: same semantics as
+    /// [`DbfEngine::run_delta_rounds`], executed by up to `shards` scoped
+    /// OS threads per round.
+    ///
+    /// Each round snapshots and accounts exactly like the sequential loop,
+    /// then scatters the broadcasts into per-receiver *inboxes* (a CSR
+    /// over receiver ids, each inbox in broadcast order), cuts the
+    /// receiver id space into contiguous ranges of balanced relaxation
+    /// load, and hands every range its disjoint slice of tables and dirty
+    /// sets. A receiver replays its inbox in the same order the sequential
+    /// loop would deliver it, and no table is shared between ranges, so
+    /// the input-order-preserving reduction is simply "the slices land
+    /// back where they were cut" — results are bit-identical for every
+    /// shard count, including 1 (which skips the thread spawns entirely).
+    fn run_delta_rounds_sharded(
+        &mut self,
+        zones: &ZoneTable,
+        alive: &[bool],
+        shards: usize,
+        stats: &mut DbfStats,
+    ) {
+        let n = zones.len();
+        let nd = self.scratch.dests.len();
+        let dest_index = std::mem::take(&mut self.scratch.dest_index);
+        let member = std::mem::take(&mut self.scratch.member);
+        let mut inbox_start = std::mem::take(&mut self.scratch.inbox_start);
+        let mut inbox_msg = std::mem::take(&mut self.scratch.inbox_msg);
+        let mut inbox_weight = std::mem::take(&mut self.scratch.inbox_weight);
+        let mut load = std::mem::take(&mut self.scratch.load);
+        let mut fill = std::mem::take(&mut self.scratch.fill);
+        let mut bounds = std::mem::take(&mut self.scratch.bounds);
+        let max_rounds = (n as u32).max(8) + 4;
+        for _round in 0..max_rounds {
+            stats.rounds += 1;
+            if self.dirty.iter().all(BTreeSet::is_empty) {
+                self.scratch.dest_index = dest_index;
+                self.scratch.member = member;
+                self.scratch.inbox_start = inbox_start;
+                self.scratch.inbox_msg = inbox_msg;
+                self.scratch.inbox_weight = inbox_weight;
+                self.scratch.load = load;
+                self.scratch.fill = fill;
+                self.scratch.bounds = bounds;
+                return; // quiescent: no triggered updates left
+            }
+            // Snapshot and wire accounting — the helpers shared verbatim
+            // with the sequential path.
+            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+            self.snapshot_delta_round(alive, &mut snap_entries, &mut snap_from);
+            self.account_delta_round(&snap_from, stats);
+            // Scatter the broadcasts into per-receiver inboxes (CSR).
+            // Iterating senders in snapshot order makes every inbox replay
+            // the exact delivery order of the sequential loop.
+            inbox_start.clear();
+            inbox_start.resize(n + 1, 0);
+            for &(from, _, _) in &snap_from {
+                for link in zones.links(from) {
+                    let to = link.neighbor.index();
+                    if alive[to] {
+                        inbox_start[to + 1] += 1;
+                    }
+                }
+            }
+            for i in 0..n {
+                inbox_start[i + 1] += inbox_start[i];
+            }
+            let total = inbox_start[n] as usize;
+            inbox_msg.clear();
+            inbox_msg.resize(total, 0);
+            inbox_weight.clear();
+            inbox_weight.resize(total, 0.0);
+            load.clear();
+            load.resize(n, 0);
+            fill.clear();
+            fill.extend_from_slice(&inbox_start[..n]);
+            for (mi, &(from, start, end)) in snap_from.iter().enumerate() {
+                let entries = u64::from(end - start);
+                for link in zones.links(from) {
+                    let to = link.neighbor.index();
+                    if !alive[to] {
+                        continue;
+                    }
+                    let at = fill[to] as usize;
+                    fill[to] += 1;
+                    inbox_msg[at] = mi as u32;
+                    inbox_weight[at] = link.weight;
+                    load[to] += entries;
+                }
+            }
+            // Shard plan: contiguous receiver ranges of ≈ equal load.
+            let total_load: u64 = load.iter().sum();
+            bounds.clear();
+            bounds.push(0);
+            if shards > 1 && total_load > 0 {
+                let target = total_load.div_ceil(shards as u64);
+                let mut acc = 0u64;
+                for (i, &l) in load.iter().enumerate() {
+                    acc += l;
+                    if acc >= target && bounds.len() < shards && i + 1 < n {
+                        bounds.push(i + 1);
+                        acc = 0;
+                    }
+                }
+            }
+            bounds.push(n);
+            let busy = bounds
+                .windows(2)
+                .filter(|w| load[w[0]..w[1]].iter().any(|&l| l > 0))
+                .count();
+
+            let run_range = |lo: usize,
+                             tables: &mut [RoutingTable],
+                             dirty: &mut [BTreeSet<NodeId>]| {
+                for (off, (table, dirty)) in tables.iter_mut().zip(dirty.iter_mut()).enumerate() {
+                    let to = lo + off;
+                    let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
+                    if slot.is_empty() {
+                        continue;
+                    }
+                    relax_inbox(
+                        table,
+                        dirty,
+                        to * nd,
+                        &inbox_msg[slot.clone()],
+                        &inbox_weight[slot],
+                        &snap_entries,
+                        &snap_from,
+                        &member,
+                        &dest_index,
+                    );
+                }
+            };
+            if busy <= 1 || total_load < SHARD_MIN_LOAD {
+                // One busy range (or a light round): run inline — no
+                // thread is worth spawning. This is also the shards = 1
+                // path and the taper at the end of every convergence.
+                run_range(0, &mut self.tables, &mut self.dirty);
+            } else {
+                let run_range = &run_range;
+                let mut table_rest = self.tables.as_mut_slice();
+                let mut dirty_rest = self.dirty.as_mut_slice();
+                let mut consumed = 0usize;
+                std::thread::scope(|scope| {
+                    for w in bounds.windows(2) {
+                        let (lo, hi) = (w[0], w[1]);
+                        let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
+                        let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
+                        table_rest = table_next;
+                        dirty_rest = dirty_next;
+                        consumed = hi;
+                        if load[lo..hi].iter().all(|&l| l == 0) {
+                            continue; // nothing addressed to this range
+                        }
+                        scope.spawn(move || run_range(lo, table_mine, dirty_mine));
+                    }
+                });
+            }
+            self.scratch.snap_entries = snap_entries;
+            self.scratch.snap_from = snap_from;
+        }
+        panic!("sharded incremental DBF failed to converge within {max_rounds} rounds");
+    }
+}
+
+/// One receiver's relaxation for one sharded round: replays the inbox
+/// (vector indexes + link weights, in broadcast order) against the
+/// receiver's table, recording changed destinations in its dirty set.
+/// `member_base` is the receiver's row offset into the scoping bitmap.
+/// Free-standing so shard threads can run it on their disjoint slices.
+#[allow(clippy::too_many_arguments)]
+fn relax_inbox(
+    table: &mut RoutingTable,
+    dirty: &mut BTreeSet<NodeId>,
+    member_base: usize,
+    msgs: &[u32],
+    weights: &[f64],
+    snap_entries: &[(NodeId, f64, u32)],
+    snap_from: &[(NodeId, u32, u32)],
+    member: &[bool],
+    dest_index: &[u32],
+) {
+    for (&mi, &w) in msgs.iter().zip(weights) {
+        let (from, start, end) = snap_from[mi as usize];
+        let entries = &snap_entries[start as usize..end as usize];
+        for &(dest, cost, hops) in entries {
+            let di = dest_index[dest.index()] as usize;
+            if !member[member_base + di] {
+                continue;
+            }
+            if table.offer(
+                dest,
+                RouteEntry {
+                    via: from,
+                    cost: w + cost,
+                    hops: hops + 1,
+                },
+            ) {
+                dirty.insert(dest);
+            }
+        }
     }
 }
 
@@ -982,6 +1309,67 @@ mod tests {
             let node = NodeId::new(i as u32);
             assert_eq!(dbf.table(node), reference.table(node), "node {node}");
         }
+    }
+
+    #[test]
+    fn sharded_delta_matches_sequential_tables_and_stats() {
+        // The same move replayed on a sequential engine and on sharded
+        // engines (1, 2 and 8 partitions) must agree on every table AND on
+        // every stats field — thread count can never change results.
+        let mut topo = placement::grid(7, 7, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let old_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let moved = NodeId::new(24);
+        topo.move_node(moved, spms_net::Point::new(3.0, 29.0));
+        let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; new_zones.len()];
+
+        let mut sequential = DbfEngine::new(&old_zones, 2);
+        sequential.run_to_convergence(&old_zones);
+        let want = sequential.update_topology(&old_zones, &new_zones, &[moved], &alive);
+        assert!(want.messages > 0);
+
+        for shards in [1usize, 2, 8] {
+            let mut sharded = DbfEngine::new(&old_zones, 2).with_shards(shards);
+            assert_eq!(sharded.shards(), Some(shards));
+            sharded.run_to_convergence(&old_zones);
+            let got = sharded.update_topology(&old_zones, &new_zones, &[moved], &alive);
+            assert_eq!(got, want, "stats diverged at {shards} shards");
+            for i in 0..new_zones.len() {
+                let node = NodeId::new(i as u32);
+                assert_eq!(
+                    sharded.table(node),
+                    sequential.table(node),
+                    "{shards} shards: node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_kill_and_revive_match_full_rebuild() {
+        let z = zones(6, 6);
+        let mut dbf = DbfEngine::new(&z, 2).with_shards(4);
+        dbf.run_to_convergence(&z);
+        let mut alive = vec![true; z.len()];
+        for flip in [false, true] {
+            alive[14] = flip;
+            dbf.invalidate_zone(&z, &[NodeId::new(14)], &alive);
+            let mut reference = DbfEngine::new(&z, 2);
+            reference.reset(&z, &alive);
+            reference.run_to_convergence_masked(&z, &alive);
+            for i in 0..z.len() {
+                let node = NodeId::new(i as u32);
+                assert_eq!(dbf.table(node), reference.table(node), "up={flip} {node}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be at least 1")]
+    fn zero_shards_panics() {
+        let z = zones(3, 3);
+        let _ = DbfEngine::new(&z, 2).with_shards(0);
     }
 
     #[test]

@@ -290,6 +290,43 @@ impl RoutingTable {
         }
     }
 
+    /// Removes every route to each destination in `dests` — which must be
+    /// sorted ascending and distinct — in **one** compaction pass over the
+    /// arena; returns how many destinations were actually present. The
+    /// incremental DBF's invalidation wipes whole affected-destination
+    /// sets per table, where repeated [`RoutingTable::remove_dest`] calls
+    /// would shift the arena once per destination; batched windows make
+    /// those sets large enough for the difference to matter.
+    pub fn remove_dests(&mut self, dests: &[NodeId]) -> usize {
+        debug_assert!(
+            dests.windows(2).all(|w| w[0] < w[1]),
+            "remove_dests needs a sorted, distinct destination set"
+        );
+        let k = self.k;
+        let mut kept = 0usize;
+        let mut cursor = 0usize;
+        for p in 0..self.dests.len() {
+            let d = self.dests[p];
+            while cursor < dests.len() && dests[cursor] < d {
+                cursor += 1;
+            }
+            if cursor < dests.len() && dests[cursor] == d {
+                continue; // dropped: later rows compact over it
+            }
+            if kept != p {
+                self.dests[kept] = d;
+                self.lens[kept] = self.lens[p];
+                self.slots.copy_within(p * k..(p + 1) * k, kept * k);
+            }
+            kept += 1;
+        }
+        let removed = self.dests.len() - kept;
+        self.dests.truncate(kept);
+        self.lens.truncate(kept);
+        self.slots.truncate(kept * k);
+        removed
+    }
+
     fn remove_at(&mut self, p: usize) {
         self.dests.remove(p);
         self.lens.remove(p);
@@ -430,6 +467,34 @@ mod tests {
         assert!(t.best(NodeId::new(1)).is_none());
         assert_eq!(t.best(NodeId::new(3)).unwrap().via, NodeId::new(2));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_dests_compacts_in_one_pass() {
+        let mut t = RoutingTable::new(2);
+        for d in [1u32, 3, 5, 7, 9] {
+            t.offer(NodeId::new(d), e(2, f64::from(d), 1));
+            t.offer(NodeId::new(d), e(4, f64::from(d) + 1.0, 2));
+        }
+        // Mixed present/absent targets; the absent ones count for nothing.
+        let removed = t.remove_dests(&[NodeId::new(3), NodeId::new(4), NodeId::new(9)]);
+        assert_eq!(removed, 2);
+        assert_eq!(t.len(), 3);
+        for d in [1u32, 5, 7] {
+            assert_eq!(t.best(NodeId::new(d)).unwrap().cost, f64::from(d));
+            assert_eq!(t.routes_to(NodeId::new(d)).len(), 2);
+        }
+        assert!(t.best(NodeId::new(3)).is_none());
+        assert!(t.best(NodeId::new(9)).is_none());
+        // Equivalent to the per-destination removals, bit for bit.
+        let mut one_by_one = RoutingTable::new(2);
+        for d in [1u32, 5, 7] {
+            one_by_one.offer(NodeId::new(d), e(2, f64::from(d), 1));
+            one_by_one.offer(NodeId::new(d), e(4, f64::from(d) + 1.0, 2));
+        }
+        assert_eq!(t, one_by_one);
+        assert_eq!(t.remove_dests(&[]), 0);
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Differential-oracle harness for the zone-sharded, epoch-batched delta
+//! re-convergence.
+//!
+//! The equivalence chain has three rungs, each property-tested against the
+//! one below it over random move/kill/revive sequences (with silent
+//! liveness flips and multi-epoch batching windows):
+//!
+//! 1. **Root oracle** — full rebuild (`reset` +
+//!    `run_to_convergence_masked`), the paper's "re-execution of the DBF".
+//! 2. **Mid-level oracle** — the sequential delta path (`DbfEngine` without
+//!    shards), itself proven against the root in
+//!    `crates/routing/tests/incremental.rs`.
+//! 3. **Sharded + batched** — the shard planner at 1, 2 and 8 partitions,
+//!    fed merged [`ZoneDelta`]s covering whole batching windows.
+//!
+//! Every flush must leave all three rungs with bit-identical tables, and
+//! the sharded runners must also report byte-identical [`DbfStats`] to the
+//! sequential path — the planner may only change wall-clock time, never
+//! results or accounting.
+
+use proptest::prelude::*;
+use spms_net::{placement, NodeId, Point, SpatialGrid, ZoneDelta, ZoneTable};
+use spms_phy::RadioProfile;
+use spms_routing::DbfEngine;
+
+/// One topology event, decoded from raw proptest draws.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Move(usize, f64, f64),
+    Kill(usize),
+    Revive(usize),
+}
+
+fn decode_ops(raw: &[(u8, u16, f64, f64)], n: usize) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, node, x, y)| {
+            let node = node as usize % n;
+            match kind % 3 {
+                0 => Op::Move(node, x, y),
+                1 => Op::Kill(node),
+                _ => Op::Revive(node),
+            }
+        })
+        .collect()
+}
+
+/// An empty delta: what a batching window holds before any move lands.
+fn empty_delta() -> ZoneDelta {
+    ZoneDelta {
+        moves: Vec::new(),
+        changed_nodes: Vec::new(),
+    }
+}
+
+/// Asserts every engine equals the from-scratch root oracle bit for bit.
+fn assert_all_match_root(
+    engines: &[(&'static str, &DbfEngine)],
+    zones: &ZoneTable,
+    alive: &[bool],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let k = engines[0].1.k();
+    let mut root = DbfEngine::new(zones, k);
+    root.reset(zones, alive);
+    root.run_to_convergence_masked(zones, alive);
+    for &(label, engine) in engines {
+        for i in 0..zones.len() {
+            let node = NodeId::new(i as u32);
+            prop_assert_eq!(
+                engine.table(node),
+                root.table(node),
+                "{}: {} diverged from the root oracle at node {}",
+                context,
+                label,
+                node
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Fixed seed + bounded case count keeps this suite deterministic in CI.
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        rng_seed: 0x0000_D8F1_2004,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random event sequences grouped into batching windows: moves patch
+    /// the zone table in place and merge into one `ZoneDelta`; kills and
+    /// revives stay silent until the window flushes. At every flush the
+    /// sequential-delta and sharded engines (1/2/8 partitions) must agree
+    /// with the root oracle exactly, and the sharded stats must equal the
+    /// sequential stats byte for byte.
+    #[test]
+    fn batched_windows_reach_bit_identical_tables_across_shard_counts(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        radius in 12.0f64..24.0,
+        k in 2usize..4,
+        window in 1usize..4,
+        raw_ops in prop::collection::vec((0u8..6, 0u16..64, 0.0f64..1.0, 0.0f64..1.0), 2..10),
+    ) {
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let ops = decode_ops(&raw_ops, n);
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::for_radius(&topo, radius);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, radius);
+        let mut alive = vec![true; n];
+
+        let mut seq = DbfEngine::new(&zones, k);
+        seq.run_to_convergence(&zones);
+        let mut sharded: Vec<(usize, DbfEngine)> = [1usize, 2, 8]
+            .iter()
+            .map(|&s| {
+                let mut engine = DbfEngine::new(&zones, k).with_shards(s);
+                engine.run_to_convergence(&zones);
+                (s, engine)
+            })
+            .collect();
+
+        // The batching window: moves merge into one delta, liveness flips
+        // wait in `silent`, and everything re-converges at the flush.
+        let mut pending = empty_delta();
+        let mut pending_moves = 0usize;
+        let mut silent: Vec<NodeId> = Vec::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Move(node, fx, fy) => {
+                    let field = topo.field();
+                    let moved = NodeId::new(node as u32);
+                    topo.move_node(moved, Point::new(fx * field.width, fy * field.height));
+                    grid.move_node(moved, topo.position(moved));
+                    pending.merge(zones.apply_moves(&topo, &radio, &grid, &[moved]));
+                    pending_moves += 1;
+                }
+                Op::Kill(node) => {
+                    alive[node] = false;
+                    silent.push(NodeId::new(node as u32));
+                }
+                Op::Revive(node) => {
+                    alive[node] = true;
+                    silent.push(NodeId::new(node as u32));
+                }
+            }
+            let window_full = (step + 1) % window == 0;
+            let last = step + 1 == ops.len();
+            if !(window_full || last) {
+                continue;
+            }
+            if pending_moves == 0 && silent.is_empty() {
+                continue; // nothing happened since the last flush
+            }
+            silent.sort_unstable();
+            silent.dedup();
+            let delta = std::mem::replace(&mut pending, empty_delta());
+            pending_moves = 0;
+            let want = seq.apply_zone_delta(&zones, &delta, &silent, &alive);
+            for (s, engine) in &mut sharded {
+                let got = engine.apply_zone_delta(&zones, &delta, &silent, &alive);
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "step {}: {} shards reported different stats",
+                    step,
+                    s
+                );
+            }
+            silent.clear();
+            let engines: Vec<(&'static str, &DbfEngine)> = std::iter::once(("sequential", &seq))
+                .chain(sharded.iter().map(|(s, e)| {
+                    let label: &'static str = match s {
+                        1 => "sharded ×1",
+                        2 => "sharded ×2",
+                        _ => "sharded ×8",
+                    };
+                    (label, e)
+                }))
+                .collect();
+            assert_all_match_root(
+                &engines,
+                &zones,
+                &alive,
+                &format!("flush after step {step} ({op:?})"),
+            )?;
+        }
+    }
+
+    /// The reference-zone batching path (`incremental_zones = false` in the
+    /// engine): the window flushes one `update_topology` call whose
+    /// `old_zones` is the table from the *window start* — several epochs
+    /// stale — with the deduped union of every mover since. Out-and-back
+    /// moves and movers-meeting-movers are all in range of the random
+    /// walk; every flush must land on the root oracle exactly, sequential
+    /// and sharded alike.
+    #[test]
+    fn window_stale_old_tables_flush_to_the_root_oracle(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        radius in 12.0f64..24.0,
+        window in 2usize..5,
+        raw_ops in prop::collection::vec((0u8..6, 0u16..64, 0.0f64..1.0, 0.0f64..1.0), 3..12),
+    ) {
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let ops = decode_ops(&raw_ops, n);
+        let radio = RadioProfile::mica2();
+        let mut zones = ZoneTable::build(&topo, &radio, radius);
+        let mut alive = vec![true; n];
+        let mut seq = DbfEngine::new(&zones, 2);
+        seq.run_to_convergence(&zones);
+        let mut sharded = DbfEngine::new(&zones, 2).with_shards(8);
+        sharded.run_to_convergence(&zones);
+
+        // Window state: the zone table as of the window start plus the
+        // union of everything that changed since.
+        let mut window_start = zones.clone();
+        let mut changed: Vec<NodeId> = Vec::new();
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Move(node, fx, fy) => {
+                    let field = topo.field();
+                    let moved = NodeId::new(node as u32);
+                    topo.move_node(moved, Point::new(fx * field.width, fy * field.height));
+                    zones = ZoneTable::build(&topo, &radio, radius);
+                    changed.push(moved);
+                }
+                Op::Kill(node) => {
+                    alive[node] = false;
+                    changed.push(NodeId::new(node as u32));
+                }
+                Op::Revive(node) => {
+                    alive[node] = true;
+                    changed.push(NodeId::new(node as u32));
+                }
+            }
+            let window_full = (step + 1) % window == 0;
+            let last = step + 1 == ops.len();
+            if !(window_full || last) || changed.is_empty() {
+                continue;
+            }
+            changed.sort_unstable();
+            changed.dedup();
+            let want = seq.update_topology(&window_start, &zones, &changed, &alive);
+            let got = sharded.update_topology(&window_start, &zones, &changed, &alive);
+            prop_assert_eq!(&got, &want, "step {}: sharded stats diverged", step);
+            changed.clear();
+            window_start = zones.clone();
+            assert_all_match_root(
+                &[("sequential", &seq), ("sharded ×8", &sharded)],
+                &zones,
+                &alive,
+                &format!("stale-window flush after step {step} ({op:?})"),
+            )?;
+        }
+    }
+
+    /// A window that is pure silence (only kills/revives, no moves) flushes
+    /// through an empty merged delta and still lands on the root oracle —
+    /// the degenerate batch every mobility-free failure window produces.
+    #[test]
+    fn silent_windows_flush_through_an_empty_delta(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        radius in 12.0f64..24.0,
+        flips in prop::collection::vec((0u8..2, 0u16..64), 1..6),
+    ) {
+        let topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let radio = RadioProfile::mica2();
+        let grid = SpatialGrid::for_radius(&topo, radius);
+        let zones = ZoneTable::build_indexed(&topo, &radio, &grid, radius);
+        let mut alive = vec![true; n];
+        let mut seq = DbfEngine::new(&zones, 2);
+        seq.run_to_convergence(&zones);
+        let mut sharded = DbfEngine::new(&zones, 2).with_shards(8);
+        sharded.run_to_convergence(&zones);
+
+        let mut silent: Vec<NodeId> = Vec::new();
+        for &(kind, node) in &flips {
+            let node = node as usize % n;
+            alive[node] = kind == 1;
+            silent.push(NodeId::new(node as u32));
+        }
+        silent.sort_unstable();
+        silent.dedup();
+        let delta = empty_delta();
+        let want = seq.apply_zone_delta(&zones, &delta, &silent, &alive);
+        let got = sharded.apply_zone_delta(&zones, &delta, &silent, &alive);
+        prop_assert_eq!(&got, &want, "stats must match on silent windows");
+        assert_all_match_root(
+            &[("sequential", &seq), ("sharded ×8", &sharded)],
+            &zones,
+            &alive,
+            "silent flush",
+        )?;
+    }
+}

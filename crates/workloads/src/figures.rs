@@ -443,6 +443,16 @@ pub fn fig12(scale: &Scale, seed: u64) -> FigureResult {
         .fold((0, 0), |(p, r), (_, m)| {
             (p + m.routing.zone_patches, r + m.routing.zone_rows_patched)
         });
+    let (sharded_execs, batch_windows, coalesced) = results
+        .iter()
+        .filter(|(l, _)| l.starts_with("SPMS"))
+        .fold((0, 0, 0), |(s, w, c), (_, m)| {
+            (
+                s + m.routing.sharded_executions,
+                w + m.routing.batch_windows,
+                c + m.routing.epochs_coalesced,
+            )
+        });
     FigureResult {
         id: "fig12",
         title: "Energy consumed with transmission radius for mobile nodes in \
@@ -461,6 +471,11 @@ pub fn fig12(scale: &Scale, seed: u64) -> FigureResult {
             format!(
                 "{zone_patches} mobility epochs patched the zone table in place \
                  ({zone_rows} rows rebuilt vs a full O(n²) build per epoch)"
+            ),
+            format!(
+                "{sharded_execs} delta re-convergences ran through the zone-shard \
+                 planner over {batch_windows} batching windows \
+                 ({coalesced} epochs coalesced at batch_epochs = 1)"
             ),
         ],
     }
@@ -852,6 +867,51 @@ mod tests {
         assert!(t.contains("DATA:REQ = 20"));
         let b = breakeven_report();
         assert!(b.contains("packets"));
+    }
+
+    #[test]
+    fn fig12_notes_surface_the_routing_counters() {
+        // The fig12 sweep is where every incremental-routing substrate
+        // meets the paper's mobility workload: its notes must surface the
+        // zone-patch, shard-planner and epoch-batching counters with the
+        // values the runs actually recorded.
+        let scale = Scale::smoke();
+        let results = radius_sweep(&scale, 7, None, Some(fig12_mobility(&scale)), false);
+        let spms: Vec<&RunMetrics> = results
+            .iter()
+            .filter(|(l, _)| l.starts_with("SPMS"))
+            .map(|(_, m)| m)
+            .collect();
+        let epochs: u64 = spms.iter().map(|m| m.mobility_epochs).sum();
+        assert!(epochs > 0, "the sweep must exercise mobility");
+        // Every SPMS mobility run re-converges through the shard planner
+        // once per epoch at the default batch_epochs = 1.
+        for m in &spms {
+            assert_eq!(m.routing.zone_patches, m.mobility_epochs);
+            assert_eq!(m.routing.incremental_executions, m.mobility_epochs);
+            assert_eq!(m.routing.sharded_executions, m.mobility_epochs);
+            assert_eq!(m.routing.batch_windows, m.mobility_epochs);
+            assert_eq!(m.routing.epochs_coalesced, 0);
+        }
+        let fig = fig12(&scale, 7);
+        let sharded: u64 = spms.iter().map(|m| m.routing.sharded_executions).sum();
+        let windows: u64 = spms.iter().map(|m| m.routing.batch_windows).sum();
+        let patches: u64 = spms.iter().map(|m| m.routing.zone_patches).sum();
+        assert!(
+            fig.notes
+                .iter()
+                .any(|n| n.contains(&format!("{sharded} delta re-convergences"))
+                    && n.contains(&format!("{windows} batching windows"))),
+            "shard/batch counters missing from notes: {:?}",
+            fig.notes
+        );
+        assert!(
+            fig.notes
+                .iter()
+                .any(|n| n.contains(&format!("{patches} mobility epochs patched"))),
+            "zone-patch counter missing from notes: {:?}",
+            fig.notes
+        );
     }
 
     #[test]

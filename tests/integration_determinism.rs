@@ -63,6 +63,53 @@ fn parallel_sweep_equals_sequential_runs() {
 }
 
 #[test]
+fn shard_count_cannot_change_results() {
+    // A fig12-style mobility run (distributed routing, incremental zones
+    // and routing, every epoch re-converging through the shard planner):
+    // pinning the delta exchange to one shard, to the host's available
+    // parallelism, and to a deliberately excessive count must produce
+    // byte-identical RunMetrics — the shard planner is a wall-clock knob,
+    // never a semantic one.
+    let run = |shards: usize| {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), 8).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 8);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility = Some(MobilityConfig::new(SimTime::from_millis(150), 0.1).unwrap());
+        config.dbf_shards = shards;
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    let single = run(1);
+    assert!(single.mobility_epochs > 0, "epochs must fire");
+    assert_eq!(
+        single.routing.sharded_executions,
+        single.routing.incremental_executions
+    );
+    let auto = run(0); // resolves to available_parallelism
+    let wide = run(16); // more shards than the host has cores
+    assert_eq!(single, auto, "1 shard vs available_parallelism");
+    assert_eq!(single, wide, "1 shard vs 16 shards");
+}
+
+#[test]
+fn batched_windows_are_reproducible() {
+    let run = || {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), 15).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 15);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility = Some(MobilityConfig::new(SimTime::from_millis(150), 0.1).unwrap());
+        config.batch_epochs = 2;
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.routing.batch_windows > 0);
+    assert!(a.routing.epochs_coalesced > 0);
+    assert_eq!(a, b);
+}
+
+#[test]
 fn seed_controls_every_stochastic_subsystem() {
     // Two configs differing ONLY in seed must diverge in MAC backoffs
     // (reflected in queue-wait statistics) even with no failures/mobility.
