@@ -13,14 +13,21 @@
 //!   only wall-clock may differ),
 //! * `dbf_batch4_per_epoch_625` / `dbf_batch4_window_625` — four epochs
 //!   re-converged one by one versus coalesced into a single batched
-//!   window (`SimConfig::batch_epochs`-style), sequential engine.
+//!   window (`SimConfig::batch_epochs`-style), sequential engine,
+//! * `dbf_full_seq_n` / `dbf_full_sharded_n` — the from-scratch rebuild
+//!   (the root oracle every incremental path is tested against), as the
+//!   sequential `reset` + `run_to_convergence_masked` versus
+//!   `DbfEngine::rebuild_sharded` at the host's available parallelism
+//!   (sender-sharded snapshots + receiver-sharded relaxation, bit-identical
+//!   tables and stats).
 //!
-//! CI's hardware-independent ratio gate pins sharded ≤ 0.7× sequential at
-//! n = 625 (see `xtask bench-gate`) — ≥ ~1.4× from a 2-core runner; wider
-//! machines only widen the margin. On a single-core host the engine
-//! resolves to one shard and dispatches to the very same sequential loop,
-//! so the ratio is only meaningful where parallelism exists (the CI step
-//! skips the gate when `nproc` is 1).
+//! CI's hardware-independent ratio gates pin sharded ≤ 0.7× sequential at
+//! n = 625 for both the delta exchange and the full rebuild (see
+//! `xtask bench-gate`) — ≥ ~1.4× from a 2-core runner; wider machines
+//! only widen the margin. On a single-core host the engine resolves to
+//! one shard and dispatches to the very same sequential loops, so the
+//! ratios are only meaningful where parallelism exists (the CI step skips
+//! both gates when `nproc` is 1).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spms_net::{placement, NodeId, Point, Topology, ZoneTable};
@@ -161,5 +168,36 @@ fn bench_batched_window(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_delta_paths, bench_batched_window);
+fn bench_full_rebuild(c: &mut Criterion) {
+    // The from-scratch rebuild at the gated sizes. Engines persist across
+    // iterations (warm arenas), exactly like the `dbf_convergence` bench:
+    // the representative cost is reset + re-convergence, not allocation.
+    for side in [15usize, 25] {
+        let n = side * side;
+        let topo: Topology = placement::grid(side, side, SPACING_M).unwrap();
+        let radio = RadioProfile::mica2();
+        let zones = ZoneTable::build(&topo, &radio, RADIUS_M);
+        let alive = vec![true; n];
+
+        let mut seq = DbfEngine::new(&zones, 2);
+        c.bench_function(&format!("routing/dbf_full_seq_{n}"), |b| {
+            b.iter(|| {
+                seq.reset(&zones, &alive);
+                std::hint::black_box(seq.run_to_convergence_masked(&zones, &alive))
+            })
+        });
+
+        let mut sharded = DbfEngine::new(&zones, 2).with_shards(shard_count());
+        c.bench_function(&format!("routing/dbf_full_sharded_{n}"), |b| {
+            b.iter(|| std::hint::black_box(sharded.rebuild_sharded(&zones, &alive)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_delta_paths,
+    bench_batched_window,
+    bench_full_rebuild
+);
 criterion_main!(benches);

@@ -99,6 +99,37 @@ fn bench_table_churn(c: &mut Criterion) {
     });
 }
 
+fn bench_table_vector_replay(c: &mut Criterion) {
+    // The same per-entry churn as `table_offer_churn_45_dests`, delivered
+    // the way the DBF inner loops actually deliver it: one
+    // ascending-destination vector per (round, via), offered through an
+    // ascending cursor (`offer_ascending`), so each destination lookup
+    // searches only past the previous hit instead of the whole arena.
+    c.bench_function("routing/table_offer_ascending_45_dests", |b| {
+        let mut table = RoutingTable::new(2);
+        b.iter(|| {
+            table.clear();
+            for round in 0..8u32 {
+                for via in 0..4u32 {
+                    let mut cursor = 0usize;
+                    for d in 0..45u32 {
+                        table.offer_ascending(
+                            NodeId::new(d),
+                            RouteEntry {
+                                via: NodeId::new(100 + via),
+                                cost: f64::from((round + via + d) % 7) + 0.5,
+                                hops: 1 + (via + round) % 4,
+                            },
+                            &mut cursor,
+                        );
+                    }
+                }
+            }
+            std::hint::black_box(table.total_entries())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -106,6 +137,7 @@ criterion_group!(
     bench_zones,
     bench_dijkstra,
     bench_dbf,
-    bench_table_churn
+    bench_table_churn,
+    bench_table_vector_replay
 );
 criterion_main!(benches);

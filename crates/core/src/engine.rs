@@ -386,9 +386,10 @@ impl Simulation {
 
     /// (Re)builds routing tables from scratch. SPIN and flooding keep empty
     /// tables; SPMS uses the configured mode. In Distributed mode the
-    /// persistent [`DbfEngine`] is reset and fully re-converged — the
-    /// reference path that mobility epochs replace with
-    /// [`Simulation::reconverge_incrementally`] when
+    /// persistent [`DbfEngine`] is reset and fully re-converged through
+    /// the shard planner ([`DbfEngine::rebuild_sharded`], bit-identical
+    /// to the sequential reference rebuild) — the path that mobility
+    /// epochs replace with [`Simulation::reconverge_incrementally`] when
     /// `config.incremental_routing` is set.
     fn build_routing(&mut self) {
         if !matches!(
@@ -415,8 +416,11 @@ impl Simulation {
                 let mut dbf = self.dbf.take().unwrap_or_else(|| {
                     DbfEngine::new(&self.zones, self.config.k_routes).with_shards(shards)
                 });
-                dbf.reset(&self.zones, &self.alive);
-                let stats = dbf.run_to_convergence_masked(&self.zones, &self.alive);
+                // The sharded full rebuild: reset + full-vector rounds
+                // through the shard planner, bit-identical (tables and
+                // stats) to the sequential reference rebuild, so metrics
+                // stay byte-comparable whatever the host's core count.
+                let stats = dbf.rebuild_sharded(&self.zones, &self.alive);
                 self.dbf = Some(dbf);
                 self.dbf_alive = self.alive.clone();
                 self.charge_dbf_run(&stats, false);

@@ -22,18 +22,23 @@
 //!   destinations it can actually affect, reseeds their direct routes, and
 //!   re-converges with vectors that carry only the changed entries.
 //!
-//! The delta rounds additionally come in two executions sharing one
-//! semantics: the **sequential** round loop (the default — the mid-level
-//! oracle of the equivalence chain) and the **zone-sharded** runner
-//! ([`DbfEngine::with_shards`]), which partitions each round's receivers
-//! into contiguous id ranges of balanced relaxation load and runs them on
-//! scoped OS threads. Receivers are the unit of ownership: a node's table
-//! is only ever touched by the shard that owns its id, and each receiver
-//! replays its incoming vectors in exactly the broadcast order the
+//! Both modes additionally come in two executions sharing one semantics:
+//! the **sequential** round loops (the full rebuild is the root oracle of
+//! the equivalence chain, the sequential delta loop the mid-level oracle)
+//! and the **zone-sharded** runners ([`DbfEngine::with_shards`] for the
+//! delta rounds, [`DbfEngine::rebuild_sharded`] for the full rebuild),
+//! which snapshot each round's broadcasts by contiguous **sender** ranges,
+//! scatter them into per-receiver CSR inboxes, partition the receivers
+//! into contiguous id ranges of balanced relaxation load, and run the
+//! ranges on scoped OS threads. Receivers are the unit of ownership: a
+//! node's table is only ever touched by the shard that owns its id, and
+//! each receiver replays its inbox in exactly the broadcast order the
 //! sequential loop uses, so the merge is a no-op and the tables (and even
 //! the [`DbfStats`]) are bit-identical for *every* shard count — the
-//! property the `sharded` proptest suite pins against both oracles. Thread
-//! count can therefore never change routing results, only wall-clock time.
+//! property the `sharded` proptest suite pins against both oracles along
+//! the chain sharded-full → sequential-full → sequential-delta →
+//! sharded-delta. Thread count can therefore never change routing
+//! results, only wall-clock time.
 //!
 //! The incremental scheme leans on a structural fact of zone routing: a
 //! node only maintains destinations inside its own zone, and every relay on
@@ -132,6 +137,19 @@ struct Scratch {
     fill: Vec<u32>,
     /// Sharded rounds: shard boundary node ids (`bounds[i]..bounds[i+1]`).
     bounds: Vec<usize>,
+    /// Sender-sharded snapshots: per-sender snapshot weight (entries the
+    /// sender would flatten this round) — the sender planner's balancing
+    /// weight.
+    snd_load: Vec<u64>,
+    /// Sender-sharded snapshots: sender shard boundary node ids.
+    snd_bounds: Vec<usize>,
+    /// Sender-sharded snapshots: per-shard entry buffers, concatenated in
+    /// shard (= sender id) order after the scope joins.
+    shard_entries: Vec<Vec<(NodeId, f64, u32)>>,
+    /// Sender-sharded snapshots: per-shard `(sender, start, end)` buffers
+    /// (ranges relative to the shard's own entry buffer until
+    /// concatenation rebases them).
+    shard_from: Vec<Vec<(NodeId, u32, u32)>>,
 }
 
 /// The distributed Bellman-Ford engine: one routing table per node.
@@ -244,18 +262,59 @@ impl DbfEngine {
                 continue;
             }
             let node = NodeId::new(a as u32);
+            // Zone links arrive in neighbor-id order, so the direct seeds
+            // replay through one ascending cursor per table.
+            let mut cursor = 0usize;
             for link in zones.links(node) {
                 if !alive[link.neighbor.index()] {
                     continue;
                 }
-                self.tables[a].offer(
+                self.tables[a].offer_ascending(
                     link.neighbor,
                     RouteEntry {
                         via: link.neighbor,
                         cost: link.weight,
                         hops: 1,
                     },
+                    &mut cursor,
                 );
+            }
+        }
+    }
+
+    /// The full rebuild through the shard planner: [`DbfEngine::reset`]
+    /// plus synchronous full-vector rounds executed by up to the
+    /// configured shard count of scoped OS threads — the parallel
+    /// equivalent of `reset` + [`DbfEngine::run_to_convergence_masked`],
+    /// which stays verbatim as the root oracle this path is
+    /// property-tested against (tables **and** stats bit-identical for
+    /// every shard count).
+    ///
+    /// Each round snapshots the broadcasting tables by **sender shard**
+    /// (contiguous sender-id ranges of balanced entry count, concatenated
+    /// in id order), scatters the broadcasts into per-receiver CSR inboxes
+    /// exactly like the sharded delta rounds, and relaxes contiguous
+    /// receiver ranges on scoped threads. Light rounds run inline — a
+    /// single-core host (or an unsharded engine) dispatches straight to
+    /// the sequential loop and pays nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alive mask length does not match, or if the exchange
+    /// fails to converge within the same bound as the sequential rebuild.
+    pub fn rebuild_sharded(&mut self, zones: &ZoneTable, alive: &[bool]) -> DbfStats {
+        self.reset(zones, alive);
+        match self.shards {
+            // One partition replays the sequential order by construction:
+            // dispatch to the root oracle loop itself.
+            None | Some(1) => self.run_to_convergence_masked(zones, alive),
+            Some(shards) => {
+                let mut stats = DbfStats {
+                    per_node_bytes: vec![0; zones.len()],
+                    ..DbfStats::default()
+                };
+                self.run_full_rounds_sharded(zones, alive, shards, &mut stats);
+                stats
             }
         }
     }
@@ -784,6 +843,186 @@ impl DbfEngine {
         }
     }
 
+    /// [`DbfEngine::snapshot_delta_round`] by **sender shard**: cuts the
+    /// sender id space into contiguous ranges of balanced dirty-entry
+    /// count, lets each range flatten its vectors (and drain its dirty
+    /// sets) into a shard-local buffer on a scoped thread, and
+    /// concatenates the buffers in shard (= sender id) order — the exact
+    /// arena the sequential helper builds, byte for byte. Light rounds
+    /// (or a single busy range) fall through to the sequential helper, so
+    /// the snapshot's sequential residue is only ever paid when it is too
+    /// small to matter.
+    fn snapshot_delta_round_sharded(
+        &mut self,
+        alive: &[bool],
+        shards: usize,
+        snap_entries: &mut Vec<(NodeId, f64, u32)>,
+        snap_from: &mut Vec<(NodeId, u32, u32)>,
+    ) {
+        let mut snd_load = std::mem::take(&mut self.scratch.snd_load);
+        snd_load.clear();
+        snd_load.extend(self.dirty.iter().map(|d| d.len() as u64));
+        let mut snd_bounds = std::mem::take(&mut self.scratch.snd_bounds);
+        if !plan_sender_shards(&snd_load, shards, &mut snd_bounds) {
+            self.snapshot_delta_round(alive, snap_entries, snap_from);
+        } else {
+            snap_entries.clear();
+            snap_from.clear();
+            let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
+            let mut shard_from = std::mem::take(&mut self.scratch.shard_from);
+            let ranges = snd_bounds.len() - 1;
+            shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
+            shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
+            let tables = &self.tables;
+            let mut dirty_rest = self.dirty.as_mut_slice();
+            let mut consumed = 0usize;
+            std::thread::scope(|scope| {
+                for ((w, ebuf), fbuf) in snd_bounds
+                    .windows(2)
+                    .zip(shard_entries.iter_mut())
+                    .zip(shard_from.iter_mut())
+                {
+                    let (lo, hi) = (w[0], w[1]);
+                    let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
+                    dirty_rest = dirty_next;
+                    consumed = hi;
+                    ebuf.clear();
+                    fbuf.clear();
+                    if snd_load[lo..hi].iter().all(|&l| l == 0) {
+                        continue; // nothing to flatten (or clear) here
+                    }
+                    scope.spawn(move || {
+                        for (off, dirty) in dirty_mine.iter_mut().enumerate() {
+                            let i = lo + off;
+                            if dirty.is_empty() {
+                                continue;
+                            }
+                            if !alive[i] {
+                                dirty.clear();
+                                continue;
+                            }
+                            let start = ebuf.len() as u32;
+                            let table = &tables[i];
+                            ebuf.extend(
+                                dirty
+                                    .iter()
+                                    .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
+                            );
+                            dirty.clear();
+                            if ebuf.len() as u32 == start {
+                                continue;
+                            }
+                            fbuf.push((NodeId::new(i as u32), start, ebuf.len() as u32));
+                        }
+                    });
+                }
+            });
+            concat_snapshots(
+                &shard_entries[..ranges],
+                &shard_from[..ranges],
+                snap_entries,
+                snap_from,
+            );
+            self.scratch.shard_entries = shard_entries;
+            self.scratch.shard_from = shard_from;
+        }
+        self.scratch.snd_load = snd_load;
+        self.scratch.snd_bounds = snd_bounds;
+    }
+
+    /// The full-rebuild round snapshot by sender shard: every `pending`
+    /// alive node flattens its **whole** table (a node with an empty table
+    /// still broadcasts an empty vector, exactly as the sequential loop
+    /// counts it). Same range/concatenate discipline as
+    /// [`DbfEngine::snapshot_delta_round_sharded`]; the sequential
+    /// fallback reproduces the root oracle's snapshot verbatim.
+    fn snapshot_full_round_sharded(
+        &mut self,
+        alive: &[bool],
+        pending: &[bool],
+        shards: usize,
+        snap_entries: &mut Vec<(NodeId, f64, u32)>,
+        snap_from: &mut Vec<(NodeId, u32, u32)>,
+    ) {
+        snap_entries.clear();
+        snap_from.clear();
+        let mut snd_load = std::mem::take(&mut self.scratch.snd_load);
+        snd_load.clear();
+        // +1 keeps empty-table broadcasters visible to the busy-range
+        // check — their (empty) vector still counts a message.
+        snd_load.extend(
+            self.tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| u64::from(pending[i] && alive[i]) * (t.len() as u64 + 1)),
+        );
+        let mut snd_bounds = std::mem::take(&mut self.scratch.snd_bounds);
+        if !plan_sender_shards(&snd_load, shards, &mut snd_bounds) {
+            // Deliberately a hand-written copy of the root oracle's
+            // snapshot (run_to_convergence_masked), NOT a shared helper:
+            // the oracle stays independent of the sharded machinery so the
+            // differential proptests compare two genuinely separate
+            // constructions. Drift here is pinned by tests/sharded.rs.
+            for i in 0..alive.len() {
+                if !(pending[i] && alive[i]) {
+                    continue;
+                }
+                let start = snap_entries.len() as u32;
+                snap_entries.extend(
+                    self.tables[i]
+                        .iter()
+                        .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
+                );
+                snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
+            }
+        } else {
+            let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
+            let mut shard_from = std::mem::take(&mut self.scratch.shard_from);
+            let ranges = snd_bounds.len() - 1;
+            shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
+            shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
+            let tables = &self.tables;
+            std::thread::scope(|scope| {
+                for ((w, ebuf), fbuf) in snd_bounds
+                    .windows(2)
+                    .zip(shard_entries.iter_mut())
+                    .zip(shard_from.iter_mut())
+                {
+                    let (lo, hi) = (w[0], w[1]);
+                    ebuf.clear();
+                    fbuf.clear();
+                    if snd_load[lo..hi].iter().all(|&l| l == 0) {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        for i in lo..hi {
+                            if !(pending[i] && alive[i]) {
+                                continue;
+                            }
+                            let start = ebuf.len() as u32;
+                            ebuf.extend(
+                                tables[i]
+                                    .iter()
+                                    .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
+                            );
+                            fbuf.push((NodeId::new(i as u32), start, ebuf.len() as u32));
+                        }
+                    });
+                }
+            });
+            concat_snapshots(
+                &shard_entries[..ranges],
+                &shard_from[..ranges],
+                snap_entries,
+                snap_from,
+            );
+            self.scratch.shard_entries = shard_entries;
+            self.scratch.shard_from = shard_from;
+        }
+        self.scratch.snd_load = snd_load;
+        self.scratch.snd_bounds = snd_bounds;
+    }
+
     /// Wire accounting for one round's snapshot, shared by both delta
     /// loops. All sums are integers, so accumulation order cannot affect
     /// the totals — the sharded rounds stay byte-identical to the
@@ -833,18 +1072,22 @@ impl DbfEngine {
                     let base = to.index() * nd;
                     let table = &mut self.tables[to.index()];
                     let dirty = &mut self.dirty[to.index()];
+                    // Delta vectors are in destination order: one ascending
+                    // offer cursor per (vector, receiver) replay.
+                    let mut cursor = 0usize;
                     for &(dest, cost, hops) in entries {
                         let di = dest_index[dest.index()] as usize;
                         if !member[base + di] {
                             continue;
                         }
-                        if table.offer(
+                        if table.offer_ascending(
                             dest,
                             RouteEntry {
                                 via: from,
                                 cost: link.weight + cost,
                                 hops: hops + 1,
                             },
+                            &mut cursor,
                         ) {
                             dirty.insert(dest);
                         }
@@ -902,67 +1145,27 @@ impl DbfEngine {
                 self.scratch.bounds = bounds;
                 return; // quiescent: no triggered updates left
             }
-            // Snapshot and wire accounting — the helpers shared verbatim
-            // with the sequential path.
+            // Snapshot (by sender shard when the round is heavy — the
+            // output is bit-identical to the sequential helper either
+            // way) and wire accounting shared with the sequential path.
             let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
             let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
-            self.snapshot_delta_round(alive, &mut snap_entries, &mut snap_from);
+            self.snapshot_delta_round_sharded(alive, shards, &mut snap_entries, &mut snap_from);
             self.account_delta_round(&snap_from, stats);
-            // Scatter the broadcasts into per-receiver inboxes (CSR).
-            // Iterating senders in snapshot order makes every inbox replay
-            // the exact delivery order of the sequential loop.
-            inbox_start.clear();
-            inbox_start.resize(n + 1, 0);
-            for &(from, _, _) in &snap_from {
-                for link in zones.links(from) {
-                    let to = link.neighbor.index();
-                    if alive[to] {
-                        inbox_start[to + 1] += 1;
-                    }
-                }
-            }
-            for i in 0..n {
-                inbox_start[i + 1] += inbox_start[i];
-            }
-            let total = inbox_start[n] as usize;
-            inbox_msg.clear();
-            inbox_msg.resize(total, 0);
-            inbox_weight.clear();
-            inbox_weight.resize(total, 0.0);
-            load.clear();
-            load.resize(n, 0);
-            fill.clear();
-            fill.extend_from_slice(&inbox_start[..n]);
-            for (mi, &(from, start, end)) in snap_from.iter().enumerate() {
-                let entries = u64::from(end - start);
-                for link in zones.links(from) {
-                    let to = link.neighbor.index();
-                    if !alive[to] {
-                        continue;
-                    }
-                    let at = fill[to] as usize;
-                    fill[to] += 1;
-                    inbox_msg[at] = mi as u32;
-                    inbox_weight[at] = link.weight;
-                    load[to] += entries;
-                }
-            }
-            // Shard plan: contiguous receiver ranges of ≈ equal load.
-            let total_load: u64 = load.iter().sum();
-            bounds.clear();
-            bounds.push(0);
-            if shards > 1 && total_load > 0 {
-                let target = total_load.div_ceil(shards as u64);
-                let mut acc = 0u64;
-                for (i, &l) in load.iter().enumerate() {
-                    acc += l;
-                    if acc >= target && bounds.len() < shards && i + 1 < n {
-                        bounds.push(i + 1);
-                        acc = 0;
-                    }
-                }
-            }
-            bounds.push(n);
+            // Scatter the broadcasts into per-receiver inboxes (CSR), then
+            // cut the receiver id space into contiguous ranges of ≈ equal
+            // relaxation load.
+            scatter_inboxes(
+                zones,
+                alive,
+                &snap_from,
+                &mut inbox_start,
+                &mut inbox_msg,
+                &mut inbox_weight,
+                &mut load,
+                &mut fill,
+            );
+            let total_load = plan_bounds(&load, shards, &mut bounds);
             let busy = bounds
                 .windows(2)
                 .filter(|w| load[w[0]..w[1]].iter().any(|&l| l > 0))
@@ -1020,6 +1223,247 @@ impl DbfEngine {
         }
         panic!("sharded incremental DBF failed to converge within {max_rounds} rounds");
     }
+
+    /// Full-rebuild rounds through the shard planner: the execution body of
+    /// [`DbfEngine::rebuild_sharded`]. Semantics are exactly
+    /// [`DbfEngine::run_to_convergence_masked`] — round 1 every alive node
+    /// broadcasts its whole vector, thereafter only nodes whose table
+    /// changed in the previous round do, and a round's vectors are
+    /// snapshotted before any relaxation — executed by up to `shards`
+    /// scoped threads for both the sender-sharded snapshot and the
+    /// receiver-sharded relaxation. Receivers replay their CSR inboxes in
+    /// broadcast order over disjoint table slices, so tables, pending
+    /// flags, and every stats field land bit-identical to the sequential
+    /// rebuild.
+    fn run_full_rounds_sharded(
+        &mut self,
+        zones: &ZoneTable,
+        alive: &[bool],
+        shards: usize,
+        stats: &mut DbfStats,
+    ) {
+        assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
+        let n = zones.len();
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        pending.clear();
+        pending.extend_from_slice(alive);
+        let mut next_pending = std::mem::take(&mut self.scratch.next_pending);
+        let mut inbox_start = std::mem::take(&mut self.scratch.inbox_start);
+        let mut inbox_msg = std::mem::take(&mut self.scratch.inbox_msg);
+        let mut inbox_weight = std::mem::take(&mut self.scratch.inbox_weight);
+        let mut load = std::mem::take(&mut self.scratch.load);
+        let mut fill = std::mem::take(&mut self.scratch.fill);
+        let mut bounds = std::mem::take(&mut self.scratch.bounds);
+        let max_rounds = (n as u32).max(8) + 4;
+        for _round in 0..max_rounds {
+            stats.rounds += 1;
+            if pending.iter().all(|&p| !p) {
+                self.scratch.pending = pending;
+                self.scratch.next_pending = next_pending;
+                self.scratch.inbox_start = inbox_start;
+                self.scratch.inbox_msg = inbox_msg;
+                self.scratch.inbox_weight = inbox_weight;
+                self.scratch.load = load;
+                self.scratch.fill = fill;
+                self.scratch.bounds = bounds;
+                // A full convergence leaves no triggered updates behind —
+                // the same postcondition the sequential rebuild restores.
+                for set in &mut self.dirty {
+                    set.clear();
+                }
+                return; // quiescent: nobody has updates to send
+            }
+            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+            self.snapshot_full_round_sharded(
+                alive,
+                &pending,
+                shards,
+                &mut snap_entries,
+                &mut snap_from,
+            );
+            self.account_delta_round(&snap_from, stats);
+            scatter_inboxes(
+                zones,
+                alive,
+                &snap_from,
+                &mut inbox_start,
+                &mut inbox_msg,
+                &mut inbox_weight,
+                &mut load,
+                &mut fill,
+            );
+            let total_load = plan_bounds(&load, shards, &mut bounds);
+            next_pending.clear();
+            next_pending.resize(n, false);
+            let busy = bounds
+                .windows(2)
+                .filter(|w| load[w[0]..w[1]].iter().any(|&l| l > 0))
+                .count();
+
+            let run_range = |lo: usize, tables: &mut [RoutingTable], flags: &mut [bool]| {
+                for (off, (table, flag)) in tables.iter_mut().zip(flags.iter_mut()).enumerate() {
+                    let to = lo + off;
+                    let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
+                    if slot.is_empty() {
+                        continue;
+                    }
+                    relax_inbox_full(
+                        table,
+                        flag,
+                        NodeId::new(to as u32),
+                        &inbox_msg[slot.clone()],
+                        &inbox_weight[slot],
+                        &snap_entries,
+                        &snap_from,
+                        zones,
+                    );
+                }
+            };
+            if busy <= 1 || total_load < SHARD_MIN_LOAD {
+                run_range(0, &mut self.tables, &mut next_pending);
+            } else {
+                let run_range = &run_range;
+                let mut table_rest = self.tables.as_mut_slice();
+                let mut flag_rest = next_pending.as_mut_slice();
+                let mut consumed = 0usize;
+                std::thread::scope(|scope| {
+                    for w in bounds.windows(2) {
+                        let (lo, hi) = (w[0], w[1]);
+                        let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
+                        let (flag_mine, flag_next) = flag_rest.split_at_mut(hi - consumed);
+                        table_rest = table_next;
+                        flag_rest = flag_next;
+                        consumed = hi;
+                        if load[lo..hi].iter().all(|&l| l == 0) {
+                            continue; // nothing addressed to this range
+                        }
+                        scope.spawn(move || run_range(lo, table_mine, flag_mine));
+                    }
+                });
+            }
+            self.scratch.snap_entries = snap_entries;
+            self.scratch.snap_from = snap_from;
+            std::mem::swap(&mut pending, &mut next_pending);
+        }
+        panic!("sharded full DBF rebuild failed to converge within {max_rounds} rounds");
+    }
+}
+
+/// Cuts `0..load.len()` into at most `shards` contiguous ranges of ≈ equal
+/// total load, writing the boundary ids into `bounds`
+/// (`bounds[i]..bounds[i+1]`; always covers the whole id space). Returns
+/// the total load, the caller's thread-spawn threshold input. Shared by
+/// the receiver planner of both sharded round loops and the sender planner
+/// of the sharded snapshots.
+fn plan_bounds(load: &[u64], shards: usize, bounds: &mut Vec<usize>) -> u64 {
+    let n = load.len();
+    let total: u64 = load.iter().sum();
+    bounds.clear();
+    bounds.push(0);
+    if shards > 1 && total > 0 {
+        let target = total.div_ceil(shards as u64);
+        let mut acc = 0u64;
+        for (i, &l) in load.iter().enumerate() {
+            acc += l;
+            if acc >= target && bounds.len() < shards && i + 1 < n {
+                bounds.push(i + 1);
+                acc = 0;
+            }
+        }
+    }
+    bounds.push(n);
+    total
+}
+
+/// Plans a sender-sharded snapshot: cuts the sender id space into ranges
+/// of balanced snapshot weight (via [`plan_bounds`] into `snd_bounds`) and
+/// decides whether shard threads pay off — more than one busy range and a
+/// total weight at or above [`SHARD_MIN_LOAD`]. Returns `false` when the
+/// caller should fall back to its sequential snapshot. Shared by the delta
+/// and full-rebuild snapshot scatters, so the spawn policy cannot drift
+/// between them.
+fn plan_sender_shards(snd_load: &[u64], shards: usize, snd_bounds: &mut Vec<usize>) -> bool {
+    let total = plan_bounds(snd_load, shards, snd_bounds);
+    let busy = snd_bounds
+        .windows(2)
+        .filter(|w| snd_load[w[0]..w[1]].iter().any(|&l| l > 0))
+        .count();
+    busy > 1 && total >= SHARD_MIN_LOAD
+}
+
+/// Scatters one round's broadcasts into per-receiver CSR inboxes.
+/// Iterating senders in snapshot order makes every inbox replay the exact
+/// delivery order of the sequential loop. Fills `inbox_start` (`n + 1`
+/// prefix entries), `inbox_msg`/`inbox_weight` (one slot per delivery) and
+/// `load` (per-receiver relaxation entries — the shard planner's balancing
+/// weight); `fill` is cursor scratch. Shared by the sharded delta rounds
+/// and the sharded full rebuild.
+#[allow(clippy::too_many_arguments)]
+fn scatter_inboxes(
+    zones: &ZoneTable,
+    alive: &[bool],
+    snap_from: &[(NodeId, u32, u32)],
+    inbox_start: &mut Vec<u32>,
+    inbox_msg: &mut Vec<u32>,
+    inbox_weight: &mut Vec<f64>,
+    load: &mut Vec<u64>,
+    fill: &mut Vec<u32>,
+) {
+    let n = alive.len();
+    inbox_start.clear();
+    inbox_start.resize(n + 1, 0);
+    for &(from, _, _) in snap_from {
+        for link in zones.links(from) {
+            let to = link.neighbor.index();
+            if alive[to] {
+                inbox_start[to + 1] += 1;
+            }
+        }
+    }
+    for i in 0..n {
+        inbox_start[i + 1] += inbox_start[i];
+    }
+    let total = inbox_start[n] as usize;
+    inbox_msg.clear();
+    inbox_msg.resize(total, 0);
+    inbox_weight.clear();
+    inbox_weight.resize(total, 0.0);
+    load.clear();
+    load.resize(n, 0);
+    fill.clear();
+    fill.extend_from_slice(&inbox_start[..n]);
+    for (mi, &(from, start, end)) in snap_from.iter().enumerate() {
+        let entries = u64::from(end - start);
+        for link in zones.links(from) {
+            let to = link.neighbor.index();
+            if !alive[to] {
+                continue;
+            }
+            let at = fill[to] as usize;
+            fill[to] += 1;
+            inbox_msg[at] = mi as u32;
+            inbox_weight[at] = link.weight;
+            load[to] += entries;
+        }
+    }
+}
+
+/// Concatenates shard-local snapshot buffers into the round arena in shard
+/// (= ascending sender id) order, rebasing each shard's `(sender, start,
+/// end)` ranges onto the concatenated entry array — the output is the
+/// byte-identical arena the sequential snapshot builds.
+fn concat_snapshots(
+    shard_entries: &[Vec<(NodeId, f64, u32)>],
+    shard_from: &[Vec<(NodeId, u32, u32)>],
+    snap_entries: &mut Vec<(NodeId, f64, u32)>,
+    snap_from: &mut Vec<(NodeId, u32, u32)>,
+) {
+    for (ebuf, fbuf) in shard_entries.iter().zip(shard_from) {
+        let base = snap_entries.len() as u32;
+        snap_entries.extend_from_slice(ebuf);
+        snap_from.extend(fbuf.iter().map(|&(from, s, e)| (from, s + base, e + base)));
+    }
 }
 
 /// One receiver's relaxation for one sharded round: replays the inbox
@@ -1042,20 +1486,68 @@ fn relax_inbox(
     for (&mi, &w) in msgs.iter().zip(weights) {
         let (from, start, end) = snap_from[mi as usize];
         let entries = &snap_entries[start as usize..end as usize];
+        // Delta vectors carry their destinations in ascending id order,
+        // so each vector replays through one ascending offer cursor.
+        let mut cursor = 0usize;
         for &(dest, cost, hops) in entries {
             let di = dest_index[dest.index()] as usize;
             if !member[member_base + di] {
                 continue;
             }
-            if table.offer(
+            if table.offer_ascending(
                 dest,
                 RouteEntry {
                     via: from,
                     cost: w + cost,
                     hops: hops + 1,
                 },
+                &mut cursor,
             ) {
                 dirty.insert(dest);
+            }
+        }
+    }
+}
+
+/// One receiver's relaxation for one **full-rebuild** sharded round: like
+/// [`relax_inbox`], but vectors carry whole tables, so zone scoping is the
+/// root oracle's own membership test (`ZoneTable::in_zone`) instead of the
+/// affected-destination bitmap, and a change marks the receiver's
+/// next-round pending flag rather than a dirty set.
+#[allow(clippy::too_many_arguments)]
+fn relax_inbox_full(
+    table: &mut RoutingTable,
+    pending_flag: &mut bool,
+    at: NodeId,
+    msgs: &[u32],
+    weights: &[f64],
+    snap_entries: &[(NodeId, f64, u32)],
+    snap_from: &[(NodeId, u32, u32)],
+    zones: &ZoneTable,
+) {
+    for (&mi, &w) in msgs.iter().zip(weights) {
+        let (from, start, end) = snap_from[mi as usize];
+        let entries = &snap_entries[start as usize..end as usize];
+        let mut cursor = 0usize;
+        for &(dest, cost, hops) in entries {
+            if dest == at {
+                continue;
+            }
+            // Zone scoping: `at` only maintains destinations in its own
+            // zone — the identical check the sequential rebuild applies.
+            if !zones.in_zone(at, dest) {
+                continue;
+            }
+            if table.offer_ascending(
+                dest,
+                RouteEntry {
+                    via: from,
+                    cost: w + cost,
+                    hops: hops + 1,
+                },
+                &mut cursor,
+            ) {
+                *pending_flag = true;
             }
         }
     }
@@ -1370,6 +1862,127 @@ mod tests {
     fn zero_shards_panics() {
         let z = zones(3, 3);
         let _ = DbfEngine::new(&z, 2).with_shards(0);
+    }
+
+    #[test]
+    fn sharded_full_rebuild_matches_sequential_tables_and_stats() {
+        // The sharded full rebuild must agree with the root oracle on
+        // every table AND every stats field, dead nodes included, for
+        // shard counts below, at, and above the busy-range count.
+        let z = zones(6, 6);
+        let mut alive = vec![true; z.len()];
+        alive[14] = false;
+        alive[15] = false;
+        let mut sequential = DbfEngine::new(&z, 2);
+        sequential.reset(&z, &alive);
+        let want = sequential.run_to_convergence_masked(&z, &alive);
+        for shards in [1usize, 2, 8, 64] {
+            let mut sharded = DbfEngine::new(&z, 2).with_shards(shards);
+            let got = sharded.rebuild_sharded(&z, &alive);
+            assert_eq!(got, want, "stats diverged at {shards} shards");
+            for i in 0..z.len() {
+                let node = NodeId::new(i as u32);
+                assert_eq!(
+                    sharded.table(node),
+                    sequential.table(node),
+                    "{shards} shards: node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_paths_at_paper_scale_match_sequential() {
+        // At the paper's n = 169 the snapshot weight clears the
+        // thread-spawn threshold, so this differential exercises the
+        // sender-sharded snapshot scatter on both the full rebuild and a
+        // multi-mover delta re-convergence — not just the receiver-sharded
+        // relaxation the small-grid tests reach.
+        let mut topo = placement::grid(13, 13, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let old_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let movers: Vec<NodeId> = [15u32, 60, 84, 120, 150]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
+        for (j, &m) in movers.iter().enumerate() {
+            let p = topo.position(m);
+            topo.move_node(
+                m,
+                spms_net::Point::new(p.x + 7.5, (j as f64).mul_add(2.5, p.y)),
+            );
+        }
+        let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; new_zones.len()];
+
+        let mut sequential = DbfEngine::new(&old_zones, 2);
+        sequential.reset(&old_zones, &alive);
+        let full_want = sequential.run_to_convergence_masked(&old_zones, &alive);
+        let delta_want = sequential.update_topology(&old_zones, &new_zones, &movers, &alive);
+        assert!(
+            delta_want.entries_sent > 1024,
+            "the delta must be heavy enough to exercise the sharded snapshot \
+             (sent {})",
+            delta_want.entries_sent
+        );
+
+        for shards in [2usize, 8] {
+            let mut sharded = DbfEngine::new(&old_zones, 2).with_shards(shards);
+            let full_got = sharded.rebuild_sharded(&old_zones, &alive);
+            assert_eq!(full_got, full_want, "full stats diverged at {shards}");
+            let delta_got = sharded.update_topology(&old_zones, &new_zones, &movers, &alive);
+            assert_eq!(delta_got, delta_want, "delta stats diverged at {shards}");
+            for i in 0..new_zones.len() {
+                let node = NodeId::new(i as u32);
+                assert_eq!(
+                    sharded.table(node),
+                    sequential.table(node),
+                    "{shards} shards: node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_sharded_without_shards_is_the_sequential_rebuild() {
+        // An unsharded engine dispatches to the root oracle loop itself.
+        let z = zones(4, 4);
+        let alive = vec![true; z.len()];
+        let mut a = DbfEngine::new(&z, 2);
+        let got = a.rebuild_sharded(&z, &alive);
+        let mut b = DbfEngine::new(&z, 2);
+        b.reset(&z, &alive);
+        let want = b.run_to_convergence_masked(&z, &alive);
+        assert_eq!(got, want);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(a.table(node), b.table(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn rebuild_sharded_resets_stale_state_first() {
+        // Rebuilding over a perturbed engine (stray receive + stale
+        // liveness) starts from scratch: the result only depends on the
+        // inputs, exactly like reset + run_to_convergence_masked.
+        let z = zones(5, 5);
+        let mut dbf = DbfEngine::new(&z, 2).with_shards(4);
+        dbf.run_to_convergence(&z);
+        let fake = DbfVector {
+            from: NodeId::new(1),
+            entries: vec![(NodeId::new(2), 0.0001, 1)],
+        };
+        assert!(dbf.receive(NodeId::new(0), &fake, &z));
+        let alive = vec![true; z.len()];
+        dbf.rebuild_sharded(&z, &alive);
+        let mut reference = DbfEngine::new(&z, 2);
+        reference.run_to_convergence(&z);
+        for i in 0..z.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(dbf.table(node), reference.table(node), "node {node}");
+        }
+        // And the engine is cleanly converged: nothing left to say.
+        assert!(dbf.delta_vector_of(NodeId::new(0)).entries.is_empty());
     }
 
     #[test]

@@ -125,18 +125,64 @@ impl RoutingTable {
     /// must not trigger another broadcast round, or the exchange would
     /// never quiesce.
     pub fn offer(&mut self, dest: NodeId, entry: RouteEntry) -> bool {
-        let k = self.k;
         let pos = match self.dests.binary_search(&dest) {
             Ok(p) => p,
             Err(p) => {
-                self.dests.insert(p, dest);
-                self.lens.insert(p, 0);
-                let base = p * k;
-                self.slots
-                    .splice(base..base, std::iter::repeat_n(VACANT, k));
+                self.insert_dest_at(p, dest);
                 p
             }
         };
+        self.offer_at(pos, entry)
+    }
+
+    /// [`RoutingTable::offer`] with the destination binary search hoisted
+    /// out of the k-slot scan and bounded below by an ascending cursor.
+    ///
+    /// Distance-vector replay offers a vector's entries in destination-id
+    /// order (tables iterate in id order and delta vectors come from
+    /// ordered sets), so a receiver applying one vector can carry a cursor:
+    /// each lookup searches only the destinations **past the previous
+    /// hit** instead of the whole array — the dominant per-entry cost of
+    /// the DBF inner loop shrinks with every entry applied. Reset the
+    /// cursor to `0` at the start of every vector. The table mutation is
+    /// exactly `offer`'s (shared block scan), so results are identical
+    /// entry for entry.
+    ///
+    /// Destinations offered through one cursor must arrive in strictly
+    /// ascending id order (debug-asserted).
+    pub fn offer_ascending(&mut self, dest: NodeId, entry: RouteEntry, cursor: &mut usize) -> bool {
+        let lb = (*cursor).min(self.dests.len());
+        debug_assert!(
+            lb == 0 || self.dests[lb - 1] < dest,
+            "offer_ascending needs strictly ascending destinations per cursor"
+        );
+        let pos = match self.dests[lb..].binary_search(&dest) {
+            Ok(p) => lb + p,
+            Err(p) => {
+                let p = lb + p;
+                self.insert_dest_at(p, dest);
+                p
+            }
+        };
+        *cursor = pos + 1;
+        self.offer_at(pos, entry)
+    }
+
+    /// Inserts an empty `k`-slot block for `dest` at arena position `p`.
+    fn insert_dest_at(&mut self, p: usize, dest: NodeId) {
+        let k = self.k;
+        self.dests.insert(p, dest);
+        self.lens.insert(p, 0);
+        let base = p * k;
+        self.slots
+            .splice(base..base, std::iter::repeat_n(VACANT, k));
+    }
+
+    /// The k-slot block scan shared by [`RoutingTable::offer`] and
+    /// [`RoutingTable::offer_ascending`]: merges `entry` into the block at
+    /// arena position `pos`, returning `true` if the table changed.
+    fn offer_at(&mut self, pos: usize, entry: RouteEntry) -> bool {
+        let k = self.k;
         let base = pos * k;
         let len = self.lens[pos] as usize;
         let block = &mut self.slots[base..base + k];
@@ -541,5 +587,38 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_panics() {
         let _ = RoutingTable::new(0);
+    }
+
+    #[test]
+    fn offer_ascending_replays_identically_to_offer() {
+        // Three "vectors" (ascending dests each), with replacements,
+        // displacements and new destinations mixed in — the cursor path
+        // must land on exactly the table the plain offers build.
+        let vectors: [&[(u32, RouteEntry)]; 3] = [
+            &[(2, e(1, 3.0, 2)), (5, e(1, 1.0, 1)), (9, e(1, 2.0, 2))],
+            &[(2, e(2, 2.5, 2)), (3, e(2, 1.0, 1)), (9, e(2, 1.5, 1))],
+            &[(2, e(1, 2.0, 2)), (5, e(3, 0.5, 1)), (7, e(3, 4.0, 3))],
+        ];
+        let mut plain = RoutingTable::new(2);
+        let mut cursored = RoutingTable::new(2);
+        for vector in vectors {
+            let mut cursor = 0usize;
+            for &(d, entry) in vector {
+                let a = plain.offer(NodeId::new(d), entry);
+                let b = cursored.offer_ascending(NodeId::new(d), entry, &mut cursor);
+                assert_eq!(a, b, "changed-flag must agree at dest {d}");
+            }
+        }
+        assert_eq!(plain, cursored);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn offer_ascending_rejects_unsorted_destinations() {
+        let mut t = RoutingTable::new(2);
+        let mut cursor = 0usize;
+        t.offer_ascending(NodeId::new(9), e(1, 1.0, 1), &mut cursor);
+        t.offer_ascending(NodeId::new(3), e(1, 1.0, 1), &mut cursor);
     }
 }

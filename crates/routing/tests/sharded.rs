@@ -1,22 +1,27 @@
-//! Differential-oracle harness for the zone-sharded, epoch-batched delta
-//! re-convergence.
+//! Differential-oracle harness for the zone-sharded executions: the
+//! epoch-batched delta re-convergence and the sharded full rebuild.
 //!
-//! The equivalence chain has three rungs, each property-tested against the
+//! The equivalence chain has four rungs, each property-tested against the
 //! one below it over random move/kill/revive sequences (with silent
 //! liveness flips and multi-epoch batching windows):
 //!
-//! 1. **Root oracle** — full rebuild (`reset` +
-//!    `run_to_convergence_masked`), the paper's "re-execution of the DBF".
-//! 2. **Mid-level oracle** — the sequential delta path (`DbfEngine` without
-//!    shards), itself proven against the root in
+//! 1. **Root oracle** — sequential full rebuild (`reset` +
+//!    `run_to_convergence_masked`), the paper's "re-execution of the DBF",
+//!    kept verbatim.
+//! 2. **Sharded full rebuild** — [`DbfEngine::rebuild_sharded`] at 1, 2
+//!    and 8 partitions, proven bit-identical (tables *and* stats) to the
+//!    root.
+//! 3. **Mid-level oracle** — the sequential delta path (`DbfEngine`
+//!    without shards), itself proven against the root in
 //!    `crates/routing/tests/incremental.rs`.
-//! 3. **Sharded + batched** — the shard planner at 1, 2 and 8 partitions,
-//!    fed merged [`ZoneDelta`]s covering whole batching windows.
+//! 4. **Sharded + batched delta** — the shard planner at 1, 2 and 8
+//!    partitions, fed merged [`ZoneDelta`]s covering whole batching
+//!    windows.
 //!
-//! Every flush must leave all three rungs with bit-identical tables, and
-//! the sharded runners must also report byte-identical [`DbfStats`] to the
-//! sequential path — the planner may only change wall-clock time, never
-//! results or accounting.
+//! Every flush must leave all rungs with bit-identical tables, and the
+//! sharded runners must also report byte-identical [`DbfStats`] to their
+//! sequential counterparts — the planner may only change wall-clock time,
+//! never results or accounting.
 
 use proptest::prelude::*;
 use spms_net::{placement, NodeId, Point, SpatialGrid, ZoneDelta, ZoneTable};
@@ -111,15 +116,24 @@ proptest! {
         let mut alive = vec![true; n];
 
         let mut seq = DbfEngine::new(&zones, k);
-        seq.run_to_convergence(&zones);
+        seq.reset(&zones, &alive);
+        let init_want = seq.run_to_convergence_masked(&zones, &alive);
+        // The sharded engines enter the chain through the sharded full
+        // rebuild, which must already agree with the root byte for byte.
         let mut sharded: Vec<(usize, DbfEngine)> = [1usize, 2, 8]
             .iter()
             .map(|&s| {
                 let mut engine = DbfEngine::new(&zones, k).with_shards(s);
-                engine.run_to_convergence(&zones);
-                (s, engine)
+                let init_got = engine.rebuild_sharded(&zones, &alive);
+                prop_assert_eq!(
+                    &init_got,
+                    &init_want,
+                    "initial rebuild stats diverged at {} shards",
+                    s
+                );
+                Ok((s, engine))
             })
-            .collect();
+            .collect::<Result<_, TestCaseError>>()?;
 
         // The batching window: moves merge into one delta, liveness flips
         // wait in `silent`, and everything re-converges at the flush.
@@ -298,5 +312,75 @@ proptest! {
             &alive,
             "silent flush",
         )?;
+    }
+
+    /// The sharded full rebuild against the root oracle directly: random
+    /// fields, radii, k and liveness masks, rebuilt at 1, 2 and 8
+    /// partitions. Tables and stats must be bit-identical to the
+    /// sequential `reset` + `run_to_convergence_masked` — and a rebuild
+    /// over a dirty engine (post-event, pre-flush) must scrub every trace
+    /// of the stale state.
+    #[test]
+    fn sharded_full_rebuild_matches_the_root_oracle(
+        cols in 3usize..8,
+        rows in 2usize..6,
+        radius in 12.0f64..24.0,
+        k in 2usize..4,
+        dead in prop::collection::vec(0u16..64, 0..5),
+        mover in 0u16..64,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+    ) {
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let radio = RadioProfile::mica2();
+        let mut alive = vec![true; n];
+        for d in &dead {
+            alive[*d as usize % n] = false;
+        }
+
+        let zones = ZoneTable::build(&topo, &radio, radius);
+        let mut root = DbfEngine::new(&zones, k);
+        root.reset(&zones, &alive);
+        let want = root.run_to_convergence_masked(&zones, &alive);
+        for shards in [1usize, 2, 8] {
+            let mut engine = DbfEngine::new(&zones, k).with_shards(shards);
+            let got = engine.rebuild_sharded(&zones, &alive);
+            prop_assert_eq!(&got, &want, "fresh rebuild stats at {} shards", shards);
+            for i in 0..n {
+                let node = NodeId::new(i as u32);
+                prop_assert_eq!(
+                    engine.table(node),
+                    root.table(node),
+                    "{} shards: node {} diverged on the fresh rebuild",
+                    shards,
+                    node
+                );
+            }
+
+            // Perturb the world, then rebuild from scratch over the now
+            // stale engine: the rebuild must depend only on its inputs.
+            let moved = NodeId::new(mover as u32 % n as u32);
+            let field = topo.field();
+            topo.move_node(moved, Point::new(fx * field.width, fy * field.height));
+            let new_zones = ZoneTable::build(&topo, &radio, radius);
+            let mut new_root = DbfEngine::new(&new_zones, k);
+            new_root.reset(&new_zones, &alive);
+            let new_want = new_root.run_to_convergence_masked(&new_zones, &alive);
+            let new_got = engine.rebuild_sharded(&new_zones, &alive);
+            prop_assert_eq!(&new_got, &new_want, "stale rebuild stats at {} shards", shards);
+            for i in 0..n {
+                let node = NodeId::new(i as u32);
+                prop_assert_eq!(
+                    engine.table(node),
+                    new_root.table(node),
+                    "{} shards: node {} diverged on the post-move rebuild",
+                    shards,
+                    node
+                );
+            }
+            // Undo the move so every shard count sees the same start state.
+            topo = placement::grid(cols, rows, 5.0).unwrap();
+        }
     }
 }

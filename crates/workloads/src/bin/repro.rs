@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|table1|breakeven|all]...
-//!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR]
+//!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR] [--workers W]
 //! ```
 //!
-//! Markdown goes to stdout; CSVs are written under `--out` (default
-//! `results/`). With `--seeds R` (R > 1) every simulation figure is
-//! replicated over R seeds and reported as mean ± 95% CI (analytical
-//! figures are seed-free and unaffected). Run with `--release`; the paper
-//! scale sweeps take minutes.
+//! Markdown goes to stdout; CSVs and their machine-readable JSON twins are
+//! written under `--out` (default `results/`). With `--seeds R` (R > 1)
+//! every simulation figure is replicated over R seeds and reported as
+//! mean ± 95% CI (analytical figures are seed-free and unaffected);
+//! replicated output is the `{id}_ci.csv` aggregate only — no JSON twin,
+//! so `xtask sweep-diff` applies to single-seed sweeps.
+//! `--workers W` sizes the sweep executor's worker pool (`0` = the host's
+//! available parallelism, the default) — a wall-clock knob only: every
+//! output byte is identical for every value, which CI verifies by diffing
+//! the JSON of a workers-1 run against a workers-auto run. Run with
+//! `--release`; the paper scale sweeps take minutes.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use spms_workloads::figures;
 use spms_workloads::{
-    render_ascii_chart, render_csv, render_markdown, render_replicated_csv,
-    render_replicated_markdown, replicate, FigureResult, Scale,
+    render_ascii_chart, render_csv, render_json, render_markdown, render_replicated_csv,
+    render_replicated_markdown, replicate, set_default_workers, FigureResult, Scale,
 };
 
 struct Args {
@@ -27,6 +33,7 @@ struct Args {
     seed: u64,
     seeds: usize,
     out: PathBuf,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,11 +42,19 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut seeds = 1usize;
     let mut out = PathBuf::from("results");
+    let mut workers = 0usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--scale" => {
                 scale_name = argv.next().ok_or("--scale needs a value")?;
+            }
+            "--workers" => {
+                workers = argv
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
             }
             "--seed" => {
                 seed = argv
@@ -63,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: repro [FIGURES|all] [--scale smoke|quick|paper] \
-                            [--seed N] [--seeds R] [--out DIR]"
+                            [--seed N] [--seeds R] [--out DIR] [--workers W]"
                     .into())
             }
             other if other.starts_with('-') => {
@@ -90,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         seeds,
         out,
+        workers,
     })
 }
 
@@ -101,6 +117,8 @@ fn emit(fig: &FigureResult, out_dir: &PathBuf) {
     print!("{}", render_markdown(fig));
     println!("{}", render_ascii_chart(fig, 48));
     write_file(out_dir, &format!("{}.csv", fig.id), &render_csv(fig));
+    // The machine-readable twin CI diffs across sweep worker counts.
+    write_file(out_dir, &format!("{}.json", fig.id), &render_json(fig));
 }
 
 /// Emits a simulation figure, replicated over `args.seeds` seeds when more
@@ -145,10 +163,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Route every figure sweep through a pool of the requested size
+    // (0 = auto). Purely wall-clock: outputs are byte-identical either way.
+    set_default_workers(args.workers);
     let t = &args.targets;
     eprintln!(
-        "repro: scale={} seed={} targets={:?}",
-        args.scale_name, args.seed, t
+        "repro: scale={} seed={} workers={} targets={:?}",
+        args.scale_name,
+        args.seed,
+        if args.workers == 0 {
+            "auto".to_string()
+        } else {
+            args.workers.to_string()
+        },
+        t
     );
 
     if wants(t, "table1") {

@@ -1,4 +1,19 @@
-//! Experiment specifications and the parallel sweep runner.
+//! Experiment specifications and the deterministic parallel sweep
+//! executor.
+//!
+//! Every paper figure is a parameter sweep: a vector of [`RunSpec`]s, each
+//! an independently deterministic simulation (all randomness comes from the
+//! spec's config seed). [`run_specs_with`] executes them on a scoped-thread
+//! worker pool ([`SweepConfig`]): workers claim specs from a shared index
+//! and scatter results back **by spec index**, so the output order and
+//! every [`RunMetrics`] byte are identical to the sequential path for any
+//! worker count — thread count is a wall-clock knob, never a semantic one
+//! (property-tested in `tests/sweep.rs`). A spec that fails (engine error
+//! or panic) is contained to its own slot and can neither poison nor
+//! reorder its siblings.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use spms::{RunMetrics, SimConfig, Simulation, TrafficPlan};
 use spms_kernel::SimTime;
@@ -113,53 +128,187 @@ pub struct RunSpec {
     pub plan: TrafficPlan,
 }
 
-/// Runs every spec, in parallel across OS threads, preserving input order.
+/// Worker-pool configuration for the sweep executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Worker threads claiming specs; `0` resolves to the host's available
+    /// parallelism. Purely a wall-clock knob — results are byte-identical
+    /// for every value, because each run is a pure function of its spec
+    /// and results land in slots keyed by spec index, not completion time.
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// Auto-sized pool (`workers = 0`: the host's available parallelism).
+    #[must_use]
+    pub fn auto() -> Self {
+        SweepConfig { workers: 0 }
+    }
+
+    /// A fixed-size pool (`1` = the sequential reference path, inline on
+    /// the calling thread).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        SweepConfig { workers }
+    }
+
+    /// The thread count a `jobs`-spec sweep actually runs with.
+    fn resolved(self, jobs: usize) -> usize {
+        let workers = match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            w => w,
+        };
+        workers.clamp(1, jobs.max(1))
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Process-wide default worker count used by [`run_specs`] (`0` = auto).
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count, routing every sweep that
+/// goes through [`run_specs`] — all the `figures` generators, and through
+/// them the `repro` bin's `--workers` flag — onto a pool of that size.
+/// `0` restores auto-sizing. Worker count can never change results, only
+/// wall-clock time.
+pub fn set_default_workers(workers: usize) {
+    DEFAULT_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// The process-wide default sweep configuration (see
+/// [`set_default_workers`]).
+#[must_use]
+pub fn default_sweep_config() -> SweepConfig {
+    SweepConfig {
+        workers: DEFAULT_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs one spec, containing failures: an engine error or a panic inside
+/// the run becomes an `Err` carrying the message, so one bad spec can
+/// never poison, reorder, or abort its siblings.
+fn run_one(spec: &RunSpec) -> Result<RunMetrics, String> {
+    let run = || {
+        Simulation::run_with(
+            spec.config.clone(),
+            spec.topology.clone(),
+            spec.plan.clone(),
+        )
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(metrics)) => Ok(metrics),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(panic_text(payload.as_ref())),
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "spec panicked".into()
+    }
+}
+
+/// Runs every spec on a [`SweepConfig`]-sized worker pool, preserving
+/// input order and containing per-spec failures to their own slot.
 ///
-/// Each run is independently deterministic (all randomness comes from the
-/// spec's config seed), so parallelism cannot change results.
+/// Workers claim specs from a shared atomic index and keep their results
+/// in worker-local buffers; after the scope joins, results scatter into
+/// the output by spec index. No slot is ever shared between workers, so
+/// there is nothing to lock, nothing to poison, and nothing whose order
+/// depends on scheduling.
+#[must_use]
+pub fn try_run_specs(
+    specs: Vec<RunSpec>,
+    config: SweepConfig,
+) -> Vec<(String, Result<RunMetrics, String>)> {
+    let workers = config.resolved(specs.len());
+    let mut outcomes: Vec<Option<Result<RunMetrics, String>>> = Vec::new();
+    outcomes.resize_with(specs.len(), || None);
+    if workers <= 1 {
+        // The sequential reference path every pool size must reproduce.
+        for (slot, spec) in specs.iter().enumerate() {
+            outcomes[slot] = Some(run_one(spec));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let specs_ref = &specs;
+        std::thread::scope(|scope| {
+            let pool: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut claimed: Vec<(usize, Result<RunMetrics, String>)> = Vec::new();
+                        loop {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            if slot >= specs_ref.len() {
+                                break;
+                            }
+                            claimed.push((slot, run_one(&specs_ref[slot])));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            for worker in pool {
+                let claimed = worker.join().expect("run_one contains spec panics");
+                for (slot, outcome) in claimed {
+                    outcomes[slot] = Some(outcome);
+                }
+            }
+        });
+    }
+    specs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(spec, outcome)| {
+            (
+                spec.label,
+                outcome.expect("every slot is claimed exactly once"),
+            )
+        })
+        .collect()
+}
+
+/// Runs every spec on a [`SweepConfig`]-sized worker pool, preserving
+/// input order.
 ///
 /// # Panics
 ///
-/// Panics if a spec fails to build — specs are produced by this crate's
-/// figure generators, so a failure is a bug, not an input error.
+/// Panics if a spec fails — specs are produced by this crate's figure
+/// generators, so a failure is a bug, not an input error. The panic names
+/// the **first failed spec in input order** (not completion order), after
+/// every sibling has finished: one bad spec is deterministic to diagnose
+/// and cannot poison the rest of the sweep.
+#[must_use]
+pub fn run_specs_with(specs: Vec<RunSpec>, config: SweepConfig) -> Vec<(String, RunMetrics)> {
+    try_run_specs(specs, config)
+        .into_iter()
+        .map(|(label, outcome)| match outcome {
+            Ok(metrics) => (label, metrics),
+            Err(e) => panic!("spec '{label}' failed: {e}"),
+        })
+        .collect()
+}
+
+/// [`run_specs_with`] under the process-wide default pool size (auto,
+/// unless [`set_default_workers`] overrode it) — the entry point every
+/// figure sweep routes through.
+///
+/// # Panics
+///
+/// As [`run_specs_with`].
 #[must_use]
 pub fn run_specs(specs: Vec<RunSpec>) -> Vec<(String, RunMetrics)> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(specs.len().max(1));
-    let mut results: Vec<Option<(String, RunMetrics)>> = Vec::new();
-    results.resize_with(specs.len(), || None);
-    let jobs: Vec<(usize, RunSpec)> = specs.into_iter().enumerate().collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let jobs_ref = &jobs;
-    let next_ref = &next;
-    let slots = std::sync::Mutex::new(&mut results);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs_ref.len() {
-                    break;
-                }
-                let (slot, spec) = &jobs_ref[i];
-                let metrics = Simulation::run_with(
-                    spec.config.clone(),
-                    spec.topology.clone(),
-                    spec.plan.clone(),
-                )
-                .unwrap_or_else(|e| panic!("spec '{}' failed: {e}", spec.label));
-                let mut guard = slots.lock().expect("no poisoned runs");
-                guard[*slot] = Some((spec.label.clone(), metrics));
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    run_specs_with(specs, default_sweep_config())
 }
 
 #[cfg(test)]
@@ -183,20 +332,28 @@ mod tests {
         assert!(bad.validate().is_err());
     }
 
-    #[test]
-    fn run_specs_preserves_order_and_determinism() {
-        let topo = placement::grid(3, 3, 5.0).unwrap();
-        let plan = single_source(NodeId::new(4), 1, SimTime::ZERO).unwrap();
-        let mk = |label: &str, protocol| RunSpec {
+    fn mk(
+        topo: &spms_net::Topology,
+        plan: &TrafficPlan,
+        label: &str,
+        protocol: ProtocolKind,
+    ) -> RunSpec {
+        RunSpec {
             label: label.to_string(),
             config: SimConfig::paper_defaults(protocol, 11),
             topology: topo.clone(),
             plan: plan.clone(),
-        };
+        }
+    }
+
+    #[test]
+    fn run_specs_preserves_order_and_determinism() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let plan = single_source(NodeId::new(4), 1, SimTime::ZERO).unwrap();
         let specs = vec![
-            mk("a", ProtocolKind::Spms),
-            mk("b", ProtocolKind::Spin),
-            mk("c", ProtocolKind::Spms),
+            mk(&topo, &plan, "a", ProtocolKind::Spms),
+            mk(&topo, &plan, "b", ProtocolKind::Spin),
+            mk(&topo, &plan, "c", ProtocolKind::Spms),
         ];
         let out = run_specs(specs);
         assert_eq!(out.len(), 3);
@@ -206,5 +363,64 @@ mod tests {
         // Identical specs give identical metrics regardless of scheduling.
         assert_eq!(out[0].1, out[2].1);
         assert_eq!(out[0].1.deliveries, 8);
+    }
+
+    #[test]
+    fn worker_counts_resolve_sanely() {
+        assert_eq!(SweepConfig::default(), SweepConfig::auto());
+        assert_eq!(SweepConfig::with_workers(3).resolved(10), 3);
+        // Never more workers than specs, never fewer than one.
+        assert_eq!(SweepConfig::with_workers(8).resolved(2), 2);
+        assert_eq!(SweepConfig::with_workers(5).resolved(0), 1);
+        assert!(SweepConfig::auto().resolved(64) >= 1);
+    }
+
+    #[test]
+    fn failed_specs_do_not_poison_or_reorder_siblings() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let plan = single_source(NodeId::new(4), 1, SimTime::ZERO).unwrap();
+        // An out-of-range generator node makes the engine reject the spec.
+        let bad_plan = single_source(NodeId::new(99), 1, SimTime::ZERO).unwrap();
+        let specs = vec![
+            mk(&topo, &plan, "good-0", ProtocolKind::Spms),
+            RunSpec {
+                plan: bad_plan,
+                ..mk(&topo, &plan, "bad", ProtocolKind::Spms)
+            },
+            mk(&topo, &plan, "good-2", ProtocolKind::Spms),
+        ];
+        for workers in [1usize, 2, 4] {
+            let out = try_run_specs(specs.clone(), SweepConfig::with_workers(workers));
+            let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+            assert_eq!(labels, ["good-0", "bad", "good-2"], "{workers} workers");
+            assert!(out[1].1.is_err(), "{workers} workers: bad spec must fail");
+            let good = out[0].1.as_ref().unwrap();
+            assert_eq!(good, out[2].1.as_ref().unwrap(), "{workers} workers");
+            assert_eq!(good.deliveries, 8, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn run_specs_with_panics_on_the_first_failed_spec_in_input_order() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let plan = single_source(NodeId::new(4), 1, SimTime::ZERO).unwrap();
+        let bad = |label: &str| RunSpec {
+            plan: single_source(NodeId::new(99), 1, SimTime::ZERO).unwrap(),
+            ..mk(&topo, &plan, label, ProtocolKind::Spms)
+        };
+        let specs = vec![
+            mk(&topo, &plan, "good", ProtocolKind::Spms),
+            bad("bad-early"),
+            bad("bad-late"),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_specs_with(specs, SweepConfig::with_workers(2))
+        }))
+        .expect_err("a failed spec must fail the sweep");
+        let text = panic_text(err.as_ref());
+        assert!(
+            text.contains("bad-early"),
+            "panic must name the first failed spec in input order: {text}"
+        );
     }
 }

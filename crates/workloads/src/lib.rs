@@ -6,7 +6,9 @@
 //! * [`traffic`] — builders for the two communication patterns of §5:
 //!   all-to-all with Poisson arrivals, and cluster-based hierarchical
 //!   traffic with 5% bystander interest,
-//! * [`experiment`] — run specifications and a parallel sweep runner,
+//! * [`experiment`] — run specifications and the deterministic parallel
+//!   sweep executor (a [`SweepConfig`]-sized worker pool whose results are
+//!   byte-identical to the sequential path for any worker count),
 //! * [`figures`] — one generator per paper figure (3, 5, 6–13), each
 //!   returning a [`FigureResult`] with the same series the paper plots,
 //!   plus the EXT1 (inter-zone) and EXT2 (network-lifetime) extension
@@ -31,10 +33,13 @@ pub mod replication;
 pub mod report;
 pub mod traffic;
 
-pub use experiment::{run_specs, RunSpec, Scale};
+pub use experiment::{
+    default_sweep_config, run_specs, run_specs_with, set_default_workers, try_run_specs, RunSpec,
+    Scale, SweepConfig,
+};
 pub use figures::{FigureResult, SeriesData};
 pub use replication::{
     render_replicated_csv, render_replicated_markdown, replicate, ReplicatedFigure,
     ReplicatedSeries,
 };
-pub use report::{render_ascii_chart, render_csv, render_markdown};
+pub use report::{render_ascii_chart, render_csv, render_json, render_markdown};

@@ -91,6 +91,87 @@ pub fn render_csv(fig: &FigureResult) -> String {
     out
 }
 
+/// Renders a figure as a small JSON document — the machine-readable twin
+/// of the CSV: id, title, axis labels, series points, and notes.
+///
+/// The output is deterministic byte for byte for equal figures (fixed key
+/// order, `Display`-formatted floats, no timestamps), which is what the CI
+/// `sweep-smoke` step relies on: the same sweep rendered at different
+/// worker counts must diff empty.
+///
+/// # Example
+///
+/// ```
+/// use spms_workloads::{render_json, FigureResult, SeriesData};
+///
+/// let fig = FigureResult {
+///     id: "figX",
+///     title: "demo".into(),
+///     x_label: "x",
+///     y_label: "y",
+///     series: vec![SeriesData { name: "A".into(), points: vec![(1.0, 2.5)] }],
+///     notes: vec!["note".into()],
+/// };
+/// let json = render_json(&fig);
+/// assert!(json.contains("\"points\": [[1, 2.5]]"));
+/// ```
+#[must_use]
+pub fn render_json(fig: &FigureResult) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"id\": \"{}\",", esc(fig.id));
+    let _ = writeln!(out, "  \"title\": \"{}\",", esc(&fig.title));
+    let _ = writeln!(out, "  \"x_label\": \"{}\",", esc(fig.x_label));
+    let _ = writeln!(out, "  \"y_label\": \"{}\",", esc(fig.y_label));
+    out.push_str("  \"series\": [");
+    for (i, s) in fig.series.iter().enumerate() {
+        let points: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("[{x}, {y}]"))
+            .collect();
+        let _ = write!(
+            out,
+            "{}\n    {{\"name\": \"{}\", \"points\": [{}]}}",
+            if i == 0 { "" } else { "," },
+            esc(&s.name),
+            points.join(", ")
+        );
+    }
+    out.push_str(if fig.series.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"notes\": [");
+    for (i, n) in fig.notes.iter().enumerate() {
+        let _ = write!(out, "{}\n    \"{}\"", if i == 0 { "" } else { "," }, esc(n));
+    }
+    out.push_str(if fig.notes.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
 /// Renders a figure as a side-by-side ASCII bar chart (one row per x, one
 /// bar per series), for eyeballing shapes in terminal output.
 ///
@@ -179,6 +260,33 @@ mod tests {
         assert!(md.contains("| n | SPMS | SPIN |"));
         assert!(md.contains("| 25.0 | 1.500 | 3.000 |"));
         assert!(md.contains("- a note"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let json = render_json(&fig());
+        assert!(json.contains("\"id\": \"figT\""));
+        assert!(json.contains("{\"name\": \"SPMS\", \"points\": [[25, 1.5], [49, 2.5]]}"));
+        assert!(json.contains("\"notes\": [\n    \"a note\"\n  ]"));
+        // Byte-identical on re-render — what the CI sweep diff relies on.
+        assert_eq!(json, render_json(&fig()));
+        // Quotes and newlines in titles/notes stay valid JSON.
+        let mut tricky = fig();
+        tricky.title = "say \"hi\"\nback\\slash".into();
+        let rendered = render_json(&tricky);
+        assert!(rendered.contains("say \\\"hi\\\"\\nback\\\\slash"));
+        // Degenerate figure renders without panic.
+        let empty = FigureResult {
+            id: "fig0",
+            title: "empty".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec![],
+            notes: vec![],
+        };
+        let rendered = render_json(&empty);
+        assert!(rendered.contains("\"series\": []"));
+        assert!(rendered.contains("\"notes\": []"));
     }
 
     #[test]

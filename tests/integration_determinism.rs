@@ -63,6 +63,40 @@ fn parallel_sweep_equals_sequential_runs() {
 }
 
 #[test]
+fn sweep_worker_count_cannot_change_results() {
+    // A mixed-protocol mini-sweep through the executor at 1 worker (the
+    // sequential reference), the host's available parallelism, and a
+    // deliberately excessive pool: labels, order, and every RunMetrics
+    // byte must be identical — the worker pool is a wall-clock knob, never
+    // a semantic one.
+    use spms_workloads::{run_specs_with, RunSpec, SweepConfig};
+    let topo = placement::grid(4, 4, 5.0).unwrap();
+    let plan = traffic::all_to_all(16, 1, SimTime::from_millis(200), 5).unwrap();
+    let spec = |label: &str, protocol, seed| {
+        let mut config = full_featured_config(seed);
+        config.protocol = protocol;
+        RunSpec {
+            label: label.into(),
+            config,
+            topology: topo.clone(),
+            plan: plan.clone(),
+        }
+    };
+    let specs = vec![
+        spec("spms", ProtocolKind::Spms, 21),
+        spec("spin", ProtocolKind::Spin, 22),
+        spec("flood", ProtocolKind::Flooding, 23),
+        spec("spms-again", ProtocolKind::Spms, 21),
+    ];
+    let reference = run_specs_with(specs.clone(), SweepConfig::with_workers(1));
+    assert_eq!(reference[0].1, reference[3].1, "same spec, same bytes");
+    for workers in [0usize, 16] {
+        let got = run_specs_with(specs.clone(), SweepConfig::with_workers(workers));
+        assert_eq!(got, reference, "workers = {workers}");
+    }
+}
+
+#[test]
 fn shard_count_cannot_change_results() {
     // A fig12-style mobility run (distributed routing, incremental zones
     // and routing, every epoch re-converging through the shard planner):
@@ -89,6 +123,37 @@ fn shard_count_cannot_change_results() {
     let wide = run(16); // more shards than the host has cores
     assert_eq!(single, auto, "1 shard vs available_parallelism");
     assert_eq!(single, wide, "1 shard vs 16 shards");
+}
+
+#[test]
+fn shard_count_cannot_change_full_rebuild_results() {
+    // The non-incremental twin of `shard_count_cannot_change_results`:
+    // with incremental routing off, every mobility epoch re-executes the
+    // FULL rebuild, which now routes through `DbfEngine::rebuild_sharded`.
+    // Same-seed runs at 1 shard, the host's available parallelism, and a
+    // deliberately excessive count must still produce byte-identical
+    // RunMetrics — the sharded full rebuild is bit-identical to the
+    // sequential reference rebuild, stats included.
+    let run = |shards: usize| {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), 8).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 8);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility = Some(MobilityConfig::new(SimTime::from_millis(150), 0.1).unwrap());
+        config.incremental_routing = false;
+        config.dbf_shards = shards;
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    let single = run(1);
+    assert!(single.mobility_epochs > 0, "epochs must fire");
+    assert_eq!(
+        single.routing.executions,
+        1 + single.mobility_epochs,
+        "every epoch re-executes the full rebuild"
+    );
+    assert_eq!(single.routing.incremental_executions, 0);
+    assert_eq!(single, run(0), "1 shard vs available_parallelism");
+    assert_eq!(single, run(16), "1 shard vs 16 shards");
 }
 
 #[test]

@@ -16,6 +16,13 @@
 //!   indexed zone build — the repo's ≥~3× speedup acceptance criteria).
 //!   Exits non-zero (failing the CI job) on any regression, missing
 //!   bench, or ratio breach.
+//! * `sweep-diff --a <dir> --b <dir>` — the sweep-determinism gate: both
+//!   directories must hold the same set of `*.json` figure files (as
+//!   written by the `repro` bin) with **byte-identical** contents. CI runs
+//!   a figure sweep at 1 worker and at the runner's available parallelism
+//!   and diffs the outputs — the parallel sweep executor may only change
+//!   wall-clock time, never a result byte. Exits non-zero on any missing
+//!   file or content difference.
 //!
 //! The workspace is offline (no serde), so records are read with a tiny
 //! scanner that understands exactly the flat objects the reporter emits.
@@ -285,14 +292,69 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Sorted `*.json` file names directly inside `dir`.
+fn json_files(dir: &str) -> Result<Vec<String>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{dir} holds no .json figure files"));
+    }
+    Ok(names)
+}
+
+fn run_sweep_diff(args: &[String]) -> Result<(), String> {
+    let dir_a = arg_value(args, "--a").ok_or("sweep-diff needs --a <dir>")?;
+    let dir_b = arg_value(args, "--b").ok_or("sweep-diff needs --b <dir>")?;
+    let names_a = json_files(&dir_a)?;
+    let names_b = json_files(&dir_b)?;
+    if names_a != names_b {
+        return Err(format!(
+            "figure sets differ: {dir_a} holds {names_a:?}, {dir_b} holds {names_b:?}"
+        ));
+    }
+    println!("sweep-diff: {dir_a} vs {dir_b} ({} figures)", names_a.len());
+    let mut differing = Vec::new();
+    for name in &names_a {
+        let read = |dir: &str| {
+            std::fs::read(std::path::Path::new(dir).join(name))
+                .map_err(|e| format!("cannot read {dir}/{name}: {e}"))
+        };
+        if read(&dir_a)? == read(&dir_b)? {
+            println!("  identical  {name}");
+        } else {
+            println!("  DIFFERS    {name}");
+            differing.push(name.clone());
+        }
+    }
+    if !differing.is_empty() {
+        return Err(format!(
+            "{} of {} figures differ between the two sweeps ({}): the executor \
+             must be byte-deterministic across worker counts",
+            differing.len(),
+            names_a.len(),
+            differing.join(", ")
+        ));
+    }
+    println!("all {} figures byte-identical", names_a.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("collect") => run_collect(&args[1..]),
         Some("bench-gate") => run_bench_gate(&args[1..]),
-        _ => Err("usage: xtask <collect|bench-gate> [flags]\n\
+        Some("sweep-diff") => run_sweep_diff(&args[1..]),
+        _ => Err("usage: xtask <collect|bench-gate|sweep-diff> [flags]\n\
                   \x20 collect    --input <jsonl> --output <json>\n\
-                  \x20 bench-gate --baseline <json> --current <json> [--threshold 1.25]"
+                  \x20 bench-gate --baseline <json> --current <json> [--threshold 1.25]\n\
+                  \x20 sweep-diff --a <dir> --b <dir>"
             .into()),
     };
     match result {
@@ -421,5 +483,73 @@ mod tests {
         let verdicts = gate(&baseline, &current, 1.25);
         assert_eq!(verdicts.len(), 1, "untracked benches never gate");
         assert!(matches!(verdicts[0].1, Verdict::Ok { .. }));
+    }
+
+    /// Temp sweep directory populated with the given (name, contents)
+    /// files; cleaned up on drop.
+    struct SweepDir(std::path::PathBuf);
+
+    impl SweepDir {
+        fn new(tag: &str, files: &[(&str, &str)]) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("spms-xtask-sweep-{}-{tag}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            for (name, contents) in files {
+                std::fs::write(dir.join(name), contents).unwrap();
+            }
+            SweepDir(dir)
+        }
+
+        fn path(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for SweepDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn diff_args(a: &SweepDir, b: &SweepDir) -> Vec<String> {
+        ["--a", &a.path(), "--b", &b.path()]
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn sweep_diff_accepts_identical_directories() {
+        let files = [("fig12.json", "{\"id\":\"fig12\"}\n"), ("fig6.json", "{}")];
+        let a = SweepDir::new("eq-a", &files);
+        let b = SweepDir::new("eq-b", &files);
+        assert!(run_sweep_diff(&diff_args(&a, &b)).is_ok());
+    }
+
+    #[test]
+    fn sweep_diff_rejects_content_and_set_differences() {
+        let a = SweepDir::new("ne-a", &[("fig12.json", "{\"x\":1}"), ("fig6.json", "{}")]);
+        let content = SweepDir::new("ne-b", &[("fig12.json", "{\"x\":2}"), ("fig6.json", "{}")]);
+        let err = run_sweep_diff(&diff_args(&a, &content)).unwrap_err();
+        assert!(err.contains("fig12.json"), "{err}");
+        let missing = SweepDir::new("ne-c", &[("fig12.json", "{\"x\":1}")]);
+        let err = run_sweep_diff(&diff_args(&a, &missing)).unwrap_err();
+        assert!(err.contains("figure sets differ"), "{err}");
+        // Non-JSON clutter (CSV twins) is ignored, not compared.
+        let csv_a = SweepDir::new("csv-a", &[("fig12.json", "{}"), ("fig12.csv", "1,2")]);
+        let csv_b = SweepDir::new("csv-b", &[("fig12.json", "{}"), ("fig12.csv", "3,4")]);
+        assert!(run_sweep_diff(&diff_args(&csv_a, &csv_b)).is_ok());
+    }
+
+    #[test]
+    fn sweep_diff_rejects_empty_or_absent_directories() {
+        let a = SweepDir::new("empty-a", &[("fig12.json", "{}")]);
+        let empty = SweepDir::new("empty-b", &[("readme.txt", "no json here")]);
+        assert!(run_sweep_diff(&diff_args(&a, &empty)).is_err());
+        let args: Vec<String> = ["--a", &a.path(), "--b", "/nonexistent-sweep-dir"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert!(run_sweep_diff(&args).is_err());
     }
 }
