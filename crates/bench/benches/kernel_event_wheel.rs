@@ -1,0 +1,151 @@
+//! Heap-vs-wheel event-kernel microbenchmarks.
+//!
+//! Three regimes, each run on both kernels so `xtask bench-gate` can hold
+//! the wheel to a speedup ratio (CI gates `wheel/heap ≤ 0.8` on the
+//! clustered 10k workload):
+//!
+//! * **clustered** — 10k events over 64 distinct timestamps, the
+//!   dissemination engine's tie-heavy steady state. Heap pays an
+//!   `O(log n)` sift per operation; the wheel appends to a slot bucket and
+//!   drains it with one sort per slot.
+//! * **uniform** — 10k events spread over ~16.8 s with nanosecond
+//!   granularity (the original `kernel/event_queue_push_pop_10k`
+//!   distribution), worst-case for bucket locality.
+//! * **many-timer** — an interleaved hold-and-fire pattern: a standing
+//!   population of 4k pending timers while events push and pop in waves,
+//!   the profile of many concurrent protocol timeouts.
+//!
+//! The batched variant measures `drain_next` on the clustered workload —
+//! what the engine's `EventKernel::WheelBatched` loop actually executes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spms_kernel::{EventQueue, SimRng, SimTime, TimerWheel};
+
+const N: u64 = 10_000;
+
+/// 64 distinct millisecond-spaced instants: ~156 events per timestamp.
+fn clustered_time(rng: &mut SimRng) -> SimTime {
+    SimTime::from_nanos((rng.next_u64() % 64) * 1_000_000)
+}
+
+/// Nanosecond-granularity spread over ~16.8 s (next_u64 >> 40 ≈ 2^24 ns).
+fn uniform_time(rng: &mut SimRng) -> SimTime {
+    SimTime::from_nanos(rng.next_u64() >> 40)
+}
+
+fn bench_push_pop(c: &mut Criterion, name: &str, time_of: fn(&mut SimRng) -> SimTime) {
+    c.bench_function(&format!("kernel/event_heap_push_pop_10k_{name}"), |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(N as usize);
+            let mut rng = SimRng::new(1);
+            for i in 0..N {
+                q.schedule(time_of(&mut rng), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    c.bench_function(&format!("kernel/event_wheel_push_pop_10k_{name}"), |b| {
+        b.iter(|| {
+            let mut w = TimerWheel::with_capacity(N as usize);
+            let mut rng = SimRng::new(1);
+            for i in 0..N {
+                w.schedule(time_of(&mut rng), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = w.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_clustered(c: &mut Criterion) {
+    bench_push_pop(c, "clustered", clustered_time);
+}
+
+fn bench_uniform(c: &mut Criterion) {
+    bench_push_pop(c, "uniform", uniform_time);
+}
+
+fn bench_many_timer(c: &mut Criterion) {
+    // Standing population: 4k long-horizon timers stay pending while 10k
+    // near-term events wash through in push/pop waves.
+    let run_heap = || {
+        let mut q = EventQueue::with_capacity(16_000);
+        let mut rng = SimRng::new(3);
+        for i in 0..4_000u64 {
+            q.schedule(SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))), i);
+        }
+        let mut acc = 0u64;
+        for wave in 0..10u64 {
+            for i in 0..1_000u64 {
+                let t = wave * 1_000_000 + rng.next_u64() % 1_000_000;
+                q.schedule(SimTime::from_nanos(t), i);
+            }
+            for _ in 0..1_000 {
+                let (_, v) = q.pop().expect("waves outnumber pops");
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    };
+    let run_wheel = || {
+        let mut w = TimerWheel::with_capacity(16_000);
+        let mut rng = SimRng::new(3);
+        for i in 0..4_000u64 {
+            w.schedule(SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))), i);
+        }
+        let mut acc = 0u64;
+        for wave in 0..10u64 {
+            for i in 0..1_000u64 {
+                let t = wave * 1_000_000 + rng.next_u64() % 1_000_000;
+                w.schedule(SimTime::from_nanos(t), i);
+            }
+            for _ in 0..1_000 {
+                let (_, v) = w.pop().expect("waves outnumber pops");
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    };
+    c.bench_function("kernel/event_heap_many_timer_waves", |b| {
+        b.iter(|| std::hint::black_box(run_heap()))
+    });
+    c.bench_function("kernel/event_wheel_many_timer_waves", |b| {
+        b.iter(|| std::hint::black_box(run_wheel()))
+    });
+}
+
+fn bench_batched_drain(c: &mut Criterion) {
+    c.bench_function("kernel/event_wheel_drain_next_10k_clustered", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut w = TimerWheel::with_capacity(N as usize);
+            let mut rng = SimRng::new(1);
+            for i in 0..N {
+                w.schedule(clustered_time(&mut rng), i);
+            }
+            let mut acc = 0u64;
+            while w.drain_next(&mut buf).is_some() {
+                for v in &buf {
+                    acc = acc.wrapping_add(*v);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clustered,
+    bench_uniform,
+    bench_many_timer,
+    bench_batched_drain
+);
+criterion_main!(benches);

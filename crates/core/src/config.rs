@@ -44,6 +44,63 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
+/// Which event kernel drives the discrete-event loop.
+///
+/// All three choices are **wall-clock knobs**: the kernels share one
+/// contract — global `(time, insertion seq)` order, FIFO on ties,
+/// zero-delay reschedules delivered in the current pass — so a run's
+/// `RunMetrics` are byte-identical whichever kernel executes it
+/// (differentially proven in `spms-kernel` and re-checked end to end in
+/// `tests/integration_determinism.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EventKernel {
+    /// Binary-heap [`spms_kernel::EventQueue`] popped one event at a time —
+    /// the trusted reference kernel and the default.
+    #[default]
+    Heap,
+    /// Hierarchical [`spms_kernel::TimerWheel`], O(1) amortized
+    /// schedule/pop, popped one event at a time.
+    Wheel,
+    /// The timer wheel drained one *timestamp* at a time
+    /// ([`spms_kernel::TimerWheel::drain_next`]): all simultaneous events
+    /// are pulled into a reusable buffer and dispatched as one slice,
+    /// amortizing queue bookkeeping across ties.
+    WheelBatched,
+}
+
+impl EventKernel {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKernel::Heap => "heap",
+            EventKernel::Wheel => "wheel",
+            EventKernel::WheelBatched => "wheel-batched",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for EventKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(EventKernel::Heap),
+            "wheel" => Ok(EventKernel::Wheel),
+            "wheel-batched" => Ok(EventKernel::WheelBatched),
+            other => Err(format!(
+                "unknown event kernel '{other}' (expected heap, wheel, or wheel-batched)"
+            )),
+        }
+    }
+}
+
 /// How SPMS routing tables are produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RoutingMode {
@@ -348,6 +405,9 @@ pub struct SimConfig {
     pub horizon: SimTime,
     /// Trace buffer capacity (None = tracing disabled).
     pub trace_capacity: Option<usize>,
+    /// Which event kernel drives the run (a wall-clock knob — results are
+    /// byte-identical across all choices; default [`EventKernel::Heap`]).
+    pub event_kernel: EventKernel,
 }
 
 impl SimConfig {
@@ -389,6 +449,7 @@ impl SimConfig {
             mobility: None,
             horizon: SimTime::from_secs(600),
             trace_capacity: None,
+            event_kernel: EventKernel::Heap,
         }
     }
 
@@ -618,5 +679,22 @@ mod tests {
         assert_eq!(ProtocolKind::Spin.label(), "SPIN");
         assert_eq!(ProtocolKind::Spms.label(), "SPMS");
         assert_eq!(format!("{}", ProtocolKind::Flooding), "FLOOD");
+    }
+
+    #[test]
+    fn event_kernel_labels_round_trip() {
+        for kernel in [
+            EventKernel::Heap,
+            EventKernel::Wheel,
+            EventKernel::WheelBatched,
+        ] {
+            assert_eq!(kernel.label().parse::<EventKernel>(), Ok(kernel));
+        }
+        assert!("calendar".parse::<EventKernel>().is_err());
+        assert_eq!(EventKernel::default(), EventKernel::Heap);
+        assert_eq!(
+            SimConfig::paper_defaults(ProtocolKind::Spms, 1).event_kernel,
+            EventKernel::Heap
+        );
     }
 }

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use spms_kernel::stats::Tally;
 use spms_kernel::trace::Trace;
-use spms_kernel::{EventQueue, SimRng, SimTime};
+use spms_kernel::{Scheduler, SchedulerKind, SimRng, SimTime};
 use spms_mac::HalfDuplexQueue;
 use spms_net::{
     FailureProcess, MobilityEpoch, MobilityProcess, NodeId, SpatialGrid, Topology, ZoneDelta,
@@ -28,9 +28,9 @@ use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
 use spms_routing::{oracle_tables, DbfEngine, DbfWireFormat, RoutingTable};
 
 use crate::{
-    Action, Addressee, MessageCounts, MetaId, NodeProtocol, NodeView, OutFrame, Packet, PacketKind,
-    Protocol, ProtocolKind, RoutingCost, RoutingMode, RunMetrics, SimConfig, SpmsParams, TimerKind,
-    TrafficPlan,
+    Action, Addressee, EventKernel, MessageCounts, MetaId, NodeProtocol, NodeView, OutFrame,
+    Packet, PacketKind, Protocol, ProtocolKind, RoutingCost, RoutingMode, RunMetrics, SimConfig,
+    SpmsParams, TimerKind, TrafficPlan,
 };
 
 /// Engine events.
@@ -112,7 +112,7 @@ pub struct Simulation {
     down_gen: Vec<u32>,
     queues: Vec<HalfDuplexQueue>,
     meters: Vec<EnergyMeter>,
-    events: EventQueue<Event>,
+    events: Scheduler<Event>,
     now: SimTime,
     timeouts: crate::Timeouts,
     pause_until: SimTime,
@@ -263,7 +263,13 @@ impl Simulation {
             down_gen: vec![0; n],
             queues: vec![HalfDuplexQueue::new(); n],
             meters: vec![EnergyMeter::new(); n],
-            events: EventQueue::with_capacity(1024),
+            events: Scheduler::with_capacity(
+                match config.event_kernel {
+                    EventKernel::Heap => SchedulerKind::Heap,
+                    EventKernel::Wheel | EventKernel::WheelBatched => SchedulerKind::Wheel,
+                },
+                1024,
+            ),
             now: SimTime::ZERO,
             timeouts,
             pause_until: SimTime::ZERO,
@@ -357,28 +363,53 @@ impl Simulation {
     /// [`SimConfig::trace_capacity`] or the trace comes back empty).
     #[must_use]
     pub fn run_traced(mut self) -> (RunMetrics, Trace) {
-        while let Some((t, ev)) = self.events.pop() {
-            if t > self.config.horizon {
-                break;
+        if self.config.event_kernel == EventKernel::WheelBatched {
+            // Batched dispatch: drain every event sharing the earliest
+            // timestamp into a reusable buffer and dispatch the slice.
+            // Events a handler schedules *at* the timestamp being
+            // dispatched surface on the next drain (same timestamp), so the
+            // per-event `step` sequence — and therefore every metric — is
+            // byte-identical to the pop-one-at-a-time path.
+            let mut batch = Vec::new();
+            while let Some(t) = self.events.drain_next(&mut batch) {
+                if t > self.config.horizon {
+                    break;
+                }
+                for ev in batch.drain(..) {
+                    self.step(t, ev);
+                }
             }
-            self.now = t;
-            self.events_processed += 1;
-            if matches!(
-                ev,
-                Event::Generate(_) | Event::Deliver(_) | Event::Timer { .. }
-            ) {
-                self.protocol_pending -= 1;
-            }
-            self.handle(ev);
-            if !self.winding_down
-                && self.generated == self.plan.generations.len() as u64
-                && (self.outstanding == 0 || self.protocol_pending == 0)
-            {
-                self.winding_down = true;
+        } else {
+            while let Some((t, ev)) = self.events.pop() {
+                if t > self.config.horizon {
+                    break;
+                }
+                self.step(t, ev);
             }
         }
         let trace = std::mem::replace(&mut self.trace, Trace::disabled());
         (self.into_metrics(), trace)
+    }
+
+    /// Dispatches one event: the shared body of the per-event and batched
+    /// run loops (kept identical so the event kernel can never change
+    /// results).
+    fn step(&mut self, t: SimTime, ev: Event) {
+        self.now = t;
+        self.events_processed += 1;
+        if matches!(
+            ev,
+            Event::Generate(_) | Event::Deliver(_) | Event::Timer { .. }
+        ) {
+            self.protocol_pending -= 1;
+        }
+        self.handle(ev);
+        if !self.winding_down
+            && self.generated == self.plan.generations.len() as u64
+            && (self.outstanding == 0 || self.protocol_pending == 0)
+        {
+            self.winding_down = true;
+        }
     }
 
     // ------------------------------------------------------------------

@@ -66,7 +66,9 @@ pub mod spin;
 pub mod spms_proto;
 pub mod traffic;
 
-pub use config::{IzConfig, ProtocolKind, RoutingMode, SimConfig, TimeoutPolicy, Timeouts};
+pub use config::{
+    EventKernel, IzConfig, ProtocolKind, RoutingMode, SimConfig, TimeoutPolicy, Timeouts,
+};
 pub use engine::Simulation;
 pub use flooding::FloodingNode;
 pub use interzone::{IzResolved, SpmsIzNode};

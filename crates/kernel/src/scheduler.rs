@@ -1,0 +1,171 @@
+//! Pluggable event-kernel front end: heap or timer wheel, one API.
+
+use crate::{EventQueue, SimTime, TimerWheel};
+
+/// The event kernel a [`Scheduler`] runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The binary-heap [`EventQueue`] — the trusted reference kernel.
+    #[default]
+    Heap,
+    /// The hierarchical [`TimerWheel`] — O(1) amortized, proven
+    /// pop-for-pop identical to the heap by the differential suite.
+    Wheel,
+}
+
+/// A discrete-event scheduler backed by either kernel.
+///
+/// Both variants observe the identical contract — global `(time,
+/// insertion sequence)` pop order, FIFO for simultaneous events,
+/// zero-delay reschedules delivered in the current pass — so which one a
+/// simulation runs on is a wall-clock knob, never a semantic one. The
+/// engine selects the variant from `SimConfig::event_kernel`;
+/// `tests/wheel_differential.rs` (pop order) and the repo's
+/// `integration_determinism` suite (whole `RunMetrics`) pin the
+/// equivalence.
+#[derive(Debug)]
+pub enum Scheduler<E> {
+    /// Binary-heap kernel.
+    Heap(EventQueue<E>),
+    /// Hierarchical timer-wheel kernel.
+    Wheel(TimerWheel<E>),
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler on the given kernel with space hints for
+    /// `capacity` events.
+    #[must_use]
+    pub fn with_capacity(kind: SchedulerKind, capacity: usize) -> Self {
+        match kind {
+            SchedulerKind::Heap => Scheduler::Heap(EventQueue::with_capacity(capacity)),
+            SchedulerKind::Wheel => Scheduler::Wheel(TimerWheel::with_capacity(capacity)),
+        }
+    }
+
+    /// Which kernel this scheduler runs on.
+    #[must_use]
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            Scheduler::Heap(_) => SchedulerKind::Heap,
+            Scheduler::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time` (same-instant FIFO).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        match self {
+            Scheduler::Heap(q) => q.schedule(time, event),
+            Scheduler::Wheel(w) => w.schedule(time, event),
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Scheduler::Heap(q) => q.pop(),
+            Scheduler::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// Drains every event sharing the earliest timestamp into `buf`
+    /// (cleared first) in FIFO order and returns that timestamp.
+    pub fn drain_next(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
+        match self {
+            Scheduler::Heap(q) => q.drain_next(buf),
+            Scheduler::Wheel(w) => w.drain_next(buf),
+        }
+    }
+
+    /// The time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Scheduler::Heap(q) => q.peek_time(),
+            Scheduler::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Scheduler::Heap(q) => q.len(),
+            Scheduler::Wheel(w) => w.len(),
+        }
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events scheduled over the scheduler's lifetime.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        match self {
+            Scheduler::Heap(q) => q.scheduled_total(),
+            Scheduler::Wheel(w) => w.scheduled_total(),
+        }
+    }
+
+    /// Total number of events popped over the scheduler's lifetime.
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        match self {
+            Scheduler::Heap(q) => q.popped_total(),
+            Scheduler::Wheel(w) => w.popped_total(),
+        }
+    }
+
+    /// Drops all pending events (lifetime counters are retained).
+    pub fn clear(&mut self) {
+        match self {
+            Scheduler::Heap(q) => q.clear(),
+            Scheduler::Wheel(w) => w.clear(),
+        }
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::Heap(EventQueue::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kernels_agree_on_a_small_schedule() {
+        let mut kernels = [
+            Scheduler::with_capacity(SchedulerKind::Heap, 8),
+            Scheduler::with_capacity(SchedulerKind::Wheel, 8),
+        ];
+        for s in &mut kernels {
+            s.schedule(SimTime::from_millis(2), "b");
+            s.schedule(SimTime::from_millis(1), "a");
+            s.schedule(SimTime::from_millis(2), "b2");
+        }
+        let [heap, wheel] = kernels;
+        fn drain(mut s: Scheduler<&'static str>) -> Vec<(SimTime, &'static str)> {
+            std::iter::from_fn(move || s.pop()).collect()
+        }
+        assert_eq!(drain(heap), drain(wheel));
+    }
+
+    #[test]
+    fn kind_and_counters_are_exposed() {
+        let mut s: Scheduler<u32> = Scheduler::with_capacity(SchedulerKind::Wheel, 4);
+        assert_eq!(s.kind(), SchedulerKind::Wheel);
+        assert!(s.is_empty());
+        s.schedule(SimTime::ZERO, 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peek_time(), Some(SimTime::ZERO));
+        s.clear();
+        assert_eq!(s.scheduled_total(), 1);
+        assert_eq!(s.popped_total(), 0);
+        assert_eq!(Scheduler::<u32>::default().kind(), SchedulerKind::Heap);
+    }
+}

@@ -1,0 +1,440 @@
+//! Hierarchical timer-wheel event scheduler.
+//!
+//! A calendar-queue alternative to the binary-heap [`EventQueue`]: O(1)
+//! amortized `schedule`/`pop` instead of O(log n) heap sifts, tuned for the
+//! production-rate regime (many concurrent timers, bursts of
+//! same-timestamp events) the simulator hits at large node counts.
+//!
+//! The wheel is a hashed hierarchical timer wheel over nanosecond ticks:
+//! [`LEVELS`] levels of [`SLOTS`] slots each, where level `l` buckets
+//! events by digit `l` of their tick in base-[`SLOTS`] (6 bits per digit,
+//! 11 digits ≥ the 64 time bits). An event lands at the level of its
+//! highest digit that differs from the wheel's current time, so near
+//! events sit in level 0 (one exact tick per slot) and far events sit in
+//! coarse upper levels that **cascade** one level down as the clock
+//! advances past their slot boundary — each event cascades at most
+//! [`LEVELS`]−1 times over its whole life, which is what makes the wheel
+//! O(1) amortized. Per-level occupancy bitmaps (one `u64`, one bit per
+//! slot) make "find the next non-empty slot" a single `trailing_zeros`.
+//!
+//! [`EventQueue`]: crate::EventQueue
+
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// Bits per wheel digit: each level indexes its slot by 6 bits of the tick.
+const SLOT_BITS: u32 = 6;
+/// Slots per level (`1 << SLOT_BITS`); one occupancy bit each fits a `u64`.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Slot index mask.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Levels needed to cover all 64 time bits (`⌈64 / 6⌉`).
+const LEVELS: usize = 11;
+
+/// A hierarchical timer wheel with the **same observable contract** as
+/// [`EventQueue`](crate::EventQueue): events pop in `(time, insertion
+/// sequence)` order, so simultaneous events are FIFO and an event
+/// scheduled *at* the timestamp currently being delivered (a zero-delay
+/// reschedule) pops later in the same pass, after everything already
+/// pending there. The heap is the trusted oracle; the differential suite
+/// in `tests/wheel_differential.rs` pins the two pop orders identical over
+/// clustered, sparse, bursty and self-rescheduling schedules.
+///
+/// Internals: future events live in per-slot FIFO buckets; events at or
+/// before the wheel's current tick live in `ready`, a small key-sorted
+/// staging row that [`TimerWheel::pop`] serves from. Advancing the clock
+/// drains the next occupied level-0 slot (one exact tick) into `ready`
+/// after one `sort_unstable` by the packed `(time << 64 | seq)` key —
+/// cascades may interleave bucket contents, so the sort, not arrival
+/// order, is what guarantees the FIFO contract.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{SimTime, TimerWheel};
+///
+/// let mut w = TimerWheel::new();
+/// w.schedule(SimTime::from_millis(5), "late");
+/// w.schedule(SimTime::ZERO, "early");
+/// assert_eq!(w.pop(), Some((SimTime::ZERO, "early")));
+/// assert_eq!(w.pop(), Some((SimTime::from_millis(5), "late")));
+/// assert_eq!(w.pop(), None);
+/// ```
+pub struct TimerWheel<E> {
+    /// `LEVELS × SLOTS` FIFO buckets, level-major.
+    slots: Vec<Vec<(u128, E)>>,
+    /// Per-level occupancy bitmaps (bit `s` set ⇔ `slots[l * SLOTS + s]`
+    /// non-empty).
+    occupied: [u64; LEVELS],
+    /// The wheel clock: the tick of the most recently staged timestamp.
+    /// Invariant: every bucketed event's tick is strictly greater, every
+    /// `ready` event's tick is less than or equal.
+    current: u64,
+    /// Due events (tick ≤ `current`), ascending by packed key. Zero-delay
+    /// reschedules land here directly, behind the events already pending
+    /// at the same tick (their sequence numbers are larger).
+    ready: VecDeque<(u128, E)>,
+    next_seq: u64,
+    popped: u64,
+    /// Events currently held in `slots` (excludes `ready`).
+    in_wheel: usize,
+}
+
+/// Packs `(time, seq)` into the single-compare key shared with the heap.
+const fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.as_nanos() as u128) << 64) | seq as u128
+}
+
+const fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel. The bucket table is `LEVELS × SLOTS` empty
+    /// vectors — no heap allocation until events arrive.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            current: 0,
+            ready: VecDeque::new(),
+            next_seq: 0,
+            popped: 0,
+            in_wheel: 0,
+        }
+    }
+
+    /// Creates an empty wheel; `capacity` pre-sizes the due-event staging
+    /// row (buckets grow on demand).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut w = TimerWheel::new();
+        w.ready.reserve(capacity.min(SLOTS * 4));
+        w
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled, even across cascades — the same guarantee as
+    /// [`EventQueue::schedule`](crate::EventQueue::schedule), including
+    /// the zero-delay case (`time` equal to the timestamp currently being
+    /// delivered): such an event is delivered in this pass, after every
+    /// event already pending at that timestamp.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = pack(time, seq);
+        if time.as_nanos() <= self.current {
+            self.stage_ready(key, event);
+        } else {
+            self.insert(key, event);
+        }
+    }
+
+    /// Buckets a strictly-future event at the level of its highest tick
+    /// digit differing from `current`.
+    fn insert(&mut self, key: u128, event: E) {
+        let t = (key >> 64) as u64;
+        debug_assert!(t > self.current, "insert is for strictly-future ticks");
+        let level = ((63 - (t ^ self.current).leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((t >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slots[level * SLOTS + slot].push((key, event));
+        self.occupied[level] |= 1 << slot;
+        self.in_wheel += 1;
+    }
+
+    /// Inserts a due event into the staging row at its key-sorted position
+    /// (the back, for zero-delay reschedules — their sequence numbers
+    /// exceed everything already staged at the same tick).
+    fn stage_ready(&mut self, key: u128, event: E) {
+        let pos = self.ready.partition_point(|&(k, _)| k < key);
+        self.ready.insert(pos, (key, event));
+    }
+
+    /// Ensures `ready` holds the earliest pending timestamp: cascades
+    /// coarse levels down until the next occupied level-0 slot (one exact
+    /// tick) drains into `ready` in key order. Returns `false` when no
+    /// events remain anywhere.
+    fn refill_ready(&mut self) -> bool {
+        loop {
+            if !self.ready.is_empty() {
+                return true;
+            }
+            if self.in_wheel == 0 {
+                return false;
+            }
+            // The earliest event is always in the lowest non-empty level's
+            // lowest occupied slot: lower levels hold nearer digits, and
+            // within a level every occupied slot's digit exceeds
+            // `current`'s, so the smallest digit is the nearest tick.
+            let level = (0..LEVELS)
+                .find(|&l| self.occupied[l] != 0)
+                .expect("in_wheel > 0 means some level is occupied");
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            self.occupied[level] &= !(1u64 << slot);
+            self.in_wheel -= bucket.len();
+            if level == 0 {
+                // A level-0 slot within the active window is one exact
+                // tick; sorting by the packed key restores global
+                // (time, seq) order whatever order cascades appended in.
+                self.current = (self.current & !SLOT_MASK) | slot as u64;
+                let mut bucket = bucket;
+                bucket.sort_unstable_by_key(|&(k, _)| k);
+                self.ready.extend(bucket);
+                return true;
+            }
+            // Cascade: advance the clock to the slot's base tick (digits
+            // below `level` zeroed) and re-bucket every event at least one
+            // level further down. Events whose tick *is* the base are due
+            // now and stage directly.
+            let low_bits = SLOT_BITS * (level as u32 + 1);
+            let keep = if low_bits >= 64 {
+                0
+            } else {
+                !((1u64 << low_bits) - 1)
+            };
+            self.current = (self.current & keep) | ((slot as u64) << (SLOT_BITS * level as u32));
+            for (key, event) in bucket {
+                if (key >> 64) as u64 <= self.current {
+                    self.stage_ready(key, event);
+                } else {
+                    self.insert(key, event);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.ready.is_empty() && !self.refill_ready() {
+            return None;
+        }
+        let (key, event) = self.ready.pop_front().expect("refilled above");
+        self.popped += 1;
+        Some((key_time(key), event))
+    }
+
+    /// Drains **every** event sharing the earliest pending timestamp into
+    /// `buf` (cleared first) in FIFO order, returning that timestamp —
+    /// the batched-dispatch entry point. Events the caller schedules *at*
+    /// the returned timestamp while processing the batch are picked up by
+    /// the next `drain_next` call, which returns the same timestamp again:
+    /// exactly the heap's zero-delay pass semantics, one batch later.
+    pub fn drain_next(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
+        buf.clear();
+        if self.ready.is_empty() && !self.refill_ready() {
+            return None;
+        }
+        let first = self.ready.front().expect("refilled above").0;
+        let time = key_time(first);
+        while self
+            .ready
+            .front()
+            .is_some_and(|&(k, _)| key_time(k) == time)
+        {
+            let (_, event) = self.ready.pop_front().expect("front checked");
+            self.popped += 1;
+            buf.push(event);
+        }
+        Some(time)
+    }
+
+    /// The time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(&(key, _)) = self.ready.front() {
+            return Some(key_time(key));
+        }
+        if self.in_wheel == 0 {
+            return None;
+        }
+        let level = (0..LEVELS)
+            .find(|&l| self.occupied[l] != 0)
+            .expect("in_wheel > 0 means some level is occupied");
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        // The lowest occupied slot of the lowest level holds the minimum;
+        // coarse buckets mix ticks, so scan for the smallest key.
+        self.slots[level * SLOTS + slot]
+            .iter()
+            .map(|&(k, _)| k)
+            .min()
+            .map(key_time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.in_wheel + self.ready.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events scheduled over the wheel's lifetime.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events popped over the wheel's lifetime.
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops all pending events (lifetime counters and the clock are
+    /// retained).
+    pub fn clear(&mut self) {
+        for (l, occ) in self.occupied.iter_mut().enumerate() {
+            let mut bits = *occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.slots[l * SLOTS + slot].clear();
+            }
+            *occ = 0;
+        }
+        self.ready.clear();
+        self.in_wheel = 0;
+    }
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<E> std::fmt::Debug for TimerWheel<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("pending", &self.len())
+            .field("scheduled_total", &self.next_seq)
+            .field("popped_total", &self.popped)
+            .field("current_tick", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::from_millis(3), 3u32);
+        w.schedule(SimTime::from_millis(1), 1u32);
+        w.schedule(SimTime::from_millis(2), 2u32);
+        let got: Vec<u32> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100u32 {
+            w.schedule(t, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| w.pop().map(|(_, e)| e)).collect();
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn same_tick_fifo_survives_cascades() {
+        // Two events for the same far-future tick, scheduled at different
+        // wheel times: the first buckets coarse, the second (after the
+        // clock advanced) finer. The pop must still be seq-ordered.
+        let mut w = TimerWheel::new();
+        let far = SimTime::from_secs(2);
+        w.schedule(far, "first");
+        w.schedule(SimTime::from_millis(1), "warp");
+        assert_eq!(w.pop(), Some((SimTime::from_millis(1), "warp")));
+        w.schedule(far, "second");
+        assert_eq!(w.pop(), Some((far, "first")));
+        assert_eq!(w.pop(), Some((far, "second")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn zero_delay_reschedule_lands_in_the_current_pass() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_millis(4);
+        w.schedule(t, "a");
+        w.schedule(t, "b");
+        w.schedule(SimTime::from_millis(9), "later");
+        assert_eq!(w.pop(), Some((t, "a")));
+        // Dispatch of "a" schedules more work at the very same timestamp.
+        w.schedule(t, "c");
+        assert_eq!(w.pop(), Some((t, "b")));
+        assert_eq!(w.pop(), Some((t, "c")));
+        assert_eq!(w.pop(), Some((SimTime::from_millis(9), "later")));
+    }
+
+    #[test]
+    fn extreme_times_round_trip() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::MAX, "max");
+        w.schedule(SimTime::ZERO, "zero");
+        w.schedule(SimTime::from_nanos(1), "one");
+        assert_eq!(w.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(w.pop(), Some((SimTime::ZERO, "zero")));
+        assert_eq!(w.pop(), Some((SimTime::from_nanos(1), "one")));
+        assert_eq!(w.pop(), Some((SimTime::MAX, "max")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn drain_next_batches_one_timestamp() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_millis(2);
+        w.schedule(t, 1u32);
+        w.schedule(SimTime::from_millis(5), 9);
+        w.schedule(t, 2);
+        let mut buf = Vec::new();
+        assert_eq!(w.drain_next(&mut buf), Some(t));
+        assert_eq!(buf, [1, 2]);
+        assert_eq!(w.drain_next(&mut buf), Some(SimTime::from_millis(5)));
+        assert_eq!(buf, [9]);
+        assert_eq!(w.drain_next(&mut buf), None);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::ZERO, ());
+        w.schedule(SimTime::from_secs(10), ());
+        w.pop();
+        assert_eq!(w.scheduled_total(), 2);
+        assert_eq!(w.popped_total(), 1);
+        assert_eq!(w.len(), 1);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_time(), None);
+        assert_eq!(w.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn peek_matches_pop_across_levels() {
+        let mut w = TimerWheel::new();
+        for &ns in &[5u64, 63, 64, 4096, 1 << 30, u64::MAX / 2] {
+            w.schedule(SimTime::from_nanos(ns), ns);
+        }
+        while let Some(t) = w.peek_time() {
+            let (pt, v) = w.pop().expect("peeked non-empty");
+            assert_eq!(pt, t);
+            assert_eq!(pt.as_nanos(), v);
+        }
+        assert!(w.is_empty());
+    }
+}

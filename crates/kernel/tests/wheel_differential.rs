@@ -1,0 +1,182 @@
+//! The heap-vs-wheel differential determinism suite — the tentpole proof
+//! that `TimerWheel` is a drop-in replacement for `EventQueue`.
+//!
+//! Every property drives the two kernels with an identical randomized
+//! schedule/pop script and asserts byte-equal results at every step: same
+//! `(time, event)` on every pop, same `peek_time`, same lengths, same
+//! lifetime counters at the end. The heap is the trusted oracle (itself
+//! pinned against a linear-scan model in `queue_fifo.rs`); agreement here
+//! extends the oracle chain one rung: model ← heap ← wheel ← batched
+//! dispatch ← whole-run `RunMetrics` (`tests/integration_determinism.rs`).
+//!
+//! Scenario coverage mirrors the regimes the simulator actually produces:
+//! clustered MAC-slot timestamps (tie-heavy), sparse horizon-scale timers
+//! (level cascades), same-timestamp bursts (broadcast fan-out), zero-delay
+//! self-reschedules (immediate forwarding), and batched same-instant drains.
+
+use proptest::prelude::*;
+use spms_kernel::{EventQueue, SimTime, TimerWheel};
+
+/// Runs one schedule/pop script against both kernels, asserting lockstep
+/// equality on every operation. `time_of` maps raw fuzz data to a
+/// timestamp so each property picks its own distribution.
+fn run_lockstep(
+    ops: &[(u8, u64, u8)],
+    time_of: impl Fn(u64) -> u64,
+    zero_delay: bool,
+) -> Result<(), TestCaseError> {
+    let mut heap = EventQueue::new();
+    let mut wheel = TimerWheel::new();
+    let mut next_id: u64 = 0;
+    for &(op, data, extra) in ops {
+        if op % 4 == 3 {
+            prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+            let got_heap = heap.pop();
+            let got_wheel = wheel.pop();
+            prop_assert_eq!(got_heap, got_wheel);
+            if zero_delay {
+                if let Some((t, _)) = got_heap {
+                    // Self-reschedule at the instant being dispatched: both
+                    // kernels must deliver these later in the same pass.
+                    for _ in 0..extra % 3 {
+                        heap.schedule(t, next_id);
+                        wheel.schedule(t, next_id);
+                        next_id += 1;
+                    }
+                }
+            }
+        } else {
+            // A burst schedules several events at one instant (fan-out).
+            let t = SimTime::from_nanos(time_of(data));
+            for _ in 0..1 + (extra % 3) {
+                heap.schedule(t, next_id);
+                wheel.schedule(t, next_id);
+                next_id += 1;
+            }
+        }
+        prop_assert_eq!(heap.len(), wheel.len());
+    }
+    // Drain the tail in lockstep.
+    loop {
+        prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+        let got_heap = heap.pop();
+        prop_assert_eq!(got_heap, wheel.pop());
+        if got_heap.is_none() {
+            break;
+        }
+    }
+    prop_assert_eq!(heap.scheduled_total(), wheel.scheduled_total());
+    prop_assert_eq!(heap.popped_total(), wheel.popped_total());
+    Ok(())
+}
+
+proptest! {
+    // Fixed seed + bounded case count keeps this suite deterministic in CI.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x0712_2004_D5A1,
+        ..ProptestConfig::default()
+    })]
+
+    /// Clustered timestamps — 16 distinct instants, heavy tie pressure, all
+    /// activity inside the wheel's lowest levels.
+    #[test]
+    fn clustered_schedules_pop_identically(
+        ops in prop::collection::vec((0u8..8, 0u64..1_000_000, 0u8..4), 1..250),
+    ) {
+        run_lockstep(&ops, |d| (d % 16) * 250_000, false)?;
+    }
+
+    /// Sparse timestamps spread over the full `u64` range — every overflow
+    /// level and multi-step cascades get exercised.
+    #[test]
+    fn sparse_schedules_pop_identically(
+        ops in prop::collection::vec((0u8..8, 0u64..u64::MAX, 0u8..4), 1..250),
+    ) {
+        run_lockstep(&ops, |d| d.wrapping_mul(0x9E37_79B9_7F4A_7C15), false)?;
+    }
+
+    /// Same-timestamp bursts at a handful of instants — broadcast fan-out
+    /// where almost every pop is a FIFO tie-break.
+    #[test]
+    fn burst_schedules_pop_identically(
+        ops in prop::collection::vec((0u8..8, 0u64..4, 0u8..4), 1..200),
+    ) {
+        run_lockstep(&ops, |d| d * 2_000_000, false)?;
+    }
+
+    /// Zero-delay self-reschedules during dispatch: events fired back at
+    /// the instant being delivered must land in the current pass, in seq
+    /// order, on both kernels.
+    #[test]
+    fn zero_delay_reschedules_pop_identically(
+        ops in prop::collection::vec((0u8..8, 0u64..32, 0u8..4), 1..200),
+    ) {
+        run_lockstep(&ops, |d| (d % 6) * 750_000, true)?;
+    }
+
+    /// Mixed regime: clustered near-term timers and sparse far-horizon
+    /// timers interleaved, so cascades and ties interact.
+    #[test]
+    fn mixed_regimes_pop_identically(
+        ops in prop::collection::vec((0u8..8, 0u64..u64::MAX, 0u8..4), 1..250),
+    ) {
+        run_lockstep(&ops, |d| {
+            if d % 3 == 0 {
+                d.wrapping_mul(0x9E37_79B9_7F4A_7C15) // far horizon
+            } else {
+                (d % 12) * 400_000 // near-term cluster
+            }
+        }, true)?;
+    }
+
+    /// Batched dispatch: the wheel drained one timestamp at a time via
+    /// `drain_next` must flatten to exactly the heap's per-event pop
+    /// sequence — including zero-delay reschedules injected mid-batch,
+    /// which surface on the next drain at the same timestamp.
+    #[test]
+    fn drain_next_flattens_to_per_event_pops(
+        ops in prop::collection::vec((0u8..8, 0u64..24, 0u8..4), 1..200),
+    ) {
+        let mut heap = EventQueue::new();
+        let mut wheel = TimerWheel::new();
+        let mut next_id: u64 = 0;
+        let mut buf = Vec::new();
+        for &(op, data, extra) in &ops {
+            if op % 4 == 3 {
+                let drained = wheel.drain_next(&mut buf);
+                match drained {
+                    None => prop_assert_eq!(heap.pop(), None),
+                    Some(t) => {
+                        prop_assert!(!buf.is_empty());
+                        for &id in buf.iter() {
+                            // The heap mirrors the batch pop-for-pop.
+                            prop_assert_eq!(heap.pop(), Some((t, id)));
+                        }
+                        // Zero-delay reschedule after the batch: next drain
+                        // must report the SAME timestamp on both kernels.
+                        for _ in 0..extra % 2 {
+                            heap.schedule(t, next_id);
+                            wheel.schedule(t, next_id);
+                            next_id += 1;
+                        }
+                    }
+                }
+            } else {
+                let t = SimTime::from_nanos((data % 8) * 600_000);
+                for _ in 0..1 + (extra % 3) {
+                    heap.schedule(t, next_id);
+                    wheel.schedule(t, next_id);
+                    next_id += 1;
+                }
+            }
+        }
+        while let Some(t) = wheel.drain_next(&mut buf) {
+            for &id in buf.iter() {
+                prop_assert_eq!(heap.pop(), Some((t, id)));
+            }
+        }
+        prop_assert_eq!(heap.pop(), None);
+        prop_assert_eq!(heap.popped_total(), wheel.popped_total());
+    }
+}

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|table1|breakeven|all]...
+//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|table1|breakeven|all]...
 //!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR] [--workers W]
+//!       [--event-kernel heap|wheel|wheel-batched]
 //! ```
 //!
 //! Markdown goes to stdout; CSVs and their machine-readable JSON twins are
@@ -14,16 +15,23 @@
 //! `--workers W` sizes the sweep executor's worker pool (`0` = the host's
 //! available parallelism, the default) — a wall-clock knob only: every
 //! output byte is identical for every value, which CI verifies by diffing
-//! the JSON of a workers-1 run against a workers-auto run. Run with
-//! `--release`; the paper scale sweeps take minutes.
+//! the JSON of a workers-1 run against a workers-auto run.
+//! `--event-kernel` selects the discrete-event kernel every simulation
+//! runs on (binary heap, timer wheel, or timer wheel with batched
+//! same-timestamp dispatch) — likewise wall-clock only: RunMetrics are
+//! byte-identical across kernels, so CI diffs a heap run against a wheel
+//! run the same way. Run with `--release`; the paper scale sweeps take
+//! minutes.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+use spms::EventKernel;
 use spms_workloads::figures;
 use spms_workloads::{
     render_ascii_chart, render_csv, render_json, render_markdown, render_replicated_csv,
-    render_replicated_markdown, replicate, set_default_workers, FigureResult, Scale,
+    render_replicated_markdown, replicate, set_default_event_kernel, set_default_workers,
+    FigureResult, Scale,
 };
 
 struct Args {
@@ -34,6 +42,7 @@ struct Args {
     seeds: usize,
     out: PathBuf,
     workers: usize,
+    event_kernel: EventKernel,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seeds = 1usize;
     let mut out = PathBuf::from("results");
     let mut workers = 0usize;
+    let mut event_kernel = EventKernel::Heap;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -76,9 +86,13 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
             }
+            "--event-kernel" => {
+                event_kernel = argv.next().ok_or("--event-kernel needs a value")?.parse()?;
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [FIGURES|all] [--scale smoke|quick|paper] \
-                            [--seed N] [--seeds R] [--out DIR] [--workers W]"
+                            [--seed N] [--seeds R] [--out DIR] [--workers W] \
+                            [--event-kernel heap|wheel|wheel-batched]"
                     .into())
             }
             other if other.starts_with('-') => {
@@ -106,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         seeds,
         out,
         workers,
+        event_kernel,
     })
 }
 
@@ -164,11 +179,13 @@ fn main() {
         }
     };
     // Route every figure sweep through a pool of the requested size
-    // (0 = auto). Purely wall-clock: outputs are byte-identical either way.
+    // (0 = auto) and onto the requested event kernel. Both are purely
+    // wall-clock: outputs are byte-identical for every combination.
     set_default_workers(args.workers);
+    set_default_event_kernel(args.event_kernel);
     let t = &args.targets;
     eprintln!(
-        "repro: scale={} seed={} workers={} targets={:?}",
+        "repro: scale={} seed={} workers={} event-kernel={} targets={:?}",
         args.scale_name,
         args.seed,
         if args.workers == 0 {
@@ -176,6 +193,7 @@ fn main() {
         } else {
             args.workers.to_string()
         },
+        args.event_kernel,
         t
     );
 
@@ -253,6 +271,9 @@ fn main() {
     }
     if wants(t, "ext3") {
         emit_sim(&args, |s| figures::ext3(&args.scale, s));
+    }
+    if wants(t, "ext4") {
+        emit_sim(&args, |s| figures::ext4(&args.scale, s));
     }
     if wants(t, "breakeven") {
         println!("{}", figures::breakeven_report());

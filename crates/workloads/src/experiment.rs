@@ -15,7 +15,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use spms::{RunMetrics, SimConfig, Simulation, TrafficPlan};
+use spms::{EventKernel, RunMetrics, SimConfig, Simulation, TrafficPlan};
 use spms_kernel::SimTime;
 use spms_net::Topology;
 
@@ -189,16 +189,44 @@ pub fn default_sweep_config() -> SweepConfig {
     }
 }
 
+/// Process-wide event-kernel selection applied to every spec the executor
+/// runs (stored as the enum's discriminant; 0 = heap).
+static DEFAULT_EVENT_KERNEL: AtomicUsize = AtomicUsize::new(0);
+
+/// Routes every sweep that goes through [`run_specs`] — all the `figures`
+/// generators, and through them the `repro` bin's `--event-kernel` flag —
+/// onto the given event kernel, overriding each spec's
+/// `SimConfig::event_kernel`. Like the worker pool, the kernel can never
+/// change results, only wall-clock time (proven byte-identical in
+/// `tests/integration_determinism.rs`), which is what lets CI byte-diff
+/// figure JSON across kernels.
+pub fn set_default_event_kernel(kernel: EventKernel) {
+    let code = match kernel {
+        EventKernel::Heap => 0,
+        EventKernel::Wheel => 1,
+        EventKernel::WheelBatched => 2,
+    };
+    DEFAULT_EVENT_KERNEL.store(code, Ordering::Relaxed);
+}
+
+/// The process-wide event kernel (see [`set_default_event_kernel`]).
+#[must_use]
+pub fn default_event_kernel() -> EventKernel {
+    match DEFAULT_EVENT_KERNEL.load(Ordering::Relaxed) {
+        1 => EventKernel::Wheel,
+        2 => EventKernel::WheelBatched,
+        _ => EventKernel::Heap,
+    }
+}
+
 /// Runs one spec, containing failures: an engine error or a panic inside
 /// the run becomes an `Err` carrying the message, so one bad spec can
 /// never poison, reorder, or abort its siblings.
 fn run_one(spec: &RunSpec) -> Result<RunMetrics, String> {
     let run = || {
-        Simulation::run_with(
-            spec.config.clone(),
-            spec.topology.clone(),
-            spec.plan.clone(),
-        )
+        let mut config = spec.config.clone();
+        config.event_kernel = default_event_kernel();
+        Simulation::run_with(config, spec.topology.clone(), spec.plan.clone())
     };
     match catch_unwind(AssertUnwindSafe(run)) {
         Ok(Ok(metrics)) => Ok(metrics),

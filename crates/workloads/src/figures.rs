@@ -773,6 +773,79 @@ pub fn ext3(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// EXT4 (no paper figure): the high-rate many-flow regime — every node a
+/// concurrent Poisson source ([`traffic::many_flows`]), arrival gap swept
+/// from relaxed to saturating. This is the event-kernel stress workload:
+/// at the tightest gap the engine's pending-event population and
+/// same-instant tie traffic peak, which is the regime the timer-wheel
+/// kernel exists for. The plotted series (deliveries and events processed
+/// per generated packet) are **kernel-independent by construction** —
+/// sweep-smoke CI runs this figure under `--event-kernel heap` and
+/// `--event-kernel wheel` and byte-diffs the JSON.
+#[must_use]
+pub fn ext4(scale: &Scale, seed: u64) -> FigureResult {
+    let n = 25usize; // 5×5 grid keeps the saturating sweep CI-sized
+    let gaps_us = [2000.0f64, 500.0, 100.0, 25.0];
+    let packets = scale.packets_per_node.max(4);
+    let mut specs = Vec::new();
+    for protocol in [ProtocolKind::Spms, ProtocolKind::Spin] {
+        for &gap in &gaps_us {
+            let mut c = config(protocol, seed ^ (gap as u64) << 2, 20.0);
+            c.horizon = scale.horizon_for(n);
+            let plan =
+                traffic::many_flows(n, packets, SimTime::from_micros(gap as u64), seed ^ 0xEF04)
+                    .expect("valid many-flow workload");
+            specs.push(RunSpec {
+                label: format!("{} gap={gap}", protocol.label()),
+                config: c,
+                topology: placement::grid(5, 5, scale.spacing_m).expect("5×5 grid"),
+                plan,
+            });
+        }
+    }
+    let results = run_specs(specs);
+    let xs: Vec<f64> = gaps_us.to_vec();
+    let deliveries = |m: &RunMetrics| m.deliveries as f64;
+    let events_per_packet = |m: &RunMetrics| {
+        if m.packets_generated == 0 {
+            0.0
+        } else {
+            m.events_processed as f64 / m.packets_generated as f64
+        }
+    };
+    let mut spms_del = series_of(&results, "SPMS", deliveries, &xs);
+    let mut spin_del = series_of(&results, "SPIN", deliveries, &xs);
+    spms_del.name = "SPMS deliveries".into();
+    spin_del.name = "SPIN deliveries".into();
+    let mut spms_ev = series_of(&results, "SPMS", events_per_packet, &xs);
+    let mut spin_ev = series_of(&results, "SPIN", events_per_packet, &xs);
+    spms_ev.name = "SPMS events/packet".into();
+    spin_ev.name = "SPIN events/packet".into();
+    let total_events: u64 = results.iter().map(|(_, m)| m.events_processed).sum();
+    let peak_ev = spms_ev
+        .points
+        .iter()
+        .chain(spin_ev.points.iter())
+        .map(|&(_, y)| y)
+        .fold(0.0, f64::max);
+    FigureResult {
+        id: "ext4",
+        title: "EXT4: many concurrent flows at shrinking arrival gaps \
+                (25 nodes, one Poisson source per node)"
+            .into(),
+        x_label: "mean arrival gap (µs, log-spaced)",
+        y_label: "deliveries / engine events per packet",
+        series: vec![spms_del, spin_del, spms_ev, spin_ev],
+        notes: vec![
+            format!(
+                "{total_events} engine events across the sweep (kernel-independent; \
+                 CI byte-diffs this figure across --event-kernel heap/wheel)"
+            ),
+            format!("peak event amplification: {peak_ev:.0} engine events per generated packet"),
+        ],
+    }
+}
+
 /// Table 1 as a rendered parameter listing.
 #[must_use]
 pub fn table1() -> String {
@@ -857,6 +930,32 @@ mod tests {
         let spin_d = f8.series_named("SPIN").unwrap();
         for (a, b) in spms_d.points.iter().zip(spin_d.points.iter()) {
             assert!(a.1 < b.1, "SPMS delay {a:?} must beat SPIN {b:?}");
+        }
+    }
+
+    #[test]
+    fn ext4_many_flow_figure_is_kernel_independent() {
+        use crate::experiment::set_default_event_kernel;
+        use spms::EventKernel;
+        let scale = Scale::smoke();
+        let heap = ext4(&scale, 3);
+        assert_eq!(heap.series.len(), 4);
+        for s in &heap.series {
+            assert_eq!(s.points.len(), 4, "one point per arrival gap");
+        }
+        assert!(
+            heap.notes.iter().any(|n| n.contains("engine events")),
+            "notes must surface the event volume: {:?}",
+            heap.notes
+        );
+        // The sweep-smoke CI step byte-diffs this figure's JSON across
+        // kernels; assert the same equality in-process for both wheel
+        // modes (every series point, title, and note identical).
+        for kernel in [EventKernel::Wheel, EventKernel::WheelBatched] {
+            set_default_event_kernel(kernel);
+            let got = ext4(&scale, 3);
+            set_default_event_kernel(EventKernel::Heap);
+            assert_eq!(got, heap, "{kernel} vs heap");
         }
     }
 

@@ -1,7 +1,7 @@
 //! Reproducibility guarantees: the properties DESIGN.md promises about
 //! seeds and determinism, checked across subsystem combinations.
 
-use spms::{ProtocolKind, RoutingMode, SimConfig, Simulation};
+use spms::{EventKernel, ProtocolKind, RoutingMode, SimConfig, Simulation};
 use spms_kernel::SimTime;
 use spms_net::{placement, FailureConfig, MobilityConfig};
 use spms_workloads::traffic;
@@ -93,6 +93,37 @@ fn sweep_worker_count_cannot_change_results() {
     for workers in [0usize, 16] {
         let got = run_specs_with(specs.clone(), SweepConfig::with_workers(workers));
         assert_eq!(got, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn event_kernel_cannot_change_results() {
+    // The heap/wheel/batched-wheel equality matrix across all three
+    // protocols, mirroring the shards-{1,auto,16} pattern: a full-featured
+    // run (failures + mobility + distributed routing + tracing) must
+    // produce byte-identical RunMetrics whichever event kernel executes it
+    // — the kernel is a wall-clock knob, never a semantic one. This is the
+    // end-to-end rung of the oracle chain the differential suites in
+    // `crates/kernel/tests/` establish pop-for-pop.
+    let run = |protocol, kernel| {
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = traffic::all_to_all(16, 2, SimTime::from_millis(200), 31).unwrap();
+        let mut config = full_featured_config(31);
+        config.protocol = protocol;
+        config.event_kernel = kernel;
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    for protocol in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Spin,
+        ProtocolKind::Spms,
+    ] {
+        let heap = run(protocol, EventKernel::Heap);
+        assert!(heap.events_processed > 0);
+        for kernel in [EventKernel::Wheel, EventKernel::WheelBatched] {
+            let got = run(protocol, kernel);
+            assert_eq!(got, heap, "{protocol} under {kernel} vs heap");
+        }
     }
 }
 
