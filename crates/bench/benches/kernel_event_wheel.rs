@@ -79,7 +79,10 @@ fn bench_many_timer(c: &mut Criterion) {
         let mut q = EventQueue::with_capacity(16_000);
         let mut rng = SimRng::new(3);
         for i in 0..4_000u64 {
-            q.schedule(SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))), i);
+            q.schedule(
+                SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))),
+                i,
+            );
         }
         let mut acc = 0u64;
         for wave in 0..10u64 {
@@ -98,7 +101,10 @@ fn bench_many_timer(c: &mut Criterion) {
         let mut w = TimerWheel::with_capacity(16_000);
         let mut rng = SimRng::new(3);
         for i in 0..4_000u64 {
-            w.schedule(SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))), i);
+            w.schedule(
+                SimTime::from_nanos((1 << 40) | (rng.next_u64() % (1 << 30))),
+                i,
+            );
         }
         let mut acc = 0u64;
         for wave in 0..10u64 {

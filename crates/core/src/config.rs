@@ -4,6 +4,7 @@ use spms_kernel::SimTime;
 use spms_mac::{ContentionModel, MacTiming};
 use spms_net::{FailureConfig, MobilityConfig, ZoneTable};
 use spms_phy::RadioProfile;
+use spms_routing::TableLayout;
 
 use crate::PacketSizes;
 
@@ -408,6 +409,12 @@ pub struct SimConfig {
     /// Which event kernel drives the run (a wall-clock knob — results are
     /// byte-identical across all choices; default [`EventKernel::Heap`]).
     pub event_kernel: EventKernel,
+    /// Arena layout for the distributed routing tables (another wall-clock
+    /// knob — results are byte-identical across layouts, proven by the
+    /// layout-differential suites in `spms-routing` and re-checked end to
+    /// end in `tests/integration_determinism.rs`; default
+    /// [`TableLayout::Soa`], with AoS retained as the oracle).
+    pub table_layout: TableLayout,
 }
 
 impl SimConfig {
@@ -450,6 +457,7 @@ impl SimConfig {
             horizon: SimTime::from_secs(600),
             trace_capacity: None,
             event_kernel: EventKernel::Heap,
+            table_layout: TableLayout::Soa,
         }
     }
 

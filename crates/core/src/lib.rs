@@ -78,4 +78,5 @@ pub use protocol::{Action, NodeProtocol, NodeView, Protocol, TimerKind};
 pub use results::{MessageCounts, RoutingCost, RunMetrics};
 pub use spin::SpinNode;
 pub use spms_proto::{SpmsNode, SpmsParams};
+pub use spms_routing::TableLayout;
 pub use traffic::{Generation, Interest, TrafficPlan};

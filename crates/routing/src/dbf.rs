@@ -64,7 +64,7 @@ use spms_net::{NodeId, ZoneDelta, ZoneTable};
 /// either way.
 const SHARD_MIN_LOAD: u64 = 1024;
 
-use crate::{DbfWireFormat, RouteEntry, RoutingTable};
+use crate::{DbfWireFormat, RouteEntry, RoutingTable, TableLayout};
 
 /// A node's broadcast distance vector: its best known cost and hop count to
 /// each destination it maintains (all of them for a full-rebuild round, only
@@ -239,6 +239,27 @@ impl DbfEngine {
         self.shards
     }
 
+    /// Stores every routing table in `layout` ([`TableLayout::Soa`] planes
+    /// by default). The AoS layout is the differential oracle: the layout
+    /// proptest suites replay identical exchanges through both arenas and
+    /// assert bit-identical tables and [`DbfStats`]. Like the shard count,
+    /// the layout can never change routing results, only wall-clock time.
+    #[must_use]
+    pub fn with_table_layout(mut self, layout: TableLayout) -> Self {
+        for table in &mut self.tables {
+            table.convert_layout(layout);
+        }
+        self
+    }
+
+    /// The arena layout the engine's tables are stored in.
+    #[must_use]
+    pub fn table_layout(&self) -> TableLayout {
+        self.tables
+            .first()
+            .map_or_else(TableLayout::default, RoutingTable::layout)
+    }
+
     /// The number of route alternatives kept per destination.
     #[must_use]
     pub fn k(&self) -> usize {
@@ -341,10 +362,8 @@ impl DbfEngine {
     /// Builds the full distance vector `node` would broadcast now.
     #[must_use]
     pub fn vector_of(&self, node: NodeId) -> DbfVector {
-        let entries = self.tables[node.index()]
-            .iter()
-            .map(|(d, routes)| (d, routes[0].cost, routes[0].hops))
-            .collect();
+        let mut entries = Vec::new();
+        self.tables[node.index()].append_vector(&mut entries);
         DbfVector {
             from: node,
             entries,
@@ -476,11 +495,7 @@ impl DbfEngine {
                     continue;
                 }
                 let start = snap_entries.len() as u32;
-                snap_entries.extend(
-                    self.tables[i]
-                        .iter()
-                        .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
-                );
+                self.tables[i].append_vector(&mut snap_entries);
                 snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
             }
             let mut next_pending = std::mem::take(&mut self.scratch.next_pending);
@@ -968,11 +983,7 @@ impl DbfEngine {
                     continue;
                 }
                 let start = snap_entries.len() as u32;
-                snap_entries.extend(
-                    self.tables[i]
-                        .iter()
-                        .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
-                );
+                self.tables[i].append_vector(snap_entries);
                 snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
             }
         } else {
@@ -1000,11 +1011,7 @@ impl DbfEngine {
                                 continue;
                             }
                             let start = ebuf.len() as u32;
-                            ebuf.extend(
-                                tables[i]
-                                    .iter()
-                                    .map(|(d, routes)| (d, routes[0].cost, routes[0].hops)),
-                            );
+                            tables[i].append_vector(ebuf);
                             fbuf.push((NodeId::new(i as u32), start, ebuf.len() as u32));
                         }
                     });
@@ -1596,7 +1603,7 @@ mod tests {
         let t0 = dbf.table(NodeId::new(0));
         let routes = t0.routes_to(NodeId::new(8));
         assert_eq!(routes.len(), 2);
-        assert_ne!(routes[0].via, routes[1].via);
+        assert_ne!(routes.get(0).unwrap().via, routes.get(1).unwrap().via);
     }
 
     #[test]

@@ -58,5 +58,5 @@ mod wire;
 
 pub use dbf::{DbfEngine, DbfStats, DbfVector};
 pub use oracle::{oracle_tables, oracle_tables_masked};
-pub use table::{RouteEntry, RoutingTable};
+pub use table::{RouteEntry, Routes, RoutesIter, RoutingTable, TableLayout};
 pub use wire::DbfWireFormat;

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|table1|breakeven|all]...
 //!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR] [--workers W]
-//!       [--event-kernel heap|wheel|wheel-batched]
+//!       [--event-kernel heap|wheel|wheel-batched] [--table-layout soa|aos]
 //! ```
 //!
 //! Markdown goes to stdout; CSVs and their machine-readable JSON twins are
@@ -20,18 +20,21 @@
 //! runs on (binary heap, timer wheel, or timer wheel with batched
 //! same-timestamp dispatch) — likewise wall-clock only: RunMetrics are
 //! byte-identical across kernels, so CI diffs a heap run against a wheel
-//! run the same way. Run with `--release`; the paper scale sweeps take
-//! minutes.
+//! run the same way. `--table-layout` selects the routing-arena layout
+//! (SoA relaxation planes, the default, or the original array-of-structs
+//! oracle) — the third wall-clock-only knob: RunMetrics are bit-identical
+//! across layouts, so CI byte-diffs an `aos` run against a `soa` run too.
+//! Run with `--release`; the paper scale sweeps take minutes.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use spms::EventKernel;
+use spms::{EventKernel, TableLayout};
 use spms_workloads::figures;
 use spms_workloads::{
     render_ascii_chart, render_csv, render_json, render_markdown, render_replicated_csv,
-    render_replicated_markdown, replicate, set_default_event_kernel, set_default_workers,
-    FigureResult, Scale,
+    render_replicated_markdown, replicate, set_default_event_kernel, set_default_table_layout,
+    set_default_workers, FigureResult, Scale,
 };
 
 struct Args {
@@ -43,6 +46,7 @@ struct Args {
     out: PathBuf,
     workers: usize,
     event_kernel: EventKernel,
+    table_layout: TableLayout,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut workers = 0usize;
     let mut event_kernel = EventKernel::Heap;
+    let mut table_layout = TableLayout::Soa;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -89,10 +94,14 @@ fn parse_args() -> Result<Args, String> {
             "--event-kernel" => {
                 event_kernel = argv.next().ok_or("--event-kernel needs a value")?.parse()?;
             }
+            "--table-layout" => {
+                table_layout = argv.next().ok_or("--table-layout needs a value")?.parse()?;
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [FIGURES|all] [--scale smoke|quick|paper] \
                             [--seed N] [--seeds R] [--out DIR] [--workers W] \
-                            [--event-kernel heap|wheel|wheel-batched]"
+                            [--event-kernel heap|wheel|wheel-batched] \
+                            [--table-layout soa|aos]"
                     .into())
             }
             other if other.starts_with('-') => {
@@ -121,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         workers,
         event_kernel,
+        table_layout,
     })
 }
 
@@ -179,13 +189,15 @@ fn main() {
         }
     };
     // Route every figure sweep through a pool of the requested size
-    // (0 = auto) and onto the requested event kernel. Both are purely
-    // wall-clock: outputs are byte-identical for every combination.
+    // (0 = auto), onto the requested event kernel, and onto the requested
+    // routing-arena layout. All three are purely wall-clock: outputs are
+    // byte-identical for every combination.
     set_default_workers(args.workers);
     set_default_event_kernel(args.event_kernel);
+    set_default_table_layout(args.table_layout);
     let t = &args.targets;
     eprintln!(
-        "repro: scale={} seed={} workers={} event-kernel={} targets={:?}",
+        "repro: scale={} seed={} workers={} event-kernel={} table-layout={} targets={:?}",
         args.scale_name,
         args.seed,
         if args.workers == 0 {
@@ -194,6 +206,7 @@ fn main() {
             args.workers.to_string()
         },
         args.event_kernel,
+        args.table_layout,
         t
     );
 

@@ -15,7 +15,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use spms::{EventKernel, RunMetrics, SimConfig, Simulation, TrafficPlan};
+use spms::{EventKernel, RunMetrics, SimConfig, Simulation, TableLayout, TrafficPlan};
 use spms_kernel::SimTime;
 use spms_net::Topology;
 
@@ -219,6 +219,36 @@ pub fn default_event_kernel() -> EventKernel {
     }
 }
 
+/// Process-wide routing-table layout applied to every spec the executor
+/// runs (stored as the enum's discriminant; 0 = SoA, the default).
+static DEFAULT_TABLE_LAYOUT: AtomicUsize = AtomicUsize::new(0);
+
+/// Routes every sweep that goes through [`run_specs`] — all the `figures`
+/// generators, and through them the `repro` bin's `--table-layout` flag —
+/// onto the given routing-arena layout, overriding each spec's
+/// `SimConfig::table_layout`. Like the event kernel, the layout can never
+/// change results, only wall-clock time (proven bit-identical by the
+/// layout-differential suites in `spms-routing` and re-checked end to end
+/// in `tests/integration_determinism.rs`), which is what lets CI byte-diff
+/// figure JSON across layouts.
+pub fn set_default_table_layout(layout: TableLayout) {
+    let code = match layout {
+        TableLayout::Soa => 0,
+        TableLayout::Aos => 1,
+    };
+    DEFAULT_TABLE_LAYOUT.store(code, Ordering::Relaxed);
+}
+
+/// The process-wide routing-table layout (see
+/// [`set_default_table_layout`]).
+#[must_use]
+pub fn default_table_layout() -> TableLayout {
+    match DEFAULT_TABLE_LAYOUT.load(Ordering::Relaxed) {
+        1 => TableLayout::Aos,
+        _ => TableLayout::Soa,
+    }
+}
+
 /// Runs one spec, containing failures: an engine error or a panic inside
 /// the run becomes an `Err` carrying the message, so one bad spec can
 /// never poison, reorder, or abort its siblings.
@@ -226,6 +256,7 @@ fn run_one(spec: &RunSpec) -> Result<RunMetrics, String> {
     let run = || {
         let mut config = spec.config.clone();
         config.event_kernel = default_event_kernel();
+        config.table_layout = default_table_layout();
         Simulation::run_with(config, spec.topology.clone(), spec.plan.clone())
     };
     match catch_unwind(AssertUnwindSafe(run)) {

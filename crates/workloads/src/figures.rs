@@ -960,6 +960,22 @@ mod tests {
     }
 
     #[test]
+    fn fig12_figure_is_table_layout_independent() {
+        use crate::experiment::set_default_table_layout;
+        use spms::TableLayout;
+        // The sweep-smoke CI step byte-diffs fig12's JSON across
+        // `--table-layout soa|aos`; assert the same equality in-process —
+        // the routing-arena layout is a wall-clock knob only, never a
+        // results knob.
+        let scale = Scale::smoke();
+        let soa = fig12(&scale, 5);
+        set_default_table_layout(TableLayout::Aos);
+        let aos = fig12(&scale, 5);
+        set_default_table_layout(TableLayout::Soa);
+        assert_eq!(aos, soa, "aos vs soa");
+    }
+
+    #[test]
     fn table1_and_breakeven_render() {
         let t = table1();
         assert!(t.contains("3.1622"));

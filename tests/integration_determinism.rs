@@ -1,7 +1,7 @@
 //! Reproducibility guarantees: the properties DESIGN.md promises about
 //! seeds and determinism, checked across subsystem combinations.
 
-use spms::{EventKernel, ProtocolKind, RoutingMode, SimConfig, Simulation};
+use spms::{EventKernel, ProtocolKind, RoutingMode, SimConfig, Simulation, TableLayout};
 use spms_kernel::SimTime;
 use spms_net::{placement, FailureConfig, MobilityConfig};
 use spms_workloads::traffic;
@@ -124,6 +124,35 @@ fn event_kernel_cannot_change_results() {
             let got = run(protocol, kernel);
             assert_eq!(got, heap, "{protocol} under {kernel} vs heap");
         }
+    }
+}
+
+#[test]
+fn table_layout_cannot_change_results() {
+    // The SoA/AoS equality matrix across all three protocols, mirroring
+    // the event-kernel matrix above: a full-featured run (failures +
+    // mobility + distributed routing + tracing) must produce
+    // byte-identical RunMetrics whichever arena layout the routing tables
+    // use — the layout is a wall-clock knob, never a semantic one. This is
+    // the end-to-end rung of the oracle chain the layout-differential
+    // suite in `crates/routing/tests/layout.rs` establishes offer-for-offer.
+    let run = |protocol, layout| {
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = traffic::all_to_all(16, 2, SimTime::from_millis(200), 47).unwrap();
+        let mut config = full_featured_config(47);
+        config.protocol = protocol;
+        config.table_layout = layout;
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    for protocol in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Spin,
+        ProtocolKind::Spms,
+    ] {
+        let soa = run(protocol, TableLayout::Soa);
+        assert!(soa.events_processed > 0);
+        let aos = run(protocol, TableLayout::Aos);
+        assert_eq!(aos, soa, "{protocol} under aos vs soa");
     }
 }
 

@@ -63,7 +63,7 @@ proptest! {
         for (i, table) in tables.iter().enumerate() {
             let node = NodeId::new(i as u32);
             for dest in table.destinations() {
-                let routes = table.routes_to(dest);
+                let routes = table.routes_to(dest).to_vec();
                 for pair in routes.windows(2) {
                     prop_assert!(pair[0].cost <= pair[1].cost + 1e-12,
                         "{}→{} unsorted", node, dest);

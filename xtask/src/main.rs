@@ -14,8 +14,12 @@
 //!   *of the same run* (e.g. incremental DBF re-convergence ≤ 0.35× the
 //!   full rebuild, and the incremental zone patch ≤ 0.35× the full
 //!   indexed zone build — the repo's ≥~3× speedup acceptance criteria).
-//!   Exits non-zero (failing the CI job) on any regression, missing
-//!   bench, or ratio breach.
+//!   Every gate is evaluated before the exit status is decided (a CI run
+//!   reports the full scorecard, not the first breach), and when
+//!   `$GITHUB_STEP_SUMMARY` is set the scorecard is appended there as a
+//!   markdown table (gate, baseline, current, bound, pass/fail). Exits
+//!   non-zero (failing the CI job) on any regression, missing bench, or
+//!   ratio breach.
 //! * `sweep-diff --a <dir> --b <dir>` — the sweep-determinism gate: both
 //!   directories must hold the same set of `*.json` figure files (as
 //!   written by the `repro` bin) with **byte-identical** contents. CI runs
@@ -146,25 +150,39 @@ enum Verdict {
     Missing,
 }
 
-/// Same-run ratio constraint: `current[num].min_ns / current[den].min_ns`
-/// must stay at or below `max`. Hardware independent, unlike the absolute
-/// baseline comparison.
-fn check_ratio(current: &[Record], num: &str, den: &str, max: f64) -> Result<f64, String> {
-    let find = |id: &str| {
-        current
-            .iter()
-            .find(|r| r.id == id)
-            .ok_or_else(|| format!("ratio check: bench {id} not in current results"))
-    };
-    let numerator = find(num)?.min_ns as f64;
-    let denominator = (find(den)?.min_ns as f64).max(1.0);
-    let ratio = numerator / denominator;
-    if ratio > max {
-        return Err(format!(
-            "ratio check failed: {num} / {den} = {ratio:.3} exceeds {max:.3}"
-        ));
+/// Outcome of one same-run ratio constraint:
+/// `current[num].min_ns / current[den].min_ns` must stay at or below
+/// `max`. Hardware independent, unlike the absolute baseline comparison.
+#[derive(Debug, PartialEq)]
+struct RatioVerdict {
+    num: String,
+    den: String,
+    max: f64,
+    /// `None` when either bench is missing from the current results.
+    ratio: Option<f64>,
+}
+
+impl RatioVerdict {
+    fn pass(&self) -> bool {
+        self.ratio.is_some_and(|r| r <= self.max)
     }
-    Ok(ratio)
+}
+
+/// Evaluates one ratio constraint. Never fails early: a missing bench is a
+/// failed verdict (`ratio: None`), so every gate in a run is always
+/// evaluated and reported before the command exits non-zero.
+fn check_ratio(current: &[Record], num: &str, den: &str, max: f64) -> RatioVerdict {
+    let find = |id: &str| current.iter().find(|r| r.id == id);
+    let ratio = match (find(num), find(den)) {
+        (Some(n), Some(d)) => Some(n.min_ns as f64 / (d.min_ns as f64).max(1.0)),
+        _ => None,
+    };
+    RatioVerdict {
+        num: num.to_string(),
+        den: den.to_string(),
+        max,
+        ratio,
+    }
 }
 
 /// Compares current results against the baseline: every baseline bench is
@@ -187,6 +205,55 @@ fn gate(baseline: &[Record], current: &[Record], threshold: f64) -> Vec<(String,
             (b.id.clone(), verdict)
         })
         .collect()
+}
+
+/// Renders every gate of one `bench-gate` run — the absolute per-bench
+/// regression gates and the same-run ratio gates — as one GitHub-flavored
+/// markdown table: the `$GITHUB_STEP_SUMMARY` payload.
+fn markdown_summary(
+    verdicts: &[(String, Verdict)],
+    baseline: &[Record],
+    current: &[Record],
+    threshold: f64,
+    ratios: &[RatioVerdict],
+) -> String {
+    let min_of = |records: &[Record], id: &str| {
+        records
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| format!("{} ns", r.min_ns))
+    };
+    let mut out = String::from("### bench-gate\n\n");
+    out.push_str("| gate | baseline | current | bound | result |\n");
+    out.push_str("|---|---:|---:|---:|:---:|\n");
+    for (id, verdict) in verdicts {
+        let base = min_of(baseline, id).unwrap_or_else(|| "—".into());
+        let (cur, pass) = match verdict {
+            Verdict::Ok { ratio } => (format!("{ratio:.2}× base"), true),
+            Verdict::Regressed { ratio } => (format!("{ratio:.2}× base"), false),
+            Verdict::Missing => ("missing".into(), false),
+        };
+        let cur = min_of(current, id).map_or(cur.clone(), |ns| format!("{ns} ({cur})"));
+        let _ = writeln!(
+            out,
+            "| `{id}` | {base} | {cur} | ≤ {threshold:.2}× base | {} |",
+            if pass { "✅" } else { "❌" }
+        );
+    }
+    for r in ratios {
+        let cur = r
+            .ratio
+            .map_or_else(|| "missing".into(), |x| format!("{x:.3}×"));
+        let _ = writeln!(
+            out,
+            "| `{}` / `{}` | — | {cur} | ≤ {:.2}× | {} |",
+            r.num,
+            r.den,
+            r.max,
+            if r.pass() { "✅" } else { "❌" }
+        );
+    }
+    out
 }
 
 fn read(path: &str) -> Result<Vec<Record>, String> {
@@ -272,23 +339,57 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
             maxes.len()
         ));
     }
+    // Every ratio gate is evaluated and reported before any failure exits
+    // the command: a CI run shows the full scorecard, not the first breach.
+    let mut ratio_failures = 0;
+    let mut ratios = Vec::new();
     for ((num, den), max) in nums.iter().zip(&dens).zip(&maxes) {
         let max: f64 = max
             .parse()
             .map_err(|e| format!("bad --ratio-max {max}: {e}"))?;
-        let ratio = check_ratio(&current, num, den, max)?;
-        println!("  ratio ok  {ratio:>6.2}×  {num} / {den} (max {max:.2})");
+        let verdict = check_ratio(&current, num, den, max);
+        match (verdict.pass(), verdict.ratio) {
+            (true, Some(ratio)) => {
+                println!("  ratio ok  {ratio:>6.2}×  {num} / {den} (max {max:.2})");
+            }
+            (false, Some(ratio)) => {
+                ratio_failures += 1;
+                println!("  RATIO     {ratio:>6.2}×  {num} / {den} EXCEEDS max {max:.2}");
+            }
+            (_, None) => {
+                ratio_failures += 1;
+                println!("  RATIO missing bench  {num} / {den} (not in current results)");
+            }
+        }
+        ratios.push(verdict);
     }
-    if failures > 0 {
+    // On GitHub runners, mirror the full scorecard into the job summary.
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let table = markdown_summary(&verdicts, &baseline, &current, threshold, &ratios);
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+            .and_then(|mut f| f.write_all(table.as_bytes()))
+            .map_err(|e| format!("cannot append to GITHUB_STEP_SUMMARY {summary_path}: {e}"))?;
+    }
+    if failures > 0 || ratio_failures > 0 {
         return Err(format!(
             "{failures} of {} tracked benches regressed beyond {threshold:.2}× or went \
-             missing. If this is an intentional trade or a hardware change, refresh the \
-             baseline: CRITERION_JSON=bench.jsonl cargo bench -p spms-bench && \
+             missing, and {ratio_failures} of {} ratio gates failed. If this is an \
+             intentional trade or a hardware change, refresh the baseline: \
+             CRITERION_JSON=bench.jsonl cargo bench -p spms-bench && \
              cargo run -p xtask -- collect --input bench.jsonl --output BENCH_baseline.json",
-            verdicts.len()
+            verdicts.len(),
+            ratios.len()
         ));
     }
-    println!("all {} tracked benches within budget", verdicts.len());
+    println!(
+        "all {} tracked benches and {} ratio gates within budget",
+        verdicts.len(),
+        ratios.len()
+    );
     Ok(())
 }
 
@@ -446,9 +547,29 @@ mod tests {
     #[test]
     fn ratio_check_enforces_same_run_speedup() {
         let current = vec![rec("delta", 70), rec("full", 260)];
-        assert!(check_ratio(&current, "delta", "full", 0.35).is_ok());
-        assert!(check_ratio(&current, "delta", "full", 0.25).is_err());
-        assert!(check_ratio(&current, "absent", "full", 0.35).is_err());
+        assert!(check_ratio(&current, "delta", "full", 0.35).pass());
+        assert!(!check_ratio(&current, "delta", "full", 0.25).pass());
+        // A missing bench is a failed verdict, never a skipped one.
+        let absent = check_ratio(&current, "absent", "full", 0.35);
+        assert_eq!(absent.ratio, None);
+        assert!(!absent.pass());
+    }
+
+    #[test]
+    fn markdown_summary_tabulates_every_gate() {
+        let baseline = vec![rec("a", 100), rec("gone", 100)];
+        let current = vec![rec("a", 130), rec("soa", 43), rec("aos", 100)];
+        let verdicts = gate(&baseline, &current, 1.25);
+        let ratios = vec![
+            check_ratio(&current, "soa", "aos", 0.6),
+            check_ratio(&current, "soa", "absent", 0.6),
+        ];
+        let md = markdown_summary(&verdicts, &baseline, &current, 1.25, &ratios);
+        // One row per absolute gate and per ratio gate, pass or fail.
+        assert!(md.contains("| `a` | 100 ns | 130 ns (1.30× base) | ≤ 1.25× base | ❌ |"));
+        assert!(md.contains("| `gone` | 100 ns | missing | ≤ 1.25× base | ❌ |"));
+        assert!(md.contains("| `soa` / `aos` | — | 0.430× | ≤ 0.60× | ✅ |"));
+        assert!(md.contains("| `soa` / `absent` | — | missing | ≤ 0.60× | ❌ |"));
     }
 
     #[test]
