@@ -2,10 +2,11 @@
 
 use spms_kernel::SimTime;
 use spms_mac::{ContentionModel, MacTiming};
-use spms_net::{FailureConfig, MobilityConfig, ZoneTable};
+use spms_net::{ChurnConfig, FailureConfig, MobilityConfig, ZoneTable};
 use spms_phy::RadioProfile;
 use spms_routing::TableLayout;
 
+use crate::adversary::AdversaryConfig;
 use crate::PacketSizes;
 
 /// Which dissemination protocol a run simulates.
@@ -381,6 +382,16 @@ pub struct SimConfig {
     /// it models deployments that pay for routing repair instead of
     /// detouring.
     pub reconverge_on_failure: bool,
+    /// With `reconverge_on_failure` **off** (the paper's detour model),
+    /// still emit a pure-liveness [`spms_net::ZoneDelta`] for every
+    /// failure, repair, battery death, and churn flip into the
+    /// `batch_epochs` batching window, so the next flush retires the dead
+    /// node's routes instead of letting stale next-hops linger until an
+    /// unrelated rebuild. Default `true` (the silent-failure fix); `false`
+    /// restores the legacy fold-into-next-rebuild behavior for ablations.
+    /// Only consulted with `incremental_routing` in
+    /// [`RoutingMode::Distributed`].
+    pub queue_liveness_flips: bool,
     /// Per-node battery capacity in µJ (`None` = unlimited, the paper's
     /// measurement mode). When set, a node whose cumulative energy spend
     /// reaches the capacity **dies permanently** — the network-lifetime
@@ -402,6 +413,14 @@ pub struct SimConfig {
     pub failures: Option<FailureConfig>,
     /// Mobility process (None = static).
     pub mobility: Option<MobilityConfig>,
+    /// Adversarial node behaviors (None = everyone honest). The adversary
+    /// set is drawn from its own master-seed sub-stream, so it is a
+    /// semantic knob like the seed — never affected by shards, workers,
+    /// kernels, or layouts.
+    pub adversary: Option<AdversaryConfig>,
+    /// Mass join/leave churn process (None = no churn). Cohorts toggle
+    /// liveness per epoch, stressing the incremental zone/DBF paths.
+    pub churn: Option<ChurnConfig>,
     /// Hard stop for the run.
     pub horizon: SimTime,
     /// Trace buffer capacity (None = tracing disabled).
@@ -451,9 +470,12 @@ impl SimConfig {
             dbf_shards: 0,
             batch_epochs: 1,
             reconverge_on_failure: false,
+            queue_liveness_flips: true,
             idle_listening_mw: None,
             failures: None,
             mobility: None,
+            adversary: None,
+            churn: None,
             horizon: SimTime::from_secs(600),
             trace_capacity: None,
             event_kernel: EventKernel::Heap,
@@ -509,6 +531,13 @@ impl SimConfig {
         if let Some(f) = &self.failures {
             f.validate()?;
         }
+        if let Some(a) = &self.adversary {
+            a.validate()?;
+        }
+        if let Some(ch) = &self.churn {
+            // Re-validate the pub fields against the constructor's rules.
+            ChurnConfig::new(ch.interval, ch.fraction)?;
+        }
         if let TimeoutPolicy::Adaptive {
             adv_factor,
             dat_factor,
@@ -557,6 +586,30 @@ mod tests {
         c.batch_epochs = 4;
         c.dbf_shards = 16;
         assert!(c.validate().is_ok(), "any shard count is valid (0 = auto)");
+    }
+
+    #[test]
+    fn adversary_and_churn_settings_are_validated() {
+        use crate::adversary::{AdversaryConfig, NodeBehavior};
+        let mut c = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        assert!(c.adversary.is_none() && c.churn.is_none());
+        assert!(c.queue_liveness_flips, "the silent-failure fix defaults on");
+        c.adversary = Some(AdversaryConfig::new(NodeBehavior::Flooding, 0.25).unwrap());
+        c.churn = Some(ChurnConfig::new(SimTime::from_millis(200), 0.3).unwrap());
+        assert!(c.validate().is_ok());
+        c.adversary.as_mut().unwrap().attack_factor = 0;
+        assert!(c.validate().is_err());
+        c.adversary.as_mut().unwrap().attack_factor = 3;
+        c.adversary.as_mut().unwrap().fraction = 2.0;
+        assert!(c.validate().is_err());
+        c.adversary.as_mut().unwrap().fraction = 0.25;
+        c.churn.as_mut().unwrap().fraction = -0.5;
+        assert!(c.validate().is_err());
+        c.churn.as_mut().unwrap().fraction = 1.0;
+        assert!(
+            c.validate().is_ok(),
+            "a full-cohort churn fraction is legal"
+        );
     }
 
     #[test]

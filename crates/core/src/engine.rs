@@ -21,16 +21,16 @@ use spms_kernel::trace::Trace;
 use spms_kernel::{Scheduler, SchedulerKind, SimRng, SimTime};
 use spms_mac::HalfDuplexQueue;
 use spms_net::{
-    FailureProcess, MobilityEpoch, MobilityProcess, NodeId, SpatialGrid, Topology, ZoneDelta,
-    ZoneTable,
+    ChurnEpoch, ChurnProcess, FailureProcess, MobilityEpoch, MobilityProcess, NodeId, SpatialGrid,
+    Topology, ZoneDelta, ZoneTable,
 };
 use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
 use spms_routing::{oracle_tables, DbfEngine, DbfWireFormat, RoutingTable};
 
 use crate::{
-    Action, Addressee, EventKernel, MessageCounts, MetaId, NodeProtocol, NodeView, OutFrame,
-    Packet, PacketKind, Protocol, ProtocolKind, RoutingCost, RoutingMode, RunMetrics, SimConfig,
-    SpmsParams, TimerKind, TrafficPlan,
+    Action, Addressee, AdversaryStats, EventKernel, MessageCounts, MetaId, NodeBehavior,
+    NodeProtocol, NodeView, OutFrame, Packet, PacketKind, Payload, Protocol, ProtocolKind,
+    RoutingCost, RoutingMode, RunMetrics, SimConfig, SpmsParams, TimerKind, TrafficPlan,
 };
 
 /// Engine events.
@@ -55,6 +55,8 @@ enum Event {
     DrawFailure,
     /// Apply the staged mobility epoch.
     MobilityEpoch,
+    /// Apply the staged churn epoch (mass join/leave cohort).
+    ChurnEpoch,
 }
 
 /// A configured, runnable simulation.
@@ -105,6 +107,11 @@ pub struct Simulation {
     pending_old_zones: Option<ZoneTable>,
     /// Movers accumulated since the window started (reference-zone path).
     pending_changed: Vec<NodeId>,
+    /// Liveness flips queued on the window (`queue_liveness_flips`). The
+    /// flush must invalidate their zone neighborhoods explicitly: a node
+    /// that failed *and* repaired inside one window is invisible to the
+    /// `dbf_alive` diff, yet its neighbors' routes through it went stale.
+    pending_flipped: Vec<NodeId>,
     /// Epochs queued in the current batching window.
     pending_epochs: u32,
     protocols: Vec<NodeProtocol>,
@@ -121,6 +128,17 @@ pub struct Simulation {
     failure_proc: Option<FailureProcess>,
     mobility_proc: Option<MobilityProcess>,
     staged_epoch: Option<MobilityEpoch>,
+    churn_proc: Option<ChurnProcess>,
+    staged_churn: Option<ChurnEpoch>,
+    /// Per-node behavior policy. All-`Honest` for benign runs; adversarial
+    /// entries are picked by sub-stream 4 of the master seed (or the
+    /// explicit set), so adding adversaries never perturbs the failure,
+    /// mobility, churn, or MAC draws.
+    behaviors: Vec<NodeBehavior>,
+    /// Per-adversary first-seen metadata — bounds bogus-ADV storms to
+    /// `attack_factor` per (adversary, item) and keeps attack traffic from
+    /// echoing off other adversaries forever.
+    adversary_seen: Vec<BTreeSet<MetaId>>,
     winding_down: bool,
     /// Pending Generate/Deliver/Timer events — the protocol's own activity.
     /// When it hits zero with all generations processed, nothing can revive
@@ -144,6 +162,7 @@ pub struct Simulation {
     routing_cost: RoutingCost,
     failures_injected: u64,
     mobility_epochs: u64,
+    adversary_stats: AdversaryStats,
     events_processed: u64,
     nodes_dead: u64,
     first_death_at: Option<SimTime>,
@@ -195,6 +214,41 @@ impl Simulation {
         let mobility_proc = config
             .mobility
             .map(|m| MobilityProcess::new(m, root.derive(2)));
+
+        // Adversary roster: explicit set, or a seeded draw from the
+        // dedicated sub-stream (4). Either way the roster is fixed at build
+        // time — `attack_start` only gates when the behaviors *act*.
+        let mut behaviors = vec![NodeBehavior::Honest; n];
+        let mut adversaries = 0u64;
+        if let Some(adv) = &config.adversary {
+            if adv.behavior.is_adversarial() {
+                let picked: Vec<usize> = match &adv.explicit {
+                    Some(nodes) => {
+                        for node in nodes {
+                            if node.index() >= n {
+                                return Err(format!("explicit adversary {node} out of range"));
+                            }
+                        }
+                        nodes.iter().map(|node| node.index()).collect()
+                    }
+                    None => {
+                        let count = if adv.fraction == 0.0 {
+                            0
+                        } else {
+                            ((adv.fraction * n as f64).round() as usize).clamp(1, n)
+                        };
+                        root.derive(4).choose_indices(n, count)
+                    }
+                };
+                for i in picked {
+                    if behaviors[i] == NodeBehavior::Honest {
+                        adversaries += 1;
+                    }
+                    behaviors[i] = adv.behavior;
+                }
+            }
+        }
+        let churn_proc = config.churn.map(|c| ChurnProcess::new(c, root.derive(5)));
 
         // Bordercast TTL: explicit, or auto-sized so every reachable node
         // hears the query (the zone overlay's eccentricity).
@@ -257,6 +311,7 @@ impl Simulation {
             pending_delta: None,
             pending_old_zones: None,
             pending_changed: Vec::new(),
+            pending_flipped: Vec::new(),
             pending_epochs: 0,
             protocols,
             alive: vec![true; n],
@@ -277,6 +332,10 @@ impl Simulation {
             failure_proc,
             mobility_proc,
             staged_epoch: None,
+            churn_proc,
+            staged_churn: None,
+            behaviors,
+            adversary_seen: vec![BTreeSet::new(); n],
             winding_down: false,
             protocol_pending: 0,
             meta_adv_at: BTreeMap::new(),
@@ -294,6 +353,10 @@ impl Simulation {
             routing_cost: RoutingCost::default(),
             failures_injected: 0,
             mobility_epochs: 0,
+            adversary_stats: AdversaryStats {
+                adversaries,
+                ..AdversaryStats::default()
+            },
             events_processed: 0,
             nodes_dead: 0,
             first_death_at: None,
@@ -316,6 +379,9 @@ impl Simulation {
         }
         if sim.mobility_proc.is_some() {
             sim.stage_next_epoch();
+        }
+        if sim.churn_proc.is_some() {
+            sim.stage_next_churn();
         }
         Ok(sim)
     }
@@ -475,16 +541,20 @@ impl Simulation {
         }
     }
 
-    /// Queues one mobility epoch on the batching window and flushes the
-    /// window once `batch_epochs` have accumulated. Deferred epochs ride
-    /// out their staleness exactly like unreported failures do: frames to
-    /// stale links drop at delivery and protocols fail over.
-    fn note_epoch_queued(&mut self) {
+    /// Queues one re-convergence trigger (a mobility epoch or a liveness
+    /// delta) on the batching window and flushes the window once
+    /// `batch_epochs` have accumulated. Deferred triggers ride out their
+    /// staleness exactly like unreported failures do: frames to stale links
+    /// drop at delivery and protocols fail over. Returns `true` when the
+    /// window flushed.
+    fn note_epoch_queued(&mut self) -> bool {
         self.pending_epochs += 1;
         if self.pending_epochs >= self.config.batch_epochs {
             self.flush_pending_reconvergence();
+            true
         } else {
             self.routing_cost.epochs_coalesced += 1;
+            false
         }
     }
 
@@ -499,8 +569,9 @@ impl Simulation {
         }
         self.pending_epochs = 0;
         self.routing_cost.batch_windows += 1;
+        let queued_flips = std::mem::take(&mut self.pending_flipped);
         if let Some(delta) = self.pending_delta.take() {
-            self.reconverge_from_zone_delta(&delta);
+            self.reconverge_from_zone_delta(&delta, &queued_flips);
         } else if let Some(old_zones) = self.pending_old_zones.take() {
             let mut changed = std::mem::take(&mut self.pending_changed);
             changed.sort_unstable();
@@ -550,11 +621,31 @@ impl Simulation {
     /// the engine was not told about at the time are folded in exactly as
     /// in [`Simulation::reconverge_incrementally`] (no dedup against the
     /// delta needed — `apply_zone_delta`'s affected marking is idempotent).
-    fn reconverge_from_zone_delta(&mut self, delta: &ZoneDelta) {
+    ///
+    /// `queued_flips` are the liveness flips explicitly queued on the
+    /// window. They must travel as `also_changed` (whose zone neighborhood
+    /// gets invalidated), not merely inside the delta's `changed_nodes`
+    /// (which `apply_zone_delta` treats as already-expanded move fallout):
+    /// a node that failed and repaired within one window cancels out of
+    /// the `dbf_alive` diff, but its neighbors' routes through it still
+    /// need retiring — the full-rebuild oracle does so via
+    /// `update_topology`'s neighbor expansion, and the delta path must
+    /// match it bit for bit.
+    fn reconverge_from_zone_delta(&mut self, delta: &ZoneDelta, queued_flips: &[NodeId]) {
         if self.dbf.is_none() {
             return;
         }
-        let flipped: Vec<NodeId> = self.flipped_since_last_run().collect();
+        let mut flipped: Vec<NodeId> = self.flipped_since_last_run().collect();
+        let mut in_flipped = vec![false; self.alive.len()];
+        for &f in &flipped {
+            in_flipped[f.index()] = true;
+        }
+        flipped.extend(
+            queued_flips
+                .iter()
+                .copied()
+                .filter(|f| !in_flipped[f.index()]),
+        );
         let dbf = self.dbf.as_mut().expect("checked above");
         let stats = dbf.apply_zone_delta(&self.zones, delta, &flipped, &self.alive);
         self.dbf_alive = self.alive.clone();
@@ -647,6 +738,7 @@ impl Simulation {
             Event::Repair { node, gen } => self.handle_repair(node, gen),
             Event::DrawFailure => self.handle_draw_failure(),
             Event::MobilityEpoch => self.handle_mobility_epoch(),
+            Event::ChurnEpoch => self.handle_churn_epoch(),
         }
     }
 
@@ -723,14 +815,83 @@ impl Simulation {
     }
 
     fn dispatch_packet(&mut self, receiver: NodeId, packet: &Packet) {
+        if self.adversary_intercepts(receiver, packet) {
+            return;
+        }
         let interested = self.plan.interest.interested(receiver, packet.meta);
         let actions = self.call_protocol(receiver, |p, v| p.on_packet(v, packet, interested));
         self.process_actions(receiver, actions, self.config.proc_delay);
     }
 
+    /// `true` when `node` runs an adversarial policy whose attack window
+    /// has opened.
+    fn adversary_active(&self, node: NodeId) -> bool {
+        self.behaviors[node.index()].is_adversarial()
+            && self
+                .config
+                .adversary
+                .as_ref()
+                .is_some_and(|a| self.now >= a.attack_start)
+    }
+
+    /// Runs the receiver's adversarial policy on an incoming packet.
+    /// Returns `true` when the packet was consumed by the adversary — the
+    /// honest protocol machine must not see it. All three behaviors swallow
+    /// the packet; flooding attackers and metadata liars additionally
+    /// broadcast bogus zone-wide ADVs (for data they will never serve), each
+    /// at most once per (adversary, item) so attack storms stay bounded and
+    /// can never echo between adversaries.
+    fn adversary_intercepts(&mut self, receiver: NodeId, packet: &Packet) -> bool {
+        if !self.adversary_active(receiver) {
+            return false;
+        }
+        let behavior = self.behaviors[receiver.index()];
+        let attack_factor = self
+            .config
+            .adversary
+            .as_ref()
+            .map_or(1, |a| a.attack_factor);
+        let first_seen = self.adversary_seen[receiver.index()].insert(packet.meta);
+        let bogus = match behavior {
+            NodeBehavior::Honest | NodeBehavior::SilentDropper => 0,
+            NodeBehavior::Flooding => {
+                if first_seen {
+                    attack_factor
+                } else {
+                    0
+                }
+            }
+            // The liar re-advertises metadata it heard advertised but does
+            // not hold, luring REQs it will swallow.
+            NodeBehavior::MetadataLiar => u32::from(first_seen && packet.kind() == PacketKind::Adv),
+        };
+        self.adversary_stats.packets_dropped += 1;
+        self.adversary_stats.bogus_advs += u64::from(bogus);
+        let meta = packet.meta;
+        for _ in 0..bogus {
+            let frame = OutFrame {
+                to: Addressee::Broadcast,
+                level: self.zones.adv_level(),
+                packet: Packet {
+                    meta,
+                    from: receiver,
+                    payload: Payload::Adv,
+                },
+            };
+            self.transmit(receiver, frame, self.config.proc_delay);
+        }
+        self.trace.record_with(self.now, "adv", || {
+            format!("{receiver} ({behavior}) swallowed {meta} ({bogus} bogus ADVs)")
+        });
+        true
+    }
+
     fn handle_timer(&mut self, node: NodeId, meta: MetaId, kind: TimerKind, gen: u32) {
         if !self.alive[node.index()] {
             return; // timers are implicitly cancelled while down
+        }
+        if self.adversary_active(node) {
+            return; // adversaries let their honest-era timers rot
         }
         let actions = self.call_protocol(node, |p, v| p.on_timer(v, meta, kind, gen));
         self.process_actions(node, actions, SimTime::ZERO);
@@ -747,7 +908,7 @@ impl Simulation {
         self.failures_injected += 1;
         self.trace
             .record_with(self.now, "fail", || format!("{node} down for {down_for}"));
-        self.reconverge_after_liveness_flip(node);
+        self.reconverge_after_liveness_flips(&[node]);
         self.events.schedule(
             self.now + down_for,
             Event::Repair {
@@ -757,17 +918,55 @@ impl Simulation {
         );
     }
 
-    /// Optional routing repair after a liveness flip: invalidate just the
-    /// failed/repaired node's zone on the persistent engine instead of
-    /// riding out the event on alternative routes.
-    fn reconverge_after_liveness_flip(&mut self, node: NodeId) {
-        if !self.config.reconverge_on_failure {
-            return;
+    /// Routing reaction to liveness flips (failures, repairs, battery
+    /// deaths, churn cohorts).
+    ///
+    /// With `reconverge_on_failure` the affected zones re-converge
+    /// immediately (out of band, after flushing any queued window).
+    /// Otherwise — the paper's ride-it-out model — `queue_liveness_flips`
+    /// (default on) emits a pure-liveness [`ZoneDelta`] into the
+    /// epoch-batching window, so the next flush retires the dead nodes'
+    /// routes instead of letting stale next-hops linger until an unrelated
+    /// mobility rebuild happens by; at the default `batch_epochs = 1` the
+    /// flush happens right here. Ablating the fix off
+    /// (`queue_liveness_flips = false`) restores the legacy
+    /// fold-into-the-next-rebuild behavior.
+    ///
+    /// Returns `true` when the flip was queued but the window did *not*
+    /// flush (the event was coalesced into a later window).
+    fn reconverge_after_liveness_flips(&mut self, nodes: &[NodeId]) -> bool {
+        if self.config.reconverge_on_failure {
+            // Any queued mobility window flushes first: the liveness
+            // invalidation below assumes routing state and zone table agree.
+            self.flush_pending_reconvergence();
+            self.reconverge_incrementally(None, nodes);
+            return false;
         }
-        // Any queued mobility window flushes first: the liveness
-        // invalidation below assumes routing state and zone table agree.
-        self.flush_pending_reconvergence();
-        self.reconverge_incrementally(None, &[node]);
+        if !self.config.queue_liveness_flips
+            || !self.config.incremental_routing
+            || self.dbf.is_none()
+        {
+            // Legacy/out-of-scope: ride the flip out on alternative routes
+            // until the next rebuild folds it in (`flipped_since_last_run`).
+            return false;
+        }
+        self.routing_cost.liveness_deltas += 1;
+        if self.config.incremental_zones {
+            // Zones are unchanged by a pure liveness flip — the delta only
+            // names the nodes whose rows routing must invalidate.
+            let delta = ZoneDelta::liveness(nodes);
+            match &mut self.pending_delta {
+                Some(pending) => pending.merge(delta),
+                None => self.pending_delta = Some(delta),
+            }
+            self.pending_flipped.extend(nodes.iter().copied());
+        } else {
+            if self.pending_old_zones.is_none() {
+                self.pending_old_zones = Some(self.zones.clone());
+            }
+            self.pending_changed.extend(nodes.iter().copied());
+        }
+        !self.note_epoch_queued()
     }
 
     fn handle_repair(&mut self, node: NodeId, gen: u32) {
@@ -777,7 +976,7 @@ impl Simulation {
         self.alive[node.index()] = true;
         self.trace
             .record_with(self.now, "fail", || format!("{node} repaired"));
-        self.reconverge_after_liveness_flip(node);
+        self.reconverge_after_liveness_flips(&[node]);
         let actions = self.call_protocol(node, |p, v| p.on_repaired(v));
         self.process_actions(node, actions, SimTime::ZERO);
     }
@@ -888,8 +1087,80 @@ impl Simulation {
         self.stage_next_epoch();
     }
 
+    fn stage_next_churn(&mut self) {
+        if self.winding_down {
+            return;
+        }
+        let n = self.topology.len();
+        let Some(proc) = self.churn_proc.as_mut() else {
+            return;
+        };
+        let epoch = proc.next_epoch(self.now, n);
+        if epoch.at > self.config.horizon {
+            return;
+        }
+        self.events.schedule(epoch.at, Event::ChurnEpoch);
+        self.staged_churn = Some(epoch);
+    }
+
+    /// Applies the staged churn epoch: every cohort member toggles liveness
+    /// — alive nodes leave (exactly like a failure, but with no scheduled
+    /// repair), departed nodes rejoin. Battery-depleted nodes are skipped:
+    /// those deaths are permanent. The whole cohort's liveness flip lands
+    /// as **one** delta on the batching window, the heavy-churn stress case
+    /// for the incremental zone/DBF paths.
+    fn handle_churn_epoch(&mut self) {
+        let Some(epoch) = self.staged_churn.take() else {
+            return;
+        };
+        self.adversary_stats.churn_epochs += 1;
+        let mut flips: Vec<NodeId> = Vec::with_capacity(epoch.cohort.len());
+        let mut joiners: Vec<NodeId> = Vec::new();
+        for &node in &epoch.cohort {
+            let i = node.index();
+            if !self.alive[i] && self.battery_depleted(node) {
+                continue;
+            }
+            // Bumping the generation invalidates any scheduled Repair, so a
+            // churned node cannot be resurrected (or double-toggled) by a
+            // stale failure-process event.
+            self.down_gen[i] += 1;
+            if self.alive[i] {
+                self.alive[i] = false;
+                self.queues[i].cancel_pending(self.now);
+                self.protocols[i].on_failed();
+                self.adversary_stats.churn_leaves += 1;
+            } else {
+                self.alive[i] = true;
+                self.adversary_stats.churn_joins += 1;
+                joiners.push(node);
+            }
+            flips.push(node);
+        }
+        let (left, joined) = (flips.len() - joiners.len(), joiners.len());
+        self.trace.record_with(self.now, "churn", || {
+            format!("churn epoch: {left} left, {joined} rejoined")
+        });
+        if !flips.is_empty() && self.reconverge_after_liveness_flips(&flips) {
+            self.adversary_stats.churn_coalesced += 1;
+        }
+        for node in joiners {
+            let actions = self.call_protocol(node, |p, v| p.on_repaired(v));
+            self.process_actions(node, actions, SimTime::ZERO);
+        }
+        self.stage_next_churn();
+    }
+
     // ------------------------------------------------------------------
     // Actions.
+
+    /// `true` when `node` has spent its whole battery budget — such deaths
+    /// are permanent and churn must not revive them.
+    fn battery_depleted(&self, node: NodeId) -> bool {
+        self.config
+            .battery_capacity_uj
+            .is_some_and(|cap| self.meters[node.index()].breakdown().total().value() >= cap)
+    }
 
     /// Remaining battery fraction of `node` (1.0 without a budget).
     fn battery_frac(&self, node: NodeId) -> f64 {
@@ -944,7 +1215,7 @@ impl Simulation {
         }
         self.trace
             .record_with(self.now, "dead", || format!("{node} battery depleted"));
-        self.reconverge_after_liveness_flip(node);
+        self.reconverge_after_liveness_flips(&[node]);
     }
 
     fn process_actions(&mut self, node: NodeId, actions: Vec<Action>, extra: SimTime) {
@@ -1075,6 +1346,7 @@ impl Simulation {
             mac_queue_wait_ms: self.mac_wait,
             failures_injected: self.failures_injected,
             mobility_epochs: self.mobility_epochs,
+            adversary: self.adversary_stats,
             finished_at: self.now,
             events_processed: self.events_processed,
             per_node_energy_uj,
@@ -1087,7 +1359,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Generation, Interest};
+    use crate::{AdversaryConfig, Generation, Interest};
     use spms_net::placement;
 
     fn single_source_plan(source: u32, items: u32) -> TrafficPlan {
@@ -1302,14 +1574,8 @@ mod tests {
         assert_eq!(m.deliveries, m.deliveries_expected);
     }
 
-    #[test]
-    fn silent_failures_are_invalidated_at_the_next_epoch() {
-        // reconverge_on_failure = false (default): a failure is ridden out
-        // on alternative routes, but the next mobility epoch's incremental
-        // rebuild must fold the flipped nodes in — the run stays healthy
-        // and every epoch re-converges via the delta path.
-        let topo = placement::grid(4, 4, 5.0).unwrap();
-        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 17);
+    fn silent_failure_config(seed: u64) -> SimConfig {
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, seed);
         config.routing_mode = RoutingMode::Distributed;
         config.mobility =
             Some(spms_net::MobilityConfig::new(SimTime::from_millis(40), 0.1).unwrap());
@@ -1319,9 +1585,44 @@ mod tests {
             repair_max: SimTime::from_millis(30),
         });
         config.horizon = SimTime::from_secs(2);
+        config
+    }
+
+    #[test]
+    fn silent_failures_queue_liveness_deltas_into_the_window() {
+        // reconverge_on_failure = false (default): a failure used to ride
+        // out on alternative routes until the *next mobility epoch* folded
+        // it in — stale next-hops survived arbitrarily long on quiet
+        // fields. With `queue_liveness_flips` (default on) every flip emits
+        // a pure-liveness delta into the batching window, and with the
+        // default batch_epochs = 1 the window flushes immediately: no stale
+        // next-hop survives past the flip itself.
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let config = silent_failure_config(17);
         let m = Simulation::run_with(config, topo, single_source_plan(5, 3)).unwrap();
         assert!(m.mobility_epochs > 0);
         assert!(m.failures_injected > 0);
+        assert!(m.routing.liveness_deltas > 0, "flips must queue deltas");
+        assert_eq!(
+            m.routing.incremental_executions,
+            m.mobility_epochs + m.routing.liveness_deltas,
+            "at batch_epochs = 1 every epoch and every flip flushes its own window"
+        );
+        assert_eq!(m.routing.executions, 1 + m.routing.incremental_executions);
+    }
+
+    #[test]
+    fn ablating_the_liveness_queue_restores_fold_in_behavior() {
+        // queue_liveness_flips = false: the legacy model — flips ride out
+        // until the next mobility rebuild folds them in, and only mobility
+        // epochs trigger incremental executions.
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let mut config = silent_failure_config(17);
+        config.queue_liveness_flips = false;
+        let m = Simulation::run_with(config, topo, single_source_plan(5, 3)).unwrap();
+        assert!(m.mobility_epochs > 0);
+        assert!(m.failures_injected > 0);
+        assert_eq!(m.routing.liveness_deltas, 0);
         assert_eq!(m.routing.incremental_executions, m.mobility_epochs);
         assert_eq!(m.routing.executions, 1 + m.mobility_epochs);
     }
@@ -1443,6 +1744,107 @@ mod tests {
         // Timestamps are monotone.
         let times: Vec<_> = trace.events().iter().map(|e| e.time).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn silent_droppers_swallow_packets_deterministically() {
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = single_source_plan(5, 2);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 33);
+        config.adversary = Some(AdversaryConfig::new(NodeBehavior::SilentDropper, 0.25).unwrap());
+        let a = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        let b = Simulation::run_with(config, topo.clone(), plan.clone()).unwrap();
+        assert_eq!(a, b, "the roster is seeded from the master seed");
+        assert_eq!(a.adversary.adversaries, 4, "round(0.25 * 16)");
+        assert!(a.adversary.packets_dropped > 0);
+        assert_eq!(a.adversary.bogus_advs, 0, "droppers stay silent");
+        let honest = Simulation::run_with(
+            SimConfig::paper_defaults(ProtocolKind::Spms, 33),
+            topo,
+            plan,
+        )
+        .unwrap();
+        assert_eq!(honest.adversary, AdversaryStats::default());
+        assert!(a.deliveries <= honest.deliveries);
+    }
+
+    #[test]
+    fn flooding_attackers_emit_bogus_advs_only_after_attack_start() {
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = single_source_plan(5, 2);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 33);
+        let mut adv = AdversaryConfig::new(NodeBehavior::Flooding, 0.25).unwrap();
+        adv.attack_factor = 3;
+        config.adversary = Some(adv);
+        let m = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        assert!(m.adversary.packets_dropped > 0);
+        assert!(m.adversary.bogus_advs > 0);
+        assert_eq!(
+            m.adversary.bogus_advs % 3,
+            0,
+            "attack_factor bogus ADVs per first-seen item"
+        );
+        // Pushing attack_start past the horizon keeps the roster but never
+        // opens the attack window: byte-identical to the honest run except
+        // for the roster count.
+        config.adversary.as_mut().unwrap().attack_start = SimTime::from_secs(10_000);
+        let dormant = Simulation::run_with(config, topo.clone(), plan.clone()).unwrap();
+        let honest = Simulation::run_with(
+            SimConfig::paper_defaults(ProtocolKind::Spms, 33),
+            topo,
+            plan,
+        )
+        .unwrap();
+        let mut want = honest.clone();
+        want.adversary.adversaries = dormant.adversary.adversaries;
+        assert_eq!(dormant, want);
+    }
+
+    #[test]
+    fn explicit_adversary_rosters_are_range_checked() {
+        let topo = placement::grid(3, 3, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        let mut adv = AdversaryConfig::new(NodeBehavior::SilentDropper, 0.0).unwrap();
+        adv.explicit = Some(vec![NodeId::new(99)]);
+        config.adversary = Some(adv);
+        let err = Simulation::new(config.clone(), topo.clone(), single_source_plan(4, 1));
+        assert!(err.is_err(), "out-of-range explicit adversary must fail");
+        config.adversary.as_mut().unwrap().explicit = Some(vec![NodeId::new(3)]);
+        let m = Simulation::run_with(config, topo, single_source_plan(4, 1)).unwrap();
+        assert_eq!(m.adversary.adversaries, 1);
+        assert!(m.adversary.packets_dropped > 0);
+    }
+
+    #[test]
+    fn churn_epochs_toggle_cohorts_and_queue_one_delta_each() {
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = single_source_plan(5, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 29);
+        config.routing_mode = RoutingMode::Distributed;
+        config.churn = Some(spms_net::ChurnConfig::new(SimTime::from_millis(40), 0.25).unwrap());
+        config.horizon = SimTime::from_secs(2);
+        let a = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        let b = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        assert_eq!(a, b, "churn is seeded from the master seed");
+        assert!(a.adversary.churn_epochs > 0);
+        assert!(
+            a.adversary.churn_leaves > 0,
+            "early cohorts tear nodes down"
+        );
+        assert!(a.adversary.churn_joins > 0, "later cohorts revive them");
+        assert_eq!(
+            a.routing.liveness_deltas, a.adversary.churn_epochs,
+            "each cohort lands as one liveness delta"
+        );
+        assert_eq!(
+            a.adversary.churn_coalesced, 0,
+            "batch_epochs = 1 always flushes"
+        );
+        // A wider batching window defers some cohorts into later flushes.
+        config.batch_epochs = 2;
+        let batched = Simulation::run_with(config, topo, plan).unwrap();
+        assert!(batched.adversary.churn_epochs > 1);
+        assert!(batched.adversary.churn_coalesced > 0);
     }
 
     #[test]

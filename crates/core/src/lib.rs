@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod config;
 pub mod engine;
 pub mod flooding;
@@ -66,6 +67,7 @@ pub mod spin;
 pub mod spms_proto;
 pub mod traffic;
 
+pub use adversary::{AdversaryConfig, NodeBehavior};
 pub use config::{
     EventKernel, IzConfig, ProtocolKind, RoutingMode, SimConfig, TimeoutPolicy, Timeouts,
 };
@@ -75,7 +77,7 @@ pub use interzone::{IzResolved, SpmsIzNode};
 pub use message::{Addressee, OutFrame, Packet, PacketKind, PacketSizes, Payload};
 pub use metadata::{DataStore, MetaId};
 pub use protocol::{Action, NodeProtocol, NodeView, Protocol, TimerKind};
-pub use results::{MessageCounts, RoutingCost, RunMetrics};
+pub use results::{AdversaryStats, MessageCounts, RoutingCost, RunMetrics};
 pub use spin::SpinNode;
 pub use spms_proto::{SpmsNode, SpmsParams};
 pub use spms_routing::TableLayout;

@@ -40,6 +40,12 @@ pub struct RoutingCost {
     /// O(k) work actually done where a full build touches all `n` rows per
     /// epoch.
     pub zone_rows_patched: u64,
+    /// Pure-liveness deltas (failures, repairs, battery deaths, churn
+    /// flips) queued into the batching window by the silent-failure fix
+    /// (`SimConfig::queue_liveness_flips`). Zero when
+    /// `reconverge_on_failure` handles flips eagerly or the fix is
+    /// ablated off.
+    pub liveness_deltas: u64,
     /// Total synchronous rounds.
     pub rounds: u64,
     /// Total vector broadcasts.
@@ -69,6 +75,32 @@ impl MessageCounts {
     pub fn total(&self) -> u64 {
         self.adv.value() + self.req.value() + self.data.value()
     }
+}
+
+/// Adversary and churn counters for one run.
+///
+/// Like every other field of [`RunMetrics`] these are **semantic**
+/// quantities: byte-identical across shard counts, worker pools, event
+/// kernels, and table layouts (checked by `tests/integration_adversarial.rs`),
+/// and changed only by the seed and the adversary/churn configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryStats {
+    /// Nodes running an adversarial [`crate::NodeBehavior`].
+    pub adversaries: u64,
+    /// Packets swallowed by adversaries instead of being processed.
+    pub packets_dropped: u64,
+    /// Bogus ADV broadcasts transmitted by flooding attackers and
+    /// metadata liars.
+    pub bogus_advs: u64,
+    /// Churn epochs applied.
+    pub churn_epochs: u64,
+    /// Departed nodes that rejoined at a churn epoch.
+    pub churn_joins: u64,
+    /// Alive nodes that left at a churn epoch.
+    pub churn_leaves: u64,
+    /// Churn epochs whose liveness delta was coalesced into a later
+    /// batching-window flush instead of re-converging immediately.
+    pub churn_coalesced: u64,
 }
 
 /// The result of one simulation run.
@@ -119,6 +151,8 @@ pub struct RunMetrics {
     pub failures_injected: u64,
     /// Mobility epochs applied (mobility runs).
     pub mobility_epochs: u64,
+    /// Adversary and churn counters (all-zero for benign runs).
+    pub adversary: AdversaryStats,
     /// Simulated time at which the run ended.
     pub finished_at: SimTime,
     /// Events processed by the kernel.
@@ -233,6 +267,7 @@ mod tests {
             mac_queue_wait_ms: Tally::new(),
             failures_injected: 0,
             mobility_epochs: 0,
+            adversary: AdversaryStats::default(),
             finished_at: SimTime::from_millis(50),
             events_processed: 1234,
             per_node_energy_uj: vec![10.0, 30.0, 20.0, 40.0],

@@ -1,0 +1,169 @@
+//! Epoch-based mass churn: cohorts of nodes leaving and rejoining.
+//!
+//! Where [`MobilityProcess`] relocates a fraction of nodes per epoch,
+//! churn flips their *liveness*: at each epoch a seeded cohort toggles —
+//! alive members leave (indistinguishable from a silent crash) and
+//! previously-departed members rejoin at their old position. This is the
+//! mass join/leave stress regime for the incremental zone-delta and
+//! delta-DBF paths, which otherwise only see one liveness flip at a time.
+//!
+//! [`MobilityProcess`]: crate::MobilityProcess
+
+use spms_kernel::{SimRng, SimTime};
+
+use crate::NodeId;
+
+/// Churn parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Time between churn epochs.
+    pub interval: SimTime,
+    /// Fraction of nodes (0..=1) whose liveness toggles at each epoch.
+    pub fraction: f64,
+}
+
+impl ChurnConfig {
+    /// Creates a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `interval` is zero or `fraction` is outside
+    /// `[0, 1]`.
+    pub fn new(interval: SimTime, fraction: f64) -> Result<Self, String> {
+        if interval == SimTime::ZERO {
+            return Err("churn interval must be positive".into());
+        }
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(format!("churn fraction {fraction} outside [0, 1]"));
+        }
+        Ok(ChurnConfig { interval, fraction })
+    }
+}
+
+/// One churn epoch: the instant and the cohort whose liveness toggles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnEpoch {
+    /// When the epoch occurs.
+    pub at: SimTime,
+    /// The toggled nodes, in node-id order for determinism.
+    pub cohort: Vec<NodeId>,
+}
+
+/// Generates churn epochs on demand.
+///
+/// # Example
+///
+/// ```
+/// use spms_kernel::{SimRng, SimTime};
+/// use spms_net::{ChurnConfig, ChurnProcess};
+///
+/// let config = ChurnConfig::new(SimTime::from_millis(100), 0.2).unwrap();
+/// let mut churn = ChurnProcess::new(config, SimRng::new(9));
+/// let epoch = churn.next_epoch(SimTime::ZERO, 25);
+/// assert_eq!(epoch.at, SimTime::from_millis(100));
+/// assert_eq!(epoch.cohort.len(), 5); // 20% of 25
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChurnProcess {
+    config: ChurnConfig,
+    rng: SimRng,
+}
+
+impl ChurnProcess {
+    /// Creates a process with its own RNG sub-stream.
+    #[must_use]
+    pub fn new(config: ChurnConfig, rng: SimRng) -> Self {
+        ChurnProcess { config, rng }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> ChurnConfig {
+        self.config
+    }
+
+    /// Produces the next epoch after `now`: picks `fraction × n` distinct
+    /// nodes (rounded, at least one when `fraction > 0`) from a field of
+    /// `n`.
+    pub fn next_epoch(&mut self, now: SimTime, n: usize) -> ChurnEpoch {
+        let at = now + self.config.interval;
+        let count = if self.config.fraction == 0.0 {
+            0
+        } else {
+            ((self.config.fraction * n as f64).round() as usize).clamp(1, n)
+        };
+        let mut picked = self.rng.choose_indices(n, count);
+        picked.sort_unstable(); // node-id order for deterministic application
+        let cohort = picked.into_iter().map(|i| NodeId::new(i as u32)).collect();
+        ChurnEpoch { at, cohort }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(ChurnConfig::new(SimTime::from_millis(1), 0.5).is_ok());
+        assert!(ChurnConfig::new(SimTime::ZERO, 0.5).is_err());
+        assert!(ChurnConfig::new(SimTime::from_millis(1), 1.5).is_err());
+        assert!(ChurnConfig::new(SimTime::from_millis(1), -0.1).is_err());
+        assert!(ChurnConfig::new(SimTime::from_millis(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn epoch_times_advance_by_interval() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(100), 0.1).unwrap();
+        let mut p = ChurnProcess::new(cfg, SimRng::new(1));
+        let e1 = p.next_epoch(SimTime::ZERO, 25);
+        let e2 = p.next_epoch(e1.at, 25);
+        assert_eq!(e1.at, SimTime::from_millis(100));
+        assert_eq!(e2.at, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn cohorts_are_distinct_sorted_and_sized() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(100), 0.3).unwrap();
+        let mut p = ChurnProcess::new(cfg, SimRng::new(2));
+        let e = p.next_epoch(SimTime::ZERO, 25);
+        assert_eq!(e.cohort.len(), 8); // round(0.3 × 25)
+        let ids: Vec<u32> = e.cohort.iter().map(|n| n.raw()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "cohort must be sorted and distinct");
+        assert!(ids.iter().all(|&i| i < 25));
+    }
+
+    #[test]
+    fn zero_fraction_toggles_nobody() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(100), 0.0).unwrap();
+        let mut p = ChurnProcess::new(cfg, SimRng::new(3));
+        assert!(p.next_epoch(SimTime::ZERO, 25).cohort.is_empty());
+    }
+
+    #[test]
+    fn tiny_positive_fraction_toggles_at_least_one() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(100), 0.001).unwrap();
+        let mut p = ChurnProcess::new(cfg, SimRng::new(4));
+        assert_eq!(p.next_epoch(SimTime::ZERO, 25).cohort.len(), 1);
+    }
+
+    #[test]
+    fn full_fraction_toggles_everyone() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(100), 1.0).unwrap();
+        let mut p = ChurnProcess::new(cfg, SimRng::new(5));
+        let e = p.next_epoch(SimTime::ZERO, 9);
+        let all: Vec<NodeId> = (0..9u32).map(NodeId::new).collect();
+        assert_eq!(e.cohort, all);
+    }
+
+    #[test]
+    fn same_seed_same_epochs() {
+        let cfg = ChurnConfig::new(SimTime::from_millis(50), 0.4).unwrap();
+        let e1 = ChurnProcess::new(cfg, SimRng::new(6)).next_epoch(SimTime::ZERO, 25);
+        let e2 = ChurnProcess::new(cfg, SimRng::new(6)).next_epoch(SimTime::ZERO, 25);
+        assert_eq!(e1, e2);
+    }
+}

@@ -23,6 +23,8 @@
 //!   incrementally after mobility ([`ZoneTable::apply_moves`] →
 //!   [`ZoneDelta`]),
 //! * [`MobilityProcess`] — the epoch-based random relocation model,
+//! * [`ChurnProcess`] — epoch-based mass join/leave cohorts (the
+//!   heavy-churn stress regime for the incremental zone/DBF paths),
 //! * [`FailureProcess`] — the transient-failure injection schedule,
 //! * [`dijkstra`] — a centralized shortest-path oracle used to verify the
 //!   distributed Bellman-Ford implementation.
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod failure;
 mod graph;
 mod mobility;
@@ -40,6 +43,7 @@ mod spatial;
 mod topology;
 mod zone;
 
+pub use churn::{ChurnConfig, ChurnEpoch, ChurnProcess};
 pub use failure::{FailureConfig, FailureEvent, FailureProcess};
 pub use graph::{dijkstra, dijkstra_masked, PathCost};
 pub use mobility::{MobilityConfig, MobilityEpoch, MobilityProcess};

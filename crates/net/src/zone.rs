@@ -82,6 +82,23 @@ pub struct ZoneDelta {
 }
 
 impl ZoneDelta {
+    /// A pure-liveness delta: no rows changed, but the given nodes failed,
+    /// repaired, joined, or left, so the routing layer must retire and
+    /// re-derive any state that ran through them. Merges into a batching
+    /// window like any mobility delta ([`ZoneDelta::merge`]); the engine
+    /// uses it to flush silent failures into the next re-convergence
+    /// instead of letting stale next-hops linger until a rebuild.
+    #[must_use]
+    pub fn liveness(nodes: &[NodeId]) -> Self {
+        let mut changed_nodes = nodes.to_vec();
+        changed_nodes.sort_unstable();
+        changed_nodes.dedup();
+        ZoneDelta {
+            moves: Vec::new(),
+            changed_nodes,
+        }
+    }
+
     /// Number of zone rows the patch rebuilt (out of `n` in the table).
     #[must_use]
     pub fn rows_patched(&self) -> usize {
@@ -636,6 +653,32 @@ mod tests {
         assert_eq!(zones, before);
         assert_eq!(delta.rows_patched(), 0);
         assert!(delta.moves.is_empty());
+    }
+
+    #[test]
+    fn liveness_deltas_sort_dedup_and_merge_like_moves() {
+        let d = ZoneDelta::liveness(&[NodeId::new(7), NodeId::new(2), NodeId::new(7)]);
+        assert!(d.moves.is_empty());
+        assert_eq!(d.changed_nodes, vec![NodeId::new(2), NodeId::new(7)]);
+        assert_eq!(d.rows_patched(), 2);
+        // Merging a liveness delta into a mobility delta unions rows and
+        // leaves the move records untouched.
+        let mut topo = placement::grid(7, 7, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::build(&topo, 20.0);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, 20.0);
+        let moved = NodeId::new(24);
+        topo.move_node(moved, crate::Point::new(2.5, 2.5));
+        grid.move_node(moved, topo.position(moved));
+        let mut merged = zones.apply_moves(&topo, &radio, &grid, &[moved]);
+        let moves_before = merged.moves.clone();
+        let mut expect = merged.changed_nodes.clone();
+        expect.extend([NodeId::new(2), NodeId::new(48)]);
+        expect.sort_unstable();
+        expect.dedup();
+        merged.merge(ZoneDelta::liveness(&[NodeId::new(48), NodeId::new(2)]));
+        assert_eq!(merged.moves, moves_before);
+        assert_eq!(merged.changed_nodes, expect);
     }
 
     #[test]

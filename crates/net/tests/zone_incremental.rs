@@ -194,6 +194,72 @@ proptest! {
         }
     }
 
+    /// Churn cohorts ride the same batching window as mobility epochs:
+    /// merging a cohort-sized liveness delta with a move delta — in either
+    /// order — unions the changed rows, preserves the move records
+    /// verbatim (a liveness flip has no pre-move adjacency to retire), and
+    /// never perturbs the patched zone table itself.
+    #[test]
+    fn liveness_cohorts_merge_into_move_windows(
+        cols in 2usize..8,
+        rows in 2usize..5,
+        radius in 8.0f64..26.0,
+        cohort_raw in prop::collection::vec(0u16..64, 0..16),
+        raw_moves in prop::collection::vec((0u16..64, 0.0f64..1.0, 0.0f64..1.0), 1..4),
+        cohort_first in any::<bool>(),
+    ) {
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::build(&topo, radius);
+        let mut zones = ZoneTable::build_indexed(&topo, &radio, &grid, radius);
+        let field = topo.field();
+
+        let cohort: Vec<NodeId> = cohort_raw
+            .iter()
+            .map(|&r| NodeId::new(u32::from(r) % n as u32))
+            .collect();
+        let liveness = ZoneDelta::liveness(&cohort);
+        prop_assert!(liveness.moves.is_empty());
+
+        let mut moves: Vec<(NodeId, Point)> = raw_moves
+            .iter()
+            .map(|&(node, fx, fy)| {
+                (
+                    NodeId::new(node as u32 % n as u32),
+                    Point::new(fx * field.width, fy * field.height),
+                )
+            })
+            .collect();
+        moves.sort_by_key(|&(node, _)| node);
+        moves.dedup_by_key(|&mut (node, _)| node);
+        let epoch = MobilityEpoch {
+            at: spms_kernel::SimTime::ZERO,
+            moves: moves.clone(),
+        };
+        MobilityProcess::apply_indexed(&epoch, &mut topo, &mut grid);
+        let moved: Vec<NodeId> = moves.iter().map(|&(m, _)| m).collect();
+        let move_delta = zones.apply_moves(&topo, &radio, &grid, &moved);
+        prop_assert_eq!(&zones, &ZoneTable::build(&topo, &radio, radius));
+
+        let (mut window, other) = if cohort_first {
+            (liveness.clone(), move_delta.clone())
+        } else {
+            (move_delta.clone(), liveness.clone())
+        };
+        window.merge(other);
+        prop_assert_eq!(&window.moves, &move_delta.moves, "moves must survive");
+        let mut want: Vec<NodeId> = liveness
+            .changed_nodes
+            .iter()
+            .chain(move_delta.changed_nodes.iter())
+            .copied()
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(&window.changed_nodes, &want, "changed rows must union");
+    }
+
     /// The same node moved over and over (the paper's ping-ponging mobile
     /// mote) never accumulates drift: each patch still lands exactly on
     /// the reference build.
@@ -214,6 +280,36 @@ proptest! {
             prop_assert_eq!(&zones, &ZoneTable::build(&topo, &radio, 10.0));
         }
     }
+}
+
+#[test]
+fn empty_and_full_cohort_liveness_deltas() {
+    // The two edge cases of the cohort path: an empty field (nobody
+    // flipped) yields the identity delta, and a full-cohort flip marks
+    // every row exactly once even when the caller reports duplicates.
+    let empty = ZoneDelta::liveness(&[]);
+    assert!(empty.moves.is_empty());
+    assert!(empty.changed_nodes.is_empty());
+    assert_eq!(empty.rows_patched(), 0);
+
+    let everyone: Vec<NodeId> = (0..16u32).map(NodeId::new).collect();
+    let twice: Vec<NodeId> = everyone.iter().chain(everyone.iter()).copied().collect();
+    let full = ZoneDelta::liveness(&twice);
+    assert_eq!(full.changed_nodes, everyone, "sorted, deduped, complete");
+    assert_eq!(full.rows_patched(), 16);
+    assert!(full.moves.is_empty(), "liveness never fabricates adjacency");
+
+    // A full-cohort flip merged over a move window keeps the move records.
+    let mut window = ZoneDelta {
+        moves: vec![MovedZone {
+            node: NodeId::new(3),
+            old_neighbors: vec![NodeId::new(2)],
+        }],
+        changed_nodes: vec![NodeId::new(2), NodeId::new(3)],
+    };
+    window.merge(full);
+    assert_eq!(window.moves.len(), 1);
+    assert_eq!(window.changed_nodes, everyone);
 }
 
 #[test]

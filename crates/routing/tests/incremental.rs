@@ -271,6 +271,49 @@ proptest! {
         }
     }
 
+    /// Heavy churn: whole cohorts leave or rejoin at once (the mass
+    /// join/leave mode of the adversarial-churn subsystem). Each epoch
+    /// flips a cohort-sized slice of the mask and invalidates it in ONE
+    /// call — exactly how the simulation engine queues one liveness delta
+    /// per churn cohort — and after every epoch the tables equal a
+    /// from-scratch masked rebuild.
+    #[test]
+    fn cohort_kill_revive_matches_rebuild(
+        cols in 3usize..7,
+        rows in 2usize..5,
+        radius in 12.0f64..24.0,
+        k in 2usize..4,
+        epochs in prop::collection::vec(
+            (prop::collection::vec(0u16..64, 1..12), any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let zones = build_zones(&topo, radius);
+        let mut alive = vec![true; n];
+        let mut dbf = DbfEngine::new(&zones, k);
+        dbf.run_to_convergence(&zones);
+        for (step, (raw, kill)) in epochs.iter().enumerate() {
+            let mut cohort: Vec<NodeId> = raw
+                .iter()
+                .map(|&r| NodeId::new(u32::from(r) % n as u32))
+                .collect();
+            cohort.sort_unstable();
+            cohort.dedup();
+            for &c in &cohort {
+                alive[c.index()] = !kill;
+            }
+            dbf.invalidate_zone(&zones, &cohort, &alive);
+            assert_matches_reference(
+                &dbf,
+                &zones,
+                &alive,
+                &format!("epoch {step} (kill={kill}, cohort of {})", cohort.len()),
+            )?;
+        }
+    }
+
     /// The delta run's byte accounting stays internally consistent across
     /// arbitrary single events.
     #[test]
@@ -297,4 +340,34 @@ proptest! {
         let header = u64::from(spms_routing::DbfWireFormat::default().header_bytes);
         prop_assert!(stats.bytes_total >= stats.messages * header);
     }
+}
+
+#[test]
+fn full_cohort_leave_then_rejoin_matches_rebuild() -> Result<(), TestCaseError> {
+    // The two edge cases of the cohort path pinned deterministically: the
+    // ENTIRE field dies in one epoch (no alive node holds a single route),
+    // then the entire field rejoins — both must land exactly on the
+    // from-scratch masked rebuild.
+    let topo = placement::grid(4, 4, 5.0).unwrap();
+    let n = topo.len();
+    let zones = build_zones(&topo, 20.0);
+    let everyone: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+    let mut dbf = DbfEngine::new(&zones, 2);
+    dbf.run_to_convergence(&zones);
+
+    let dead = vec![false; n];
+    dbf.invalidate_zone(&zones, &everyone, &dead);
+    assert_matches_reference(&dbf, &zones, &dead, "empty field")?;
+    for node in &everyone {
+        assert_eq!(
+            dbf.table(*node).destinations().count(),
+            0,
+            "dead node {node} still holds routes"
+        );
+    }
+
+    let alive = vec![true; n];
+    dbf.invalidate_zone(&zones, &everyone, &alive);
+    assert_matches_reference(&dbf, &zones, &alive, "full rejoin")?;
+    Ok(())
 }

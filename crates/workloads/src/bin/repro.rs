@@ -1,9 +1,11 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|table1|breakeven|all]...
+//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|ext5|table1|breakeven|all]...
 //!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR] [--workers W]
 //!       [--event-kernel heap|wheel|wheel-batched] [--table-layout soa|aos]
+//!       [--adversary-fraction F] [--adversary-behavior B] [--attack-start MS]
+//!       [--attack-factor K] [--churn-rate F]
 //! ```
 //!
 //! Markdown goes to stdout; CSVs and their machine-readable JSON twins are
@@ -24,17 +26,27 @@
 //! (SoA relaxation planes, the default, or the original array-of-structs
 //! oracle) — the third wall-clock-only knob: RunMetrics are bit-identical
 //! across layouts, so CI byte-diffs an `aos` run against a `soa` run too.
+//!
+//! `--adversary-fraction`, `--adversary-behavior` (honest, flooding,
+//! silent-dropper, metadata-liar), `--attack-start` (ms),
+//! `--attack-factor`, and `--churn-rate` inject adversarial behavior and
+//! mass join/leave churn into every figure whose specs did not pin their
+//! own (EXT5 pins its own sweep and is immune). Unlike the three knobs
+//! above these are **semantic** — they change results exactly like a seed
+//! does — but under any fixed setting the wall-clock knobs still cannot
+//! change a byte, which is what the adversarial-smoke CI step verifies.
 //! Run with `--release`; the paper scale sweeps take minutes.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use spms::{EventKernel, TableLayout};
+use spms_kernel::SimTime;
 use spms_workloads::figures;
 use spms_workloads::{
     render_ascii_chart, render_csv, render_json, render_markdown, render_replicated_csv,
-    render_replicated_markdown, replicate, set_default_event_kernel, set_default_table_layout,
-    set_default_workers, FigureResult, Scale,
+    render_replicated_markdown, replicate, set_default_adversary, set_default_event_kernel,
+    set_default_table_layout, set_default_workers, AdversaryOverride, FigureResult, Scale,
 };
 
 struct Args {
@@ -47,6 +59,7 @@ struct Args {
     workers: usize,
     event_kernel: EventKernel,
     table_layout: TableLayout,
+    adversary: AdversaryOverride,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = 0usize;
     let mut event_kernel = EventKernel::Heap;
     let mut table_layout = TableLayout::Soa;
+    let mut adversary = AdversaryOverride::default();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -97,11 +111,53 @@ fn parse_args() -> Result<Args, String> {
             "--table-layout" => {
                 table_layout = argv.next().ok_or("--table-layout needs a value")?.parse()?;
             }
+            "--adversary-fraction" => {
+                let v: f64 = argv
+                    .next()
+                    .ok_or("--adversary-fraction needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad adversary fraction: {e}"))?;
+                adversary.fraction = Some(v);
+            }
+            "--adversary-behavior" => {
+                adversary.behavior = Some(
+                    argv.next()
+                        .ok_or("--adversary-behavior needs a value")?
+                        .parse()?,
+                );
+            }
+            "--attack-start" => {
+                let ms: f64 = argv
+                    .next()
+                    .ok_or("--attack-start needs a value (ms)")?
+                    .parse()
+                    .map_err(|e| format!("bad attack start: {e}"))?;
+                adversary.attack_start = Some(SimTime::from_millis_f64(ms));
+            }
+            "--attack-factor" => {
+                let k: u32 = argv
+                    .next()
+                    .ok_or("--attack-factor needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad attack factor: {e}"))?;
+                adversary.attack_factor = Some(k);
+            }
+            "--churn-rate" => {
+                let v: f64 = argv
+                    .next()
+                    .ok_or("--churn-rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad churn rate: {e}"))?;
+                adversary.churn_rate = Some(v);
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [FIGURES|all] [--scale smoke|quick|paper] \
                             [--seed N] [--seeds R] [--out DIR] [--workers W] \
                             [--event-kernel heap|wheel|wheel-batched] \
-                            [--table-layout soa|aos]"
+                            [--table-layout soa|aos] \
+                            [--adversary-fraction F] \
+                            [--adversary-behavior honest|flooding|silent-dropper|metadata-liar] \
+                            [--attack-start MS] [--attack-factor K] [--churn-rate F]"
                     .into())
             }
             other if other.starts_with('-') => {
@@ -131,6 +187,7 @@ fn parse_args() -> Result<Args, String> {
         workers,
         event_kernel,
         table_layout,
+        adversary,
     })
 }
 
@@ -195,6 +252,9 @@ fn main() {
     set_default_workers(args.workers);
     set_default_event_kernel(args.event_kernel);
     set_default_table_layout(args.table_layout);
+    // The semantic override (adversary/churn) — only figures that leave
+    // those config slots unset pick it up.
+    set_default_adversary(args.adversary);
     let t = &args.targets;
     eprintln!(
         "repro: scale={} seed={} workers={} event-kernel={} table-layout={} targets={:?}",
@@ -209,6 +269,17 @@ fn main() {
         args.table_layout,
         t
     );
+    if args.adversary != AdversaryOverride::default() {
+        eprintln!(
+            "repro: adversary override: fraction={:?} behavior={:?} attack-start={:?} \
+             attack-factor={:?} churn-rate={:?} (semantic knob: outputs differ by design)",
+            args.adversary.fraction,
+            args.adversary.behavior,
+            args.adversary.attack_start,
+            args.adversary.attack_factor,
+            args.adversary.churn_rate,
+        );
+    }
 
     if wants(t, "table1") {
         println!("{}", figures::table1());
@@ -287,6 +358,9 @@ fn main() {
     }
     if wants(t, "ext4") {
         emit_sim(&args, |s| figures::ext4(&args.scale, s));
+    }
+    if wants(t, "ext5") {
+        emit_sim(&args, |s| figures::ext5(&args.scale, s));
     }
     if wants(t, "breakeven") {
         println!("{}", figures::breakeven_report());

@@ -14,10 +14,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use spms::{EventKernel, RunMetrics, SimConfig, Simulation, TableLayout, TrafficPlan};
+use spms::{
+    AdversaryConfig, EventKernel, NodeBehavior, RunMetrics, SimConfig, Simulation, TableLayout,
+    TrafficPlan,
+};
 use spms_kernel::SimTime;
-use spms_net::Topology;
+use spms_net::{ChurnConfig, Topology};
 
 /// Experiment scale: the paper's full parameter grid, or a laptop-friendly
 /// subset for CI and Criterion benches.
@@ -249,6 +253,87 @@ pub fn default_table_layout() -> TableLayout {
     }
 }
 
+/// Process-wide adversary/churn override applied to every spec the
+/// executor runs (the `repro` bin's `--adversary-*` / `--churn-rate`
+/// flags). Unlike the worker pool, event kernel, and table layout — pure
+/// wall-clock knobs — this one is **semantic**: it changes what the
+/// simulation computes, exactly like a seed. It only fills in specs whose
+/// config left `adversary` / `churn` unset, so figure generators that pin
+/// their own adversarial settings (EXT5) are immune.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AdversaryOverride {
+    /// Adversary fraction; `Some` activates the adversary subsystem for
+    /// every spec that did not configure its own.
+    pub fraction: Option<f64>,
+    /// Behavior the adversaries run (default flooding attacker).
+    pub behavior: Option<NodeBehavior>,
+    /// When the attack window opens (default: the start of the run).
+    pub attack_start: Option<SimTime>,
+    /// Bogus ADVs per first-seen item for flooding attackers.
+    pub attack_factor: Option<u32>,
+    /// Churn fraction per epoch; `Some` activates mass join/leave churn
+    /// (at [`AdversaryOverride::DEFAULT_CHURN_INTERVAL`]) for every spec
+    /// that did not configure its own.
+    pub churn_rate: Option<f64>,
+}
+
+impl AdversaryOverride {
+    /// Epoch interval used when churn is activated by `churn_rate` alone.
+    pub const DEFAULT_CHURN_INTERVAL: SimTime = SimTime::from_millis(400);
+
+    /// Fills `config`'s unset `adversary` / `churn` slots from this
+    /// override. Values are validated by `Simulation::new`, not here, so a
+    /// bad override fails the spec with a message instead of panicking.
+    pub fn apply(&self, config: &mut SimConfig) {
+        if config.adversary.is_none() {
+            if let Some(fraction) = self.fraction {
+                config.adversary = Some(AdversaryConfig {
+                    fraction,
+                    behavior: self.behavior.unwrap_or(NodeBehavior::Flooding),
+                    attack_start: self.attack_start.unwrap_or(SimTime::ZERO),
+                    attack_factor: self.attack_factor.unwrap_or(2),
+                    explicit: None,
+                });
+            }
+        }
+        if config.churn.is_none() {
+            if let Some(fraction) = self.churn_rate {
+                config.churn = Some(ChurnConfig {
+                    interval: Self::DEFAULT_CHURN_INTERVAL,
+                    fraction,
+                });
+            }
+        }
+    }
+}
+
+/// The process-wide [`AdversaryOverride`] (see [`set_default_adversary`]).
+static DEFAULT_ADVERSARY: Mutex<AdversaryOverride> = Mutex::new(AdversaryOverride {
+    fraction: None,
+    behavior: None,
+    attack_start: None,
+    attack_factor: None,
+    churn_rate: None,
+});
+
+/// Sets the process-wide adversary/churn override routed into every sweep
+/// that goes through [`run_specs`] — all the `figures` generators, and
+/// through them the `repro` bin's `--adversary-fraction`,
+/// `--adversary-behavior`, `--attack-start`, `--attack-factor`, and
+/// `--churn-rate` flags. A **semantic** knob: byte-diffing figure JSON
+/// across different overrides is expected to differ; byte-diffing across
+/// worker/kernel/layout knobs under the *same* override must not.
+pub fn set_default_adversary(over: AdversaryOverride) {
+    *DEFAULT_ADVERSARY.lock().expect("override mutex poisoned") = over;
+}
+
+/// The process-wide adversary/churn override (see
+/// [`set_default_adversary`]).
+#[must_use]
+pub fn default_adversary() -> AdversaryOverride {
+    *DEFAULT_ADVERSARY.lock().expect("override mutex poisoned")
+}
+
 /// Runs one spec, containing failures: an engine error or a panic inside
 /// the run becomes an `Err` carrying the message, so one bad spec can
 /// never poison, reorder, or abort its siblings.
@@ -257,6 +342,7 @@ fn run_one(spec: &RunSpec) -> Result<RunMetrics, String> {
         let mut config = spec.config.clone();
         config.event_kernel = default_event_kernel();
         config.table_layout = default_table_layout();
+        default_adversary().apply(&mut config);
         Simulation::run_with(config, spec.topology.clone(), spec.plan.clone())
     };
     match catch_unwind(AssertUnwindSafe(run)) {
@@ -422,6 +508,43 @@ mod tests {
         // Identical specs give identical metrics regardless of scheduling.
         assert_eq!(out[0].1, out[2].1);
         assert_eq!(out[0].1.deliveries, 8);
+    }
+
+    #[test]
+    fn adversary_override_fills_only_unset_slots() {
+        // Untouched by default.
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        AdversaryOverride::default().apply(&mut config);
+        assert_eq!(config.adversary, None);
+        assert_eq!(config.churn, None);
+
+        // Fills both slots, with documented defaults for unset fields.
+        let over = AdversaryOverride {
+            fraction: Some(0.2),
+            churn_rate: Some(0.1),
+            ..AdversaryOverride::default()
+        };
+        over.apply(&mut config);
+        let adv = config.adversary.clone().expect("adversary filled");
+        assert_eq!(adv.fraction, 0.2);
+        assert_eq!(adv.behavior, spms::NodeBehavior::Flooding);
+        assert_eq!(adv.attack_start, SimTime::ZERO);
+        assert_eq!(adv.attack_factor, 2);
+        assert_eq!(adv.explicit, None);
+        let churn = config.churn.expect("churn filled");
+        assert_eq!(churn.interval, AdversaryOverride::DEFAULT_CHURN_INTERVAL);
+        assert_eq!(churn.fraction, 0.1);
+        assert!(config.validate().is_ok(), "filled defaults must validate");
+
+        // Specs that pin their own settings are immune (EXT5's guarantee).
+        let mut pinned = SimConfig::paper_defaults(ProtocolKind::Spms, 1);
+        pinned.adversary =
+            Some(AdversaryConfig::new(spms::NodeBehavior::SilentDropper, 0.5).unwrap());
+        pinned.churn = Some(ChurnConfig::new(SimTime::from_millis(40), 0.25).unwrap());
+        let before = pinned.clone();
+        over.apply(&mut pinned);
+        assert_eq!(pinned.adversary, before.adversary);
+        assert_eq!(pinned.churn, before.churn);
     }
 
     #[test]

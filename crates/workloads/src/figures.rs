@@ -846,6 +846,99 @@ pub fn ext4(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// EXT5 (no paper figure): delivery ratio and energy per packet vs
+/// adversary fraction, per protocol — the robustness counterpart of the
+/// failure figures. A seeded roster of flooding attackers (bogus zone-wide
+/// ADVs for data they never serve, `attack_factor` per first-seen item,
+/// every received packet swallowed) is grown from 0 to the sweep's top
+/// fraction. Flooding and SPIN lose exactly the swallowed receivers; SPMS
+/// additionally pays REQ/τDAT failovers for requests lured to attackers.
+///
+/// Every spec pins its own [`spms::AdversaryConfig`], so the figure is
+/// immune to the process-wide `--adversary-*` override — which is what
+/// lets the adversarial-smoke CI step byte-diff its JSON across `--workers`
+/// while still sweeping fractions *inside* the figure.
+#[must_use]
+pub fn ext5(scale: &Scale, seed: u64) -> FigureResult {
+    // A 5×5 grid as EXT3/EXT4. Two fractions at smoke scale (the CI
+    // adversarial-smoke sweep), a five-point curve at quick/paper scale.
+    let n = 25usize;
+    let fractions: Vec<f64> = if scale.node_counts.len() <= 2 {
+        vec![0.0, 0.2]
+    } else {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4]
+    };
+    let packets = scale.packets_per_node.max(2);
+    let protocols = [
+        ProtocolKind::Flooding,
+        ProtocolKind::Spin,
+        ProtocolKind::Spms,
+    ];
+    let mut specs = Vec::new();
+    for protocol in protocols {
+        for &fraction in &fractions {
+            let mut c = config(protocol, seed ^ ((fraction * 100.0) as u64) << 3, 20.0);
+            c.adversary = Some(spms::AdversaryConfig {
+                fraction,
+                behavior: spms::NodeBehavior::Flooding,
+                attack_start: SimTime::ZERO,
+                attack_factor: 3,
+                explicit: None,
+            });
+            c.horizon = scale.horizon_for(n);
+            let plan = traffic::all_to_all(n, packets, scale.mean_gap, seed ^ 0xADF5)
+                .expect("valid workload");
+            specs.push(RunSpec {
+                label: format!("{} f={fraction}", protocol.label()),
+                config: c,
+                topology: placement::grid(5, 5, scale.spacing_m).expect("5×5 grid"),
+                plan,
+            });
+        }
+    }
+    let results = run_specs(specs);
+    let xs: Vec<f64> = fractions.clone();
+    let mut series = Vec::new();
+    for protocol in protocols {
+        let name = protocol.label();
+        let mut delivery = series_of(&results, name, RunMetrics::delivery_ratio, &xs);
+        delivery.name = format!("{name} delivery");
+        series.push(delivery);
+    }
+    for protocol in protocols {
+        let name = protocol.label();
+        let mut energy = series_of(&results, name, RunMetrics::energy_per_packet_uj, &xs);
+        energy.name = format!("{name} energy");
+        series.push(energy);
+    }
+    let dropped: u64 = results
+        .iter()
+        .map(|(_, m)| m.adversary.packets_dropped)
+        .sum();
+    let bogus: u64 = results.iter().map(|(_, m)| m.adversary.bogus_advs).sum();
+    let adversaries: u64 = results.iter().map(|(_, m)| m.adversary.adversaries).sum();
+    FigureResult {
+        id: "ext5",
+        title: format!(
+            "EXT5: delivery ratio and energy per packet vs adversary fraction \
+             (25 nodes, flooding attackers ×3, fractions up to {:.1})",
+            fractions.last().copied().unwrap_or(0.0)
+        ),
+        x_label: "adversary fraction",
+        y_label: "delivery ratio / energy per packet (µJ)",
+        series,
+        notes: vec![
+            format!(
+                "{adversaries} adversaries fielded across the sweep: packets_dropped={dropped}, \
+                 bogus_advs={bogus} (byte-checked by the adversarial-smoke CI step)"
+            ),
+            "every spec pins its own AdversaryConfig, so the figure is immune to the \
+             process-wide --adversary-* override"
+                .into(),
+        ],
+    }
+}
+
 /// Table 1 as a rendered parameter listing.
 #[must_use]
 pub fn table1() -> String {
@@ -1063,6 +1156,52 @@ mod tests {
         // More battery, more work.
         assert!(spms.points.windows(2).all(|w| w[1].1 >= w[0].1));
         assert!(f.notes.iter().any(|n| n.contains("×")));
+    }
+
+    #[test]
+    fn ext5_adversary_figure_degrades_delivery_and_is_knob_independent() {
+        use crate::experiment::{set_default_event_kernel, set_default_table_layout};
+        use spms::{EventKernel, TableLayout};
+        let scale = Scale::smoke();
+        let base = ext5(&scale, 9);
+        assert_eq!(base.series.len(), 6, "delivery + energy per protocol");
+        for s in &base.series {
+            assert_eq!(s.points.len(), 2, "smoke scale sweeps two fractions");
+        }
+        // Adversaries are interested receivers that swallow instead of
+        // delivering: every protocol's attacked delivery ratio must sit
+        // strictly below its benign baseline.
+        for name in ["FLOOD delivery", "SPIN delivery", "SPMS delivery"] {
+            let s = base.series_named(name).unwrap();
+            let benign = s.points[0].1;
+            let attacked = s.points[1].1;
+            assert!(benign > 0.0, "{name}: benign runs must deliver");
+            assert!(
+                attacked < benign,
+                "{name}: attacked {attacked} must degrade below benign {benign}"
+            );
+        }
+        assert!(
+            base.notes
+                .iter()
+                .any(|n| n.contains("packets_dropped") && n.contains("bogus_advs")),
+            "notes must surface the adversary counters: {:?}",
+            base.notes
+        );
+        // Adversaries and churn are semantic knobs; kernels, layouts, and
+        // worker pools stay wall-clock-only even under attack. The
+        // adversarial-smoke CI step byte-diffs this figure's JSON across
+        // --workers; assert the kernel/layout legs in-process.
+        for kernel in [EventKernel::Wheel, EventKernel::WheelBatched] {
+            set_default_event_kernel(kernel);
+            let got = ext5(&scale, 9);
+            set_default_event_kernel(EventKernel::Heap);
+            assert_eq!(got, base, "{kernel} vs heap");
+        }
+        set_default_table_layout(TableLayout::Aos);
+        let aos = ext5(&scale, 9);
+        set_default_table_layout(TableLayout::Soa);
+        assert_eq!(aos, base, "aos vs soa");
     }
 
     #[test]

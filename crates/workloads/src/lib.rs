@@ -34,9 +34,9 @@ pub mod report;
 pub mod traffic;
 
 pub use experiment::{
-    default_event_kernel, default_sweep_config, default_table_layout, run_specs, run_specs_with,
-    set_default_event_kernel, set_default_table_layout, set_default_workers, try_run_specs,
-    RunSpec, Scale, SweepConfig,
+    default_adversary, default_event_kernel, default_sweep_config, default_table_layout, run_specs,
+    run_specs_with, set_default_adversary, set_default_event_kernel, set_default_table_layout,
+    set_default_workers, try_run_specs, AdversaryOverride, RunSpec, Scale, SweepConfig,
 };
 pub use figures::{FigureResult, SeriesData};
 pub use replication::{

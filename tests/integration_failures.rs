@@ -2,9 +2,9 @@
 //! §5.1.2 — transient node failures with exponential inter-arrival and
 //! uniform repair.
 
-use spms::{ProtocolKind, SimConfig, Simulation};
+use spms::{ProtocolKind, RoutingMode, SimConfig, Simulation};
 use spms_kernel::SimTime;
-use spms_net::{placement, FailureConfig};
+use spms_net::{placement, ChurnConfig, FailureConfig, MobilityConfig};
 use spms_workloads::traffic;
 
 fn run_with_failures(
@@ -99,6 +99,64 @@ fn failure_runs_are_deterministic() {
         42,
     );
     assert_eq!(a, b);
+}
+
+#[test]
+fn mass_departures_and_rejoins_run_to_completion() {
+    // ISSUE 8 heavy churn at its extreme: EVERY live node leaves at each
+    // churn epoch and the departed cohort rejoins at the next — the field
+    // repeatedly empties and refills. The run must still terminate, count
+    // whole cohorts, and replay byte-for-byte from its seed.
+    let run = || {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 11);
+        config.churn = Some(ChurnConfig::new(SimTime::from_millis(60), 1.0).unwrap());
+        config.horizon = SimTime::from_secs(2);
+        let plan = traffic::all_to_all(25, 2, SimTime::from_millis(250), 11).unwrap();
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    let m = run();
+    assert!(m.adversary.churn_epochs >= 2, "leave and rejoin must fire");
+    assert!(
+        m.adversary.churn_leaves >= 25,
+        "a full cohort must depart ({} leaves)",
+        m.adversary.churn_leaves
+    );
+    assert!(m.adversary.churn_joins >= 25, "the cohort must rejoin");
+    assert_eq!(m, run(), "mass churn must be deterministic");
+}
+
+#[test]
+fn churn_epochs_match_all_pairs_zone_rebuilds() {
+    // Cohort-sized joins/leaves per epoch, on top of mobility and
+    // failures, must leave the incremental zone engine bit-identical to
+    // the all-pairs reference build: runs with `incremental_zones` on and
+    // off may differ only in the zone-patch accounting itself.
+    let run = |incremental_zones: bool| {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 19);
+        config.routing_mode = RoutingMode::Distributed;
+        config.mobility = Some(MobilityConfig::new(SimTime::from_millis(50), 0.1).unwrap());
+        config.failures = Some(FailureConfig::paper_defaults());
+        config.churn = Some(ChurnConfig::new(SimTime::from_millis(80), 0.4).unwrap());
+        config.incremental_zones = incremental_zones;
+        config.horizon = SimTime::from_secs(2);
+        let plan = traffic::all_to_all(25, 2, SimTime::from_millis(250), 19).unwrap();
+        Simulation::run_with(config, topo, plan).unwrap()
+    };
+    let incremental = run(true);
+    assert!(incremental.adversary.churn_epochs > 0, "churn must fire");
+    assert!(
+        incremental.routing.liveness_deltas > 0,
+        "cohorts must queue"
+    );
+    let mut reference = run(false);
+    reference.routing.zone_patches = incremental.routing.zone_patches;
+    reference.routing.zone_rows_patched = incremental.routing.zone_rows_patched;
+    assert_eq!(
+        incremental, reference,
+        "cohort churn diverged from all-pairs zone rebuilds"
+    );
 }
 
 #[test]

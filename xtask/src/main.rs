@@ -20,13 +20,19 @@
 //!   markdown table (gate, baseline, current, bound, pass/fail). Exits
 //!   non-zero (failing the CI job) on any regression, missing bench, or
 //!   ratio breach.
-//! * `sweep-diff --a <dir> --b <dir>` — the sweep-determinism gate: both
-//!   directories must hold the same set of `*.json` figure files (as
-//!   written by the `repro` bin) with **byte-identical** contents. CI runs
-//!   a figure sweep at 1 worker and at the runner's available parallelism
-//!   and diffs the outputs — the parallel sweep executor may only change
-//!   wall-clock time, never a result byte. Exits non-zero on any missing
-//!   file or content difference.
+//! * `sweep-diff --a <dir> --b <dir> [--require <token>]...` — the
+//!   sweep-determinism gate: both directories must hold the same set of
+//!   `*.json` figure files (as written by the `repro` bin) with
+//!   **byte-identical** contents. CI runs a figure sweep at 1 worker and
+//!   at the runner's available parallelism and diffs the outputs — the
+//!   parallel sweep executor may only change wall-clock time, never a
+//!   result byte. Each (repeatable) `--require` token must appear
+//!   somewhere in the compared JSON, so a gate can also prove the sweep
+//!   actually exercised what it claims to (the adversarial-smoke step
+//!   requires the `packets_dropped`/`bogus_advs` counters — a silently
+//!   benign sweep would pass the byte-diff and still fail the gate).
+//!   Exits non-zero on any missing file, content difference, or absent
+//!   required token.
 //!
 //! The workspace is offline (no serde), so records are read with a tiny
 //! scanner that understands exactly the flat objects the reporter emits.
@@ -412,6 +418,7 @@ fn json_files(dir: &str) -> Result<Vec<String>, String> {
 fn run_sweep_diff(args: &[String]) -> Result<(), String> {
     let dir_a = arg_value(args, "--a").ok_or("sweep-diff needs --a <dir>")?;
     let dir_b = arg_value(args, "--b").ok_or("sweep-diff needs --b <dir>")?;
+    let required = arg_values(args, "--require");
     let names_a = json_files(&dir_a)?;
     let names_b = json_files(&dir_b)?;
     if names_a != names_b {
@@ -421,17 +428,20 @@ fn run_sweep_diff(args: &[String]) -> Result<(), String> {
     }
     println!("sweep-diff: {dir_a} vs {dir_b} ({} figures)", names_a.len());
     let mut differing = Vec::new();
+    let mut corpus = String::new();
     for name in &names_a {
         let read = |dir: &str| {
             std::fs::read(std::path::Path::new(dir).join(name))
                 .map_err(|e| format!("cannot read {dir}/{name}: {e}"))
         };
-        if read(&dir_a)? == read(&dir_b)? {
+        let bytes_a = read(&dir_a)?;
+        if bytes_a == read(&dir_b)? {
             println!("  identical  {name}");
         } else {
             println!("  DIFFERS    {name}");
             differing.push(name.clone());
         }
+        corpus.push_str(&String::from_utf8_lossy(&bytes_a));
     }
     if !differing.is_empty() {
         return Err(format!(
@@ -441,6 +451,16 @@ fn run_sweep_diff(args: &[String]) -> Result<(), String> {
             names_a.len(),
             differing.join(", ")
         ));
+    }
+    let absent: Vec<&String> = required.iter().filter(|t| !corpus.contains(*t)).collect();
+    if !absent.is_empty() {
+        return Err(format!(
+            "required token(s) {absent:?} appear nowhere in the compared JSON: \
+             the sweep did not exercise what this gate is meant to verify"
+        ));
+    }
+    if !required.is_empty() {
+        println!("all {} required tokens present", required.len());
     }
     println!("all {} figures byte-identical", names_a.len());
     Ok(())
@@ -455,7 +475,7 @@ fn main() -> ExitCode {
         _ => Err("usage: xtask <collect|bench-gate|sweep-diff> [flags]\n\
                   \x20 collect    --input <jsonl> --output <json>\n\
                   \x20 bench-gate --baseline <json> --current <json> [--threshold 1.25]\n\
-                  \x20 sweep-diff --a <dir> --b <dir>"
+                  \x20 sweep-diff --a <dir> --b <dir> [--require <token>]..."
             .into()),
     };
     match result {
@@ -660,6 +680,31 @@ mod tests {
         let csv_a = SweepDir::new("csv-a", &[("fig12.json", "{}"), ("fig12.csv", "1,2")]);
         let csv_b = SweepDir::new("csv-b", &[("fig12.json", "{}"), ("fig12.csv", "3,4")]);
         assert!(run_sweep_diff(&diff_args(&csv_a, &csv_b)).is_ok());
+    }
+
+    #[test]
+    fn sweep_diff_required_tokens_gate_the_corpus() {
+        let files = [
+            (
+                "ext5.json",
+                "{\"notes\":\"packets_dropped=9, bogus_advs=3\"}",
+            ),
+            ("fig6.json", "{}"),
+        ];
+        let a = SweepDir::new("req-a", &files);
+        let b = SweepDir::new("req-b", &files);
+        let mut args = diff_args(&a, &b);
+        for token in ["packets_dropped", "bogus_advs"] {
+            args.push("--require".into());
+            args.push(token.into());
+        }
+        assert!(run_sweep_diff(&args).is_ok());
+        // A token the sweep never produced fails the gate even though every
+        // figure byte-matches.
+        args.push("--require".into());
+        args.push("churn_epochs".into());
+        let err = run_sweep_diff(&args).unwrap_err();
+        assert!(err.contains("churn_epochs"), "{err}");
     }
 
     #[test]
