@@ -1,5 +1,6 @@
 //! Zone-sharded, epoch-batched delta re-convergence at growing scale:
-//! n = 225 / 625 / 1024 (the paper's 13×13 field is only 169 nodes).
+//! n = 225 / 625 / 1024 / 4096 / 10000 (the paper's 13×13 field is only
+//! 169 nodes; the top sizes are the ROADMAP's 10k-node scale target).
 //!
 //! The scenario is the post-PR-3 hot path ROADMAP names: zone maintenance
 //! is down to ~105 µs per epoch, so the delta-DBF exchange itself is the
@@ -22,12 +23,15 @@
 //!   tables and stats).
 //!
 //! CI's hardware-independent ratio gates pin sharded ≤ 0.7× sequential at
-//! n = 625 for both the delta exchange and the full rebuild (see
-//! `xtask bench-gate`) — ≥ ~1.4× from a 2-core runner; wider machines
-//! only widen the margin. On a single-core host the engine resolves to
-//! one shard and dispatches to the very same sequential loops, so the
-//! ratios are only meaningful where parallelism exists (the CI step skips
-//! both gates when `nproc` is 1).
+//! n = 625 for both the delta exchange and the full rebuild, and sharded
+//! strictly below sequential at n = 1024 (see `xtask bench-gate`) —
+//! ≥ ~1.4× from a 2-core runner; wider machines only widen the margin.
+//! `xtask speedup-curve` turns the per-size seq/sharded pairs into the
+//! speedup-curve JSON CI uploads as an artifact. On a single-core host
+//! the engine resolves to one shard and dispatches to the very same
+//! sequential loops, so the ratios are only meaningful where parallelism
+//! exists (the CI step reports those gates as explicitly skipped when
+//! `nproc` is 1).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spms_net::{placement, NodeId, Point, Topology, ZoneTable};
@@ -74,11 +78,11 @@ fn before_after(side: usize) -> (Vec<NodeId>, ZoneTable, ZoneTable) {
 }
 
 fn shard_count() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    spms_kernel::host_parallelism()
 }
 
 fn bench_delta_paths(c: &mut Criterion) {
-    for side in [15usize, 25, 32] {
+    for side in [15usize, 25, 32, 64, 100] {
         let n = side * side;
         let (moved, before, after) = before_after(side);
         let alive = vec![true; n];

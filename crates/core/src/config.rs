@@ -355,13 +355,16 @@ pub struct SimConfig {
     pub incremental_zones: bool,
     /// Shard partitions for the delta re-convergence
     /// ([`spms_routing::DbfEngine::with_shards`]): each mobility window's
-    /// dirty-destination exchange is cut into contiguous receiver ranges of
-    /// balanced load and run on scoped OS threads. `0` (the default)
-    /// resolves to the host's available parallelism. The shard count can
-    /// never change results — tables *and* stats are bit-identical for
-    /// every value (property-tested in `spms-routing`), which
-    /// `tests/integration_determinism.rs` re-checks end to end on whole
-    /// `RunMetrics`.
+    /// dirty-destination exchange is cut into contiguous receiver ranges
+    /// of balanced load and run on the engine's persistent worker pool.
+    /// The shard count also sizes that pool — `shards − 1` threads,
+    /// created lazily on the first heavy round, parked between rounds,
+    /// reused across every epoch of the run, and dropped with the engine.
+    /// `0` (the default) resolves to [`spms_kernel::host_parallelism`].
+    /// The shard count can never change results — tables *and* stats are
+    /// bit-identical for every value (property-tested in `spms-routing`),
+    /// which `tests/integration_determinism.rs` re-checks end to end on
+    /// whole `RunMetrics`.
     pub dbf_shards: usize,
     /// Mobility-epoch batching window: epochs accumulate their zone deltas
     /// (and any silent liveness flips) and re-converge routing **once** per

@@ -531,12 +531,13 @@ impl Simulation {
     }
 
     /// The shard count the delta re-convergence runs with: the configured
-    /// `dbf_shards`, with `0` resolving to the host's available
-    /// parallelism. Purely a wall-clock knob — results are bit-identical
-    /// for every value.
+    /// `dbf_shards`, with `0` resolving to
+    /// [`spms_kernel::host_parallelism`]. Also sizes the routing engine's
+    /// persistent worker pool. Purely a wall-clock knob — results are
+    /// bit-identical for every value.
     fn resolved_shards(&self) -> usize {
         match self.config.dbf_shards {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            0 => spms_kernel::host_parallelism(),
             s => s,
         }
     }

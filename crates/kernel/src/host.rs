@@ -1,0 +1,32 @@
+//! Host-machine introspection shared by every auto-sizing knob.
+//!
+//! Shard counts, sweep worker counts and bench shard grids all want the
+//! same answer — "how wide is this machine?" — and each used to carry
+//! its own copy of the `available_parallelism()` fallback. One copy
+//! means the auto-resolution cannot drift between subsystems.
+
+/// Detected hardware parallelism, falling back to `1` when the host
+/// refuses to say (sandboxes and exotic platforms return an error from
+/// [`std::thread::available_parallelism`]).
+///
+/// This is the single source of truth for every `0 = auto` knob in the
+/// workspace: `SimConfig::dbf_shards`, `SweepConfig::workers` and the
+/// bench grids all resolve through here.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::host_parallelism;
+
+    #[test]
+    fn at_least_one_and_stable() {
+        let a = host_parallelism();
+        assert!(a >= 1);
+        // The host does not change mid-process; auto-resolved knobs may
+        // assume repeated calls agree.
+        assert_eq!(a, host_parallelism());
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod host;
 mod queue;
 mod rng;
 mod scheduler;
@@ -44,6 +45,7 @@ mod wheel;
 pub mod stats;
 pub mod trace;
 
+pub use host::host_parallelism;
 pub use queue::EventQueue;
 pub use rng::{PoissonProcess, SimRng};
 pub use scheduler::{Scheduler, SchedulerKind};

@@ -30,7 +30,9 @@
 //! which snapshot each round's broadcasts by contiguous **sender** ranges,
 //! scatter them into per-receiver CSR inboxes, partition the receivers
 //! into contiguous id ranges of balanced relaxation load, and run the
-//! ranges on scoped OS threads. Receivers are the unit of ownership: a
+//! ranges on the engine's persistent [`WorkerPool`] (parked between
+//! rounds, woken by a round-barrier handoff; light rounds run inline
+//! without ever starting it). Receivers are the unit of ownership: a
 //! node's table is only ever touched by the shard that owns its id, and
 //! each receiver replays its inbox in exactly the broadcast order the
 //! sequential loop uses, so the merge is a no-op and the tables (and even
@@ -52,18 +54,25 @@
 //! the `incremental` proptest suite asserts.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use spms_net::{NodeId, ZoneDelta, ZoneTable};
 
 /// Minimum total relaxation load (vector entries addressed this round)
-/// before a sharded round spawns threads; lighter rounds run inline. A
-/// delta convergence tapers — the last few rounds carry a handful of
-/// entries — and a thread spawn costs tens of microseconds, so paying it
-/// only on heavy rounds keeps the parallel path's overhead on the tail at
-/// zero. Purely a scheduling choice: the executed relaxation is identical
-/// either way.
-const SHARD_MIN_LOAD: u64 = 1024;
+/// before a sharded round is handed to the persistent worker pool;
+/// lighter rounds run inline. A delta convergence tapers — the last few
+/// rounds carry a handful of entries — and even the pool's handoff (one
+/// mutex/condvar round trip, single-digit microseconds, vs. the tens of
+/// microseconds per thread the old per-round `thread::scope` spawns
+/// cost) is not worth paying to split a few hundred nanoseconds of
+/// relaxation. At ≈ 0.25 µs of relaxation per entry, 256 entries split
+/// two ways save ≈ 30 µs against ≈ 5 µs of handoff — comfortably past
+/// crossover — while the tail rounds of a convergence stay inline and
+/// overhead-free. Purely a scheduling choice: the executed relaxation is
+/// identical either way.
+const SHARD_MIN_LOAD: u64 = 256;
 
+use crate::pool::WorkerPool;
 use crate::{DbfWireFormat, RouteEntry, RoutingTable, TableLayout};
 
 /// A node's broadcast distance vector: its best known cost and hop count to
@@ -150,6 +159,14 @@ struct Scratch {
     /// (ranges relative to the shard's own entry buffer until
     /// concatenation rebases them).
     shard_from: Vec<Vec<(NodeId, u32, u32)>>,
+    /// Fused pooled rounds: per-range "this range still has updates to
+    /// send" flags — the parallelized form of the round loop's global
+    /// quiescence scan.
+    range_had: Vec<bool>,
+    /// Pooled scatter: each sender's `snap_from` index this round
+    /// (`u32::MAX` for nodes that did not broadcast), so receiver-driven
+    /// tasks can look their zone neighbors up in O(1).
+    msg_of: Vec<u32>,
 }
 
 /// The distributed Bellman-Ford engine: one routing table per node.
@@ -169,7 +186,7 @@ struct Scratch {
 /// let best = dbf.table(NodeId::new(0)).best(NodeId::new(8)).unwrap();
 /// assert!(best.hops >= 2);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DbfEngine {
     tables: Vec<RoutingTable>,
     /// Per-node destinations whose table entries changed since the node's
@@ -182,7 +199,32 @@ pub struct DbfEngine {
     /// `Some(s)` runs them through the zone-shard planner with `s`
     /// receiver partitions. Bit-identical either way.
     shards: Option<usize>,
+    /// The persistent worker pool (`shards - 1` parked threads; the
+    /// dispatching thread is the remaining shard), spun up lazily the
+    /// first time a round is heavy enough to split and reused for every
+    /// round, epoch, and rebuild after that. Dropped with the engine,
+    /// which joins the workers.
+    pool: Option<Arc<WorkerPool>>,
     scratch: Scratch,
+}
+
+impl Clone for DbfEngine {
+    /// Clones the routing state; the clone gets no pool and spins up its
+    /// own on first use. Worker threads are wall-clock machinery, not
+    /// routing state — sharing them would serialize two engines against
+    /// each other, and cloning them would leak idle threads for clones
+    /// that never re-converge.
+    fn clone(&self) -> Self {
+        DbfEngine {
+            tables: self.tables.clone(),
+            dirty: self.dirty.clone(),
+            k: self.k,
+            wire: self.wire,
+            shards: self.shards,
+            pool: None,
+            scratch: self.scratch.clone(),
+        }
+    }
 }
 
 impl DbfEngine {
@@ -200,6 +242,7 @@ impl DbfEngine {
             k,
             wire: DbfWireFormat::default(),
             shards: None,
+            pool: None,
             scratch: Scratch::default(),
         };
         engine.reset(zones, &vec![true; zones.len()]);
@@ -237,6 +280,33 @@ impl DbfEngine {
     #[must_use]
     pub fn shards(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// Whether the persistent worker pool has been spun up. Observability
+    /// for the inline-dispatch taper: an engine whose every round stays
+    /// under the pool's load threshold must never start worker threads
+    /// (pinned by tests), so light workloads on a sharded engine pay
+    /// exactly what a sequential engine pays.
+    #[must_use]
+    pub fn pool_started(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The persistent pool, spun up on first use with `shards - 1` worker
+    /// threads (the dispatching thread acts as the final shard). Returns
+    /// a clone of the handle so callers can dispatch while `self`'s
+    /// fields are mutably borrowed; the `Arc` is an ownership detail, not
+    /// a sharing mechanism — each engine has its own pool.
+    fn pool(&mut self, shards: usize) -> Arc<WorkerPool> {
+        debug_assert!(shards >= 2, "pooled dispatch needs at least two shards");
+        match &self.pool {
+            Some(pool) if pool.workers() == shards - 1 => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(WorkerPool::new(shards - 1));
+                self.pool = Some(Arc::clone(&pool));
+                pool
+            }
+        }
     }
 
     /// Stores every routing table in `layout` ([`TableLayout::Soa`] planes
@@ -304,20 +374,21 @@ impl DbfEngine {
     }
 
     /// The full rebuild through the shard planner: [`DbfEngine::reset`]
-    /// plus synchronous full-vector rounds executed by up to the
-    /// configured shard count of scoped OS threads — the parallel
-    /// equivalent of `reset` + [`DbfEngine::run_to_convergence_masked`],
-    /// which stays verbatim as the root oracle this path is
-    /// property-tested against (tables **and** stats bit-identical for
-    /// every shard count).
+    /// plus synchronous full-vector rounds executed across the
+    /// configured shard count on the engine's persistent worker pool —
+    /// the parallel equivalent of `reset` +
+    /// [`DbfEngine::run_to_convergence_masked`], which stays verbatim as
+    /// the root oracle this path is property-tested against (tables
+    /// **and** stats bit-identical for every shard count).
     ///
-    /// Each round snapshots the broadcasting tables by **sender shard**
-    /// (contiguous sender-id ranges of balanced entry count, concatenated
-    /// in id order), scatters the broadcasts into per-receiver CSR inboxes
-    /// exactly like the sharded delta rounds, and relaxes contiguous
-    /// receiver ranges on scoped threads. Light rounds run inline — a
-    /// single-core host (or an unsharded engine) dispatches straight to
-    /// the sequential loop and pays nothing.
+    /// Each round scatters the previous round's broadcasts into
+    /// per-receiver CSR inboxes exactly like the sharded delta rounds,
+    /// then each receiver range relaxes its inboxes and immediately
+    /// flattens its own changed tables into shard-local buffers for the
+    /// next round's snapshot (concatenated in id order — byte-identical
+    /// to the sequential sender-order arena). Light rounds run inline —
+    /// a single-core host (or an unsharded engine) dispatches straight
+    /// to the sequential loop and never starts the pool.
     ///
     /// # Panics
     ///
@@ -861,7 +932,7 @@ impl DbfEngine {
     /// [`DbfEngine::snapshot_delta_round`] by **sender shard**: cuts the
     /// sender id space into contiguous ranges of balanced dirty-entry
     /// count, lets each range flatten its vectors (and drain its dirty
-    /// sets) into a shard-local buffer on a scoped thread, and
+    /// sets) into a shard-local buffer on the worker pool, and
     /// concatenates the buffers in shard (= sender id) order — the exact
     /// arena the sequential helper builds, byte for byte. Light rounds
     /// (or a single busy range) fall through to the sequential helper, so
@@ -881,6 +952,7 @@ impl DbfEngine {
         if !plan_sender_shards(&snd_load, shards, &mut snd_bounds) {
             self.snapshot_delta_round(alive, snap_entries, snap_from);
         } else {
+            let pool = self.pool(shards);
             snap_entries.clear();
             snap_from.clear();
             let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
@@ -889,47 +961,53 @@ impl DbfEngine {
             shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
             shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
             let tables = &self.tables;
+            let mut tasks: Vec<DeltaSnapTask<'_>> = Vec::with_capacity(ranges);
             let mut dirty_rest = self.dirty.as_mut_slice();
             let mut consumed = 0usize;
-            std::thread::scope(|scope| {
-                for ((w, ebuf), fbuf) in snd_bounds
-                    .windows(2)
-                    .zip(shard_entries.iter_mut())
-                    .zip(shard_from.iter_mut())
-                {
-                    let (lo, hi) = (w[0], w[1]);
-                    let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
-                    dirty_rest = dirty_next;
-                    consumed = hi;
-                    ebuf.clear();
-                    fbuf.clear();
-                    if snd_load[lo..hi].iter().all(|&l| l == 0) {
-                        continue; // nothing to flatten (or clear) here
+            for ((w, ebuf), fbuf) in snd_bounds
+                .windows(2)
+                .zip(shard_entries.iter_mut())
+                .zip(shard_from.iter_mut())
+            {
+                let (lo, hi) = (w[0], w[1]);
+                let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
+                dirty_rest = dirty_next;
+                consumed = hi;
+                ebuf.clear();
+                fbuf.clear();
+                if snd_load[lo..hi].iter().all(|&l| l == 0) {
+                    continue; // nothing to flatten (or clear) here
+                }
+                tasks.push(DeltaSnapTask {
+                    lo,
+                    dirty: dirty_mine,
+                    ebuf,
+                    fbuf,
+                });
+            }
+            pool.run(&mut tasks, |t| {
+                for (off, dirty) in t.dirty.iter_mut().enumerate() {
+                    let i = t.lo + off;
+                    if dirty.is_empty() {
+                        continue;
                     }
-                    scope.spawn(move || {
-                        for (off, dirty) in dirty_mine.iter_mut().enumerate() {
-                            let i = lo + off;
-                            if dirty.is_empty() {
-                                continue;
-                            }
-                            if !alive[i] {
-                                dirty.clear();
-                                continue;
-                            }
-                            let start = ebuf.len() as u32;
-                            let table = &tables[i];
-                            ebuf.extend(
-                                dirty
-                                    .iter()
-                                    .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
-                            );
-                            dirty.clear();
-                            if ebuf.len() as u32 == start {
-                                continue;
-                            }
-                            fbuf.push((NodeId::new(i as u32), start, ebuf.len() as u32));
-                        }
-                    });
+                    if !alive[i] {
+                        dirty.clear();
+                        continue;
+                    }
+                    let start = t.ebuf.len() as u32;
+                    let table = &tables[i];
+                    t.ebuf.extend(
+                        dirty
+                            .iter()
+                            .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
+                    );
+                    dirty.clear();
+                    if t.ebuf.len() as u32 == start {
+                        continue;
+                    }
+                    t.fbuf
+                        .push((NodeId::new(i as u32), start, t.ebuf.len() as u32));
                 }
             });
             concat_snapshots(
@@ -987,34 +1065,36 @@ impl DbfEngine {
                 snap_from.push((NodeId::new(i as u32), start, snap_entries.len() as u32));
             }
         } else {
+            let pool = self.pool(shards);
             let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
             let mut shard_from = std::mem::take(&mut self.scratch.shard_from);
             let ranges = snd_bounds.len() - 1;
             shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
             shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
             let tables = &self.tables;
-            std::thread::scope(|scope| {
-                for ((w, ebuf), fbuf) in snd_bounds
-                    .windows(2)
-                    .zip(shard_entries.iter_mut())
-                    .zip(shard_from.iter_mut())
-                {
-                    let (lo, hi) = (w[0], w[1]);
-                    ebuf.clear();
-                    fbuf.clear();
-                    if snd_load[lo..hi].iter().all(|&l| l == 0) {
+            let mut tasks: Vec<FullSnapTask<'_>> = Vec::with_capacity(ranges);
+            for ((w, ebuf), fbuf) in snd_bounds
+                .windows(2)
+                .zip(shard_entries.iter_mut())
+                .zip(shard_from.iter_mut())
+            {
+                let (lo, hi) = (w[0], w[1]);
+                ebuf.clear();
+                fbuf.clear();
+                if snd_load[lo..hi].iter().all(|&l| l == 0) {
+                    continue;
+                }
+                tasks.push(FullSnapTask { lo, hi, ebuf, fbuf });
+            }
+            pool.run(&mut tasks, |t| {
+                for i in t.lo..t.hi {
+                    if !(pending[i] && alive[i]) {
                         continue;
                     }
-                    scope.spawn(move || {
-                        for i in lo..hi {
-                            if !(pending[i] && alive[i]) {
-                                continue;
-                            }
-                            let start = ebuf.len() as u32;
-                            tables[i].append_vector(ebuf);
-                            fbuf.push((NodeId::new(i as u32), start, ebuf.len() as u32));
-                        }
-                    });
+                    let start = t.ebuf.len() as u32;
+                    tables[i].append_vector(t.ebuf);
+                    t.fbuf
+                        .push((NodeId::new(i as u32), start, t.ebuf.len() as u32));
                 }
             });
             concat_snapshots(
@@ -1108,19 +1188,31 @@ impl DbfEngine {
     }
 
     /// Delta rounds through the zone-shard planner: same semantics as
-    /// [`DbfEngine::run_delta_rounds`], executed by up to `shards` scoped
-    /// OS threads per round.
+    /// [`DbfEngine::run_delta_rounds`], executed on the engine's
+    /// persistent [`WorkerPool`] (up to `shards` threads counting the
+    /// dispatcher) per round.
     ///
-    /// Each round snapshots and accounts exactly like the sequential loop,
-    /// then scatters the broadcasts into per-receiver *inboxes* (a CSR
-    /// over receiver ids, each inbox in broadcast order), cuts the
-    /// receiver id space into contiguous ranges of balanced relaxation
-    /// load, and hands every range its disjoint slice of tables and dirty
-    /// sets. A receiver replays its inbox in the same order the sequential
-    /// loop would deliver it, and no table is shared between ranges, so
-    /// the input-order-preserving reduction is simply "the slices land
-    /// back where they were cut" — results are bit-identical for every
-    /// shard count, including 1 (which skips the thread spawns entirely).
+    /// Each round scatters the previous snapshot's broadcasts into
+    /// per-receiver *inboxes* (a CSR over receiver ids, each inbox in
+    /// broadcast order — scattered in parallel by receiver range when the
+    /// round is heavy), cuts the receiver id space into contiguous ranges
+    /// of balanced relaxation load, and hands every range its disjoint
+    /// slice of tables and dirty sets. A receiver replays its inbox in
+    /// the same order the sequential loop would deliver it, and no table
+    /// is shared between ranges, so the input-order-preserving reduction
+    /// is simply "the slices land back where they were cut" — results are
+    /// bit-identical for every shard count, including 1 (which never
+    /// touches the pool).
+    ///
+    /// The next round's snapshot is **fused** into the relaxation
+    /// dispatch: as soon as a range finishes relaxing it drains its own
+    /// receivers' dirty sets into shard-local buffers while other ranges
+    /// are still relaxing, and the barrier's only sequential residue is
+    /// concatenating those buffers in id order. The drain is textually
+    /// the same flatten the round-opening snapshot performs, just
+    /// executed one barrier early — the arena it produces is
+    /// byte-identical, which keeps the whole fused loop on the
+    /// sequential oracle's fixpoint (property-tested, tables and stats).
     fn run_delta_rounds_sharded(
         &mut self,
         zones: &ZoneTable,
@@ -1130,6 +1222,18 @@ impl DbfEngine {
     ) {
         let n = zones.len();
         let nd = self.scratch.dests.len();
+        let max_rounds = (n as u32).max(8) + 4;
+        // Round 1 opening: the same quiescence check and dirty-set drain
+        // the sequential loop's first iteration performs. Every later
+        // round's snapshot is fused into the dispatch below.
+        stats.rounds += 1;
+        if self.dirty.iter().all(BTreeSet::is_empty) {
+            return; // quiescent: no triggered updates left
+        }
+        let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+        let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+        self.snapshot_delta_round_sharded(alive, shards, &mut snap_entries, &mut snap_from);
+        self.account_delta_round(&snap_from, stats);
         let dest_index = std::mem::take(&mut self.scratch.dest_index);
         let member = std::mem::take(&mut self.scratch.member);
         let mut inbox_start = std::mem::take(&mut self.scratch.inbox_start);
@@ -1138,58 +1242,56 @@ impl DbfEngine {
         let mut load = std::mem::take(&mut self.scratch.load);
         let mut fill = std::mem::take(&mut self.scratch.fill);
         let mut bounds = std::mem::take(&mut self.scratch.bounds);
-        let max_rounds = (n as u32).max(8) + 4;
-        for _round in 0..max_rounds {
-            stats.rounds += 1;
-            if self.dirty.iter().all(BTreeSet::is_empty) {
-                self.scratch.dest_index = dest_index;
-                self.scratch.member = member;
-                self.scratch.inbox_start = inbox_start;
-                self.scratch.inbox_msg = inbox_msg;
-                self.scratch.inbox_weight = inbox_weight;
-                self.scratch.load = load;
-                self.scratch.fill = fill;
-                self.scratch.bounds = bounds;
-                return; // quiescent: no triggered updates left
+        let mut msg_of = std::mem::take(&mut self.scratch.msg_of);
+        for _round in 1..max_rounds {
+            // Deliver the current snapshot: scatter it into per-receiver
+            // inboxes (CSR), then cut the receiver id space into
+            // contiguous ranges of ≈ equal relaxation load.
+            if shards >= 2 && snap_entries.len() as u64 >= SHARD_MIN_LOAD {
+                let pool = self.pool(shards);
+                scatter_inboxes_pooled(
+                    &pool,
+                    zones,
+                    alive,
+                    &snap_from,
+                    &mut inbox_start,
+                    &mut inbox_msg,
+                    &mut inbox_weight,
+                    &mut load,
+                    &mut msg_of,
+                    shards,
+                );
+            } else {
+                scatter_inboxes(
+                    zones,
+                    alive,
+                    &snap_from,
+                    &mut inbox_start,
+                    &mut inbox_msg,
+                    &mut inbox_weight,
+                    &mut load,
+                    &mut fill,
+                );
             }
-            // Snapshot (by sender shard when the round is heavy — the
-            // output is bit-identical to the sequential helper either
-            // way) and wire accounting shared with the sequential path.
-            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
-            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
-            self.snapshot_delta_round_sharded(alive, shards, &mut snap_entries, &mut snap_from);
-            self.account_delta_round(&snap_from, stats);
-            // Scatter the broadcasts into per-receiver inboxes (CSR), then
-            // cut the receiver id space into contiguous ranges of ≈ equal
-            // relaxation load.
-            scatter_inboxes(
-                zones,
-                alive,
-                &snap_from,
-                &mut inbox_start,
-                &mut inbox_msg,
-                &mut inbox_weight,
-                &mut load,
-                &mut fill,
-            );
             let total_load = plan_bounds(&load, shards, &mut bounds);
             let busy = bounds
                 .windows(2)
                 .filter(|w| load[w[0]..w[1]].iter().any(|&l| l > 0))
                 .count();
-
-            let run_range = |lo: usize,
-                             tables: &mut [RoutingTable],
-                             dirty: &mut [BTreeSet<NodeId>]| {
-                for (off, (table, dirty)) in tables.iter_mut().zip(dirty.iter_mut()).enumerate() {
-                    let to = lo + off;
+            let quiet;
+            if busy <= 1 || total_load < SHARD_MIN_LOAD {
+                // One busy range (or a light round): run inline — the
+                // pool handoff is not worth paying. This is also the
+                // shards = 1 path and the taper at the end of every
+                // convergence, so light engines never start the pool.
+                for to in 0..n {
                     let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
                     if slot.is_empty() {
                         continue;
                     }
                     relax_inbox(
-                        table,
-                        dirty,
+                        &mut self.tables[to],
+                        &mut self.dirty[to],
                         to * nd,
                         &inbox_msg[slot.clone()],
                         &inbox_weight[slot],
@@ -1199,34 +1301,149 @@ impl DbfEngine {
                         &dest_index,
                     );
                 }
-            };
-            if busy <= 1 || total_load < SHARD_MIN_LOAD {
-                // One busy range (or a light round): run inline — no
-                // thread is worth spawning. This is also the shards = 1
-                // path and the taper at the end of every convergence.
-                run_range(0, &mut self.tables, &mut self.dirty);
+                quiet = self.dirty.iter().all(BTreeSet::is_empty);
+                if quiet {
+                    snap_entries.clear();
+                    snap_from.clear();
+                } else {
+                    self.snapshot_delta_round_sharded(
+                        alive,
+                        shards,
+                        &mut snap_entries,
+                        &mut snap_from,
+                    );
+                }
             } else {
-                let run_range = &run_range;
+                let pool = self.pool(shards);
+                let ranges = bounds.len() - 1;
+                let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
+                let mut shard_from = std::mem::take(&mut self.scratch.shard_from);
+                let mut range_had = std::mem::take(&mut self.scratch.range_had);
+                shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
+                shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
+                range_had.clear();
+                range_had.resize(ranges, false);
+                let mut tasks: Vec<DeltaRangeTask<'_>> = Vec::with_capacity(ranges);
                 let mut table_rest = self.tables.as_mut_slice();
                 let mut dirty_rest = self.dirty.as_mut_slice();
+                let mut had_rest = range_had.as_mut_slice();
                 let mut consumed = 0usize;
-                std::thread::scope(|scope| {
-                    for w in bounds.windows(2) {
-                        let (lo, hi) = (w[0], w[1]);
-                        let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
-                        let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
-                        table_rest = table_next;
-                        dirty_rest = dirty_next;
-                        consumed = hi;
-                        if load[lo..hi].iter().all(|&l| l == 0) {
-                            continue; // nothing addressed to this range
+                for ((w, ebuf), fbuf) in bounds
+                    .windows(2)
+                    .zip(shard_entries.iter_mut())
+                    .zip(shard_from.iter_mut())
+                {
+                    let (lo, hi) = (w[0], w[1]);
+                    let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
+                    let (dirty_mine, dirty_next) = dirty_rest.split_at_mut(hi - consumed);
+                    let (had_mine, had_next) = had_rest.split_at_mut(1);
+                    table_rest = table_next;
+                    dirty_rest = dirty_next;
+                    had_rest = had_next;
+                    consumed = hi;
+                    ebuf.clear();
+                    fbuf.clear();
+                    if load[lo..hi].iter().all(|&l| l == 0) {
+                        // Nothing addressed to this range. Its relax is a
+                        // no-op, and its dirty sets are empty by
+                        // induction (every round drains the dirty sets it
+                        // populates — only a delivery can repopulate
+                        // one), so there is nothing to drain either.
+                        continue;
+                    }
+                    tasks.push(DeltaRangeTask {
+                        lo,
+                        tables: table_mine,
+                        dirty: dirty_mine,
+                        ebuf,
+                        fbuf,
+                        had: &mut had_mine[0],
+                    });
+                }
+                pool.run(&mut tasks, |t| {
+                    for (off, (table, dirty)) in
+                        t.tables.iter_mut().zip(t.dirty.iter_mut()).enumerate()
+                    {
+                        let to = t.lo + off;
+                        let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
+                        if slot.is_empty() {
+                            continue;
                         }
-                        scope.spawn(move || run_range(lo, table_mine, dirty_mine));
+                        relax_inbox(
+                            table,
+                            dirty,
+                            to * nd,
+                            &inbox_msg[slot.clone()],
+                            &inbox_weight[slot],
+                            &snap_entries,
+                            &snap_from,
+                            &member,
+                            &dest_index,
+                        );
+                    }
+                    // Fused next-round snapshot: drain this range's dirty
+                    // sets into its shard-local buffers while other
+                    // ranges are still relaxing — the same flatten
+                    // `snapshot_delta_round` performs at the top of the
+                    // next round, one barrier early.
+                    for (off, dirty) in t.dirty.iter_mut().enumerate() {
+                        let i = t.lo + off;
+                        if dirty.is_empty() {
+                            continue;
+                        }
+                        *t.had = true;
+                        if !alive[i] {
+                            dirty.clear();
+                            continue;
+                        }
+                        let start = t.ebuf.len() as u32;
+                        let table = &t.tables[off];
+                        t.ebuf.extend(
+                            dirty
+                                .iter()
+                                .filter_map(|&d| table.best(d).map(|e| (d, e.cost, e.hops))),
+                        );
+                        dirty.clear();
+                        if t.ebuf.len() as u32 == start {
+                            continue;
+                        }
+                        t.fbuf
+                            .push((NodeId::new(i as u32), start, t.ebuf.len() as u32));
                     }
                 });
+                quiet = !range_had.iter().any(|&h| h);
+                snap_entries.clear();
+                snap_from.clear();
+                concat_snapshots(
+                    &shard_entries[..ranges],
+                    &shard_from[..ranges],
+                    &mut snap_entries,
+                    &mut snap_from,
+                );
+                self.scratch.shard_entries = shard_entries;
+                self.scratch.shard_from = shard_from;
+                self.scratch.range_had = range_had;
             }
-            self.scratch.snap_entries = snap_entries;
-            self.scratch.snap_from = snap_from;
+            // The loop-top bookkeeping of the sequential formulation,
+            // shifted to the barrier: count the round the snapshot
+            // belongs to, return on the final silent round, account
+            // otherwise.
+            stats.rounds += 1;
+            if quiet {
+                self.scratch.dest_index = dest_index;
+                self.scratch.member = member;
+                self.scratch.inbox_start = inbox_start;
+                self.scratch.inbox_msg = inbox_msg;
+                self.scratch.inbox_weight = inbox_weight;
+                self.scratch.load = load;
+                self.scratch.fill = fill;
+                self.scratch.bounds = bounds;
+                self.scratch.msg_of = msg_of;
+                self.scratch.snap_entries = snap_entries;
+                self.scratch.snap_from = snap_from;
+                return; // quiescent: no triggered updates left
+            }
+            self.account_delta_round(&snap_from, stats);
         }
         panic!("sharded incremental DBF failed to converge within {max_rounds} rounds");
     }
@@ -1236,12 +1453,15 @@ impl DbfEngine {
     /// [`DbfEngine::run_to_convergence_masked`] — round 1 every alive node
     /// broadcasts its whole vector, thereafter only nodes whose table
     /// changed in the previous round do, and a round's vectors are
-    /// snapshotted before any relaxation — executed by up to `shards`
-    /// scoped threads for both the sender-sharded snapshot and the
-    /// receiver-sharded relaxation. Receivers replay their CSR inboxes in
-    /// broadcast order over disjoint table slices, so tables, pending
-    /// flags, and every stats field land bit-identical to the sequential
-    /// rebuild.
+    /// snapshotted before any relaxation — executed on the engine's
+    /// persistent [`WorkerPool`] for the sender-sharded round-1 snapshot,
+    /// the receiver-range inbox scatter, and the receiver-sharded
+    /// relaxation, with each later round's snapshot fused into the
+    /// relaxation dispatch (a range flattens its changed tables as soon
+    /// as its own relax finishes, exactly like the delta loop). Receivers
+    /// replay their CSR inboxes in broadcast order over disjoint table
+    /// slices, so tables, pending flags, and every stats field land
+    /// bit-identical to the sequential rebuild.
     fn run_full_rounds_sharded(
         &mut self,
         zones: &ZoneTable,
@@ -1251,9 +1471,33 @@ impl DbfEngine {
     ) {
         assert_eq!(alive.len(), zones.len(), "alive mask length mismatch");
         let n = zones.len();
+        let max_rounds = (n as u32).max(8) + 4;
+        // Round 1 opening: every alive node is pending and broadcasts its
+        // whole (direct-routes-only) vector — the sequential rebuild's
+        // first iteration. Later rounds' snapshots are fused below.
         let mut pending = std::mem::take(&mut self.scratch.pending);
         pending.clear();
         pending.extend_from_slice(alive);
+        stats.rounds += 1;
+        if pending.iter().all(|&p| !p) {
+            self.scratch.pending = pending;
+            // A full convergence leaves no triggered updates behind —
+            // the same postcondition the sequential rebuild restores.
+            for set in &mut self.dirty {
+                set.clear();
+            }
+            return; // quiescent: nobody has updates to send
+        }
+        let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
+        let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
+        self.snapshot_full_round_sharded(
+            alive,
+            &pending,
+            shards,
+            &mut snap_entries,
+            &mut snap_from,
+        );
+        self.account_delta_round(&snap_from, stats);
         let mut next_pending = std::mem::take(&mut self.scratch.next_pending);
         let mut inbox_start = std::mem::take(&mut self.scratch.inbox_start);
         let mut inbox_msg = std::mem::take(&mut self.scratch.inbox_msg);
@@ -1261,45 +1505,34 @@ impl DbfEngine {
         let mut load = std::mem::take(&mut self.scratch.load);
         let mut fill = std::mem::take(&mut self.scratch.fill);
         let mut bounds = std::mem::take(&mut self.scratch.bounds);
-        let max_rounds = (n as u32).max(8) + 4;
-        for _round in 0..max_rounds {
-            stats.rounds += 1;
-            if pending.iter().all(|&p| !p) {
-                self.scratch.pending = pending;
-                self.scratch.next_pending = next_pending;
-                self.scratch.inbox_start = inbox_start;
-                self.scratch.inbox_msg = inbox_msg;
-                self.scratch.inbox_weight = inbox_weight;
-                self.scratch.load = load;
-                self.scratch.fill = fill;
-                self.scratch.bounds = bounds;
-                // A full convergence leaves no triggered updates behind —
-                // the same postcondition the sequential rebuild restores.
-                for set in &mut self.dirty {
-                    set.clear();
-                }
-                return; // quiescent: nobody has updates to send
+        let mut msg_of = std::mem::take(&mut self.scratch.msg_of);
+        for _round in 1..max_rounds {
+            if shards >= 2 && snap_entries.len() as u64 >= SHARD_MIN_LOAD {
+                let pool = self.pool(shards);
+                scatter_inboxes_pooled(
+                    &pool,
+                    zones,
+                    alive,
+                    &snap_from,
+                    &mut inbox_start,
+                    &mut inbox_msg,
+                    &mut inbox_weight,
+                    &mut load,
+                    &mut msg_of,
+                    shards,
+                );
+            } else {
+                scatter_inboxes(
+                    zones,
+                    alive,
+                    &snap_from,
+                    &mut inbox_start,
+                    &mut inbox_msg,
+                    &mut inbox_weight,
+                    &mut load,
+                    &mut fill,
+                );
             }
-            let mut snap_entries = std::mem::take(&mut self.scratch.snap_entries);
-            let mut snap_from = std::mem::take(&mut self.scratch.snap_from);
-            self.snapshot_full_round_sharded(
-                alive,
-                &pending,
-                shards,
-                &mut snap_entries,
-                &mut snap_from,
-            );
-            self.account_delta_round(&snap_from, stats);
-            scatter_inboxes(
-                zones,
-                alive,
-                &snap_from,
-                &mut inbox_start,
-                &mut inbox_msg,
-                &mut inbox_weight,
-                &mut load,
-                &mut fill,
-            );
             let total_load = plan_bounds(&load, shards, &mut bounds);
             next_pending.clear();
             next_pending.resize(n, false);
@@ -1307,17 +1540,16 @@ impl DbfEngine {
                 .windows(2)
                 .filter(|w| load[w[0]..w[1]].iter().any(|&l| l > 0))
                 .count();
-
-            let run_range = |lo: usize, tables: &mut [RoutingTable], flags: &mut [bool]| {
-                for (off, (table, flag)) in tables.iter_mut().zip(flags.iter_mut()).enumerate() {
-                    let to = lo + off;
+            let quiet;
+            if busy <= 1 || total_load < SHARD_MIN_LOAD {
+                for to in 0..n {
                     let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
                     if slot.is_empty() {
                         continue;
                     }
                     relax_inbox_full(
-                        table,
-                        flag,
+                        &mut self.tables[to],
+                        &mut next_pending[to],
                         NodeId::new(to as u32),
                         &inbox_msg[slot.clone()],
                         &inbox_weight[slot],
@@ -1326,32 +1558,137 @@ impl DbfEngine {
                         zones,
                     );
                 }
-            };
-            if busy <= 1 || total_load < SHARD_MIN_LOAD {
-                run_range(0, &mut self.tables, &mut next_pending);
+                quiet = next_pending.iter().all(|&p| !p);
+                if quiet {
+                    snap_entries.clear();
+                    snap_from.clear();
+                } else {
+                    self.snapshot_full_round_sharded(
+                        alive,
+                        &next_pending,
+                        shards,
+                        &mut snap_entries,
+                        &mut snap_from,
+                    );
+                }
             } else {
-                let run_range = &run_range;
+                let pool = self.pool(shards);
+                let ranges = bounds.len() - 1;
+                let mut shard_entries = std::mem::take(&mut self.scratch.shard_entries);
+                let mut shard_from = std::mem::take(&mut self.scratch.shard_from);
+                let mut range_had = std::mem::take(&mut self.scratch.range_had);
+                shard_entries.resize_with(ranges.max(shard_entries.len()), Vec::new);
+                shard_from.resize_with(ranges.max(shard_from.len()), Vec::new);
+                range_had.clear();
+                range_had.resize(ranges, false);
+                let mut tasks: Vec<FullRangeTask<'_>> = Vec::with_capacity(ranges);
                 let mut table_rest = self.tables.as_mut_slice();
                 let mut flag_rest = next_pending.as_mut_slice();
+                let mut had_rest = range_had.as_mut_slice();
                 let mut consumed = 0usize;
-                std::thread::scope(|scope| {
-                    for w in bounds.windows(2) {
-                        let (lo, hi) = (w[0], w[1]);
-                        let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
-                        let (flag_mine, flag_next) = flag_rest.split_at_mut(hi - consumed);
-                        table_rest = table_next;
-                        flag_rest = flag_next;
-                        consumed = hi;
-                        if load[lo..hi].iter().all(|&l| l == 0) {
-                            continue; // nothing addressed to this range
+                for ((w, ebuf), fbuf) in bounds
+                    .windows(2)
+                    .zip(shard_entries.iter_mut())
+                    .zip(shard_from.iter_mut())
+                {
+                    let (lo, hi) = (w[0], w[1]);
+                    let (table_mine, table_next) = table_rest.split_at_mut(hi - consumed);
+                    let (flag_mine, flag_next) = flag_rest.split_at_mut(hi - consumed);
+                    let (had_mine, had_next) = had_rest.split_at_mut(1);
+                    table_rest = table_next;
+                    flag_rest = flag_next;
+                    had_rest = had_next;
+                    consumed = hi;
+                    ebuf.clear();
+                    fbuf.clear();
+                    if load[lo..hi].iter().all(|&l| l == 0) {
+                        // Nothing addressed to this range: no relax, no
+                        // flags to set, nothing to flatten (flags were
+                        // just cleared for the whole id space).
+                        continue;
+                    }
+                    tasks.push(FullRangeTask {
+                        lo,
+                        tables: table_mine,
+                        flags: flag_mine,
+                        ebuf,
+                        fbuf,
+                        had: &mut had_mine[0],
+                    });
+                }
+                pool.run(&mut tasks, |t| {
+                    for (off, (table, flag)) in
+                        t.tables.iter_mut().zip(t.flags.iter_mut()).enumerate()
+                    {
+                        let to = t.lo + off;
+                        let slot = inbox_start[to] as usize..inbox_start[to + 1] as usize;
+                        if slot.is_empty() {
+                            continue;
                         }
-                        scope.spawn(move || run_range(lo, table_mine, flag_mine));
+                        relax_inbox_full(
+                            table,
+                            flag,
+                            NodeId::new(to as u32),
+                            &inbox_msg[slot.clone()],
+                            &inbox_weight[slot],
+                            &snap_entries,
+                            &snap_from,
+                            zones,
+                        );
+                    }
+                    // Fused next-round snapshot: a changed (= flagged)
+                    // node always broadcasts its whole vector, empty or
+                    // not — the same unconditional push the sequential
+                    // snapshot performs. Flags are only ever set for
+                    // alive receivers (dead nodes get no deliveries), so
+                    // the `alive` guard mirrors the oracle's check
+                    // without changing behavior.
+                    for (off, &flag) in t.flags.iter().enumerate() {
+                        let i = t.lo + off;
+                        if !(flag && alive[i]) {
+                            continue;
+                        }
+                        *t.had = true;
+                        let start = t.ebuf.len() as u32;
+                        t.tables[off].append_vector(t.ebuf);
+                        t.fbuf
+                            .push((NodeId::new(i as u32), start, t.ebuf.len() as u32));
                     }
                 });
+                quiet = !range_had.iter().any(|&h| h);
+                snap_entries.clear();
+                snap_from.clear();
+                concat_snapshots(
+                    &shard_entries[..ranges],
+                    &shard_from[..ranges],
+                    &mut snap_entries,
+                    &mut snap_from,
+                );
+                self.scratch.shard_entries = shard_entries;
+                self.scratch.shard_from = shard_from;
+                self.scratch.range_had = range_had;
             }
-            self.scratch.snap_entries = snap_entries;
-            self.scratch.snap_from = snap_from;
-            std::mem::swap(&mut pending, &mut next_pending);
+            stats.rounds += 1;
+            if quiet {
+                self.scratch.pending = pending;
+                self.scratch.next_pending = next_pending;
+                self.scratch.inbox_start = inbox_start;
+                self.scratch.inbox_msg = inbox_msg;
+                self.scratch.inbox_weight = inbox_weight;
+                self.scratch.load = load;
+                self.scratch.fill = fill;
+                self.scratch.bounds = bounds;
+                self.scratch.msg_of = msg_of;
+                self.scratch.snap_entries = snap_entries;
+                self.scratch.snap_from = snap_from;
+                // A full convergence leaves no triggered updates behind —
+                // the same postcondition the sequential rebuild restores.
+                for set in &mut self.dirty {
+                    set.clear();
+                }
+                return; // quiescent: nobody has updates to send
+            }
+            self.account_delta_round(&snap_from, stats);
         }
         panic!("sharded full DBF rebuild failed to converge within {max_rounds} rounds");
     }
@@ -1360,7 +1697,7 @@ impl DbfEngine {
 /// Cuts `0..load.len()` into at most `shards` contiguous ranges of ≈ equal
 /// total load, writing the boundary ids into `bounds`
 /// (`bounds[i]..bounds[i+1]`; always covers the whole id space). Returns
-/// the total load, the caller's thread-spawn threshold input. Shared by
+/// the total load, the caller's pool-dispatch threshold input. Shared by
 /// the receiver planner of both sharded round loops and the sender planner
 /// of the sharded snapshots.
 fn plan_bounds(load: &[u64], shards: usize, bounds: &mut Vec<usize>) -> u64 {
@@ -1454,6 +1791,198 @@ fn scatter_inboxes(
             load[to] += entries;
         }
     }
+}
+
+/// One sender range of a pooled delta snapshot: drain `dirty` (node ids
+/// offset by `lo`) into the range's shard-local buffers.
+struct DeltaSnapTask<'a> {
+    lo: usize,
+    dirty: &'a mut [BTreeSet<NodeId>],
+    ebuf: &'a mut Vec<(NodeId, f64, u32)>,
+    fbuf: &'a mut Vec<(NodeId, u32, u32)>,
+}
+
+/// One sender range of a pooled full-rebuild snapshot: flatten every
+/// pending alive table in `lo..hi` into the range's shard-local buffers.
+struct FullSnapTask<'a> {
+    lo: usize,
+    hi: usize,
+    ebuf: &'a mut Vec<(NodeId, f64, u32)>,
+    fbuf: &'a mut Vec<(NodeId, u32, u32)>,
+}
+
+/// One receiver range of a fused delta round: relax the range's inboxes,
+/// then immediately drain its dirty sets into the next round's
+/// shard-local snapshot buffers (setting `had` if any set was non-empty —
+/// the range's vote in the quiescence check).
+struct DeltaRangeTask<'a> {
+    lo: usize,
+    tables: &'a mut [RoutingTable],
+    dirty: &'a mut [BTreeSet<NodeId>],
+    ebuf: &'a mut Vec<(NodeId, f64, u32)>,
+    fbuf: &'a mut Vec<(NodeId, u32, u32)>,
+    had: &'a mut bool,
+}
+
+/// One receiver range of a fused full-rebuild round: like
+/// [`DeltaRangeTask`] with change flags in place of dirty sets.
+struct FullRangeTask<'a> {
+    lo: usize,
+    tables: &'a mut [RoutingTable],
+    flags: &'a mut [bool],
+    ebuf: &'a mut Vec<(NodeId, f64, u32)>,
+    fbuf: &'a mut Vec<(NodeId, u32, u32)>,
+    had: &'a mut bool,
+}
+
+/// One receiver range of the pooled scatter's count pass: `counts` and
+/// `load` are the range's own slices (`counts[i]` belongs to receiver
+/// `lo + i`).
+struct ScatterCountTask<'a> {
+    lo: usize,
+    counts: &'a mut [u32],
+    load: &'a mut [u64],
+}
+
+/// One receiver range of the pooled scatter's placement pass: `msg` /
+/// `weight` are the range's contiguous CSR segment
+/// (`inbox_start[lo]..inbox_start[hi]`).
+struct ScatterPlaceTask<'a> {
+    lo: usize,
+    hi: usize,
+    msg: &'a mut [u32],
+    weight: &'a mut [f64],
+}
+
+/// [`scatter_inboxes`] by receiver range on the worker pool, producing a
+/// byte-identical CSR. The sequential scatter is sender-driven — each
+/// broadcast pushes into per-receiver cursors, an inherently serial
+/// pointer chase over random receivers. The pooled scatter inverts it:
+/// every receiver range **pulls** from its own zone links. That leans on
+/// two structural facts, both pinned by the scatter differential test:
+/// zone links are symmetric with equal weight (`b ∈ links(a) ⟺ a ∈
+/// links(b)`; both rows are computed from the same Euclidean distance and
+/// radio profile), and links are stored in ascending neighbor id — which
+/// is exactly ascending snapshot order, so a pulled inbox replays the
+/// same broadcast order the sequential scatter delivers. Count and
+/// placement are both range-parallel (a range owns its count slice and
+/// its contiguous CSR segment); the only sequential residue is the O(n)
+/// prefix sum and the O(n + messages) sender index.
+#[allow(clippy::too_many_arguments)]
+fn scatter_inboxes_pooled(
+    pool: &WorkerPool,
+    zones: &ZoneTable,
+    alive: &[bool],
+    snap_from: &[(NodeId, u32, u32)],
+    inbox_start: &mut Vec<u32>,
+    inbox_msg: &mut Vec<u32>,
+    inbox_weight: &mut Vec<f64>,
+    load: &mut Vec<u64>,
+    msg_of: &mut Vec<u32>,
+    ranges: usize,
+) {
+    let n = alive.len();
+    // The sender index: each broadcaster's `snap_from` position,
+    // `u32::MAX` for nodes that are silent this round.
+    msg_of.clear();
+    msg_of.resize(n, u32::MAX);
+    for (mi, &(from, _, _)) in snap_from.iter().enumerate() {
+        msg_of[from.index()] = mi as u32;
+    }
+    if inbox_start.len() != n + 1 {
+        inbox_start.clear();
+        inbox_start.resize(n + 1, 0);
+    }
+    if load.len() != n {
+        load.clear();
+        load.resize(n, 0);
+    }
+    let width = n.div_ceil(ranges.max(1)).max(1);
+    {
+        let msg_of = &*msg_of;
+        let mut tasks: Vec<ScatterCountTask<'_>> = inbox_start[1..=n]
+            .chunks_mut(width)
+            .zip(load.chunks_mut(width))
+            .enumerate()
+            .map(|(j, (counts, load))| ScatterCountTask {
+                lo: j * width,
+                counts,
+                load,
+            })
+            .collect();
+        pool.run(&mut tasks, |t| {
+            t.counts.fill(0);
+            t.load.fill(0);
+            for off in 0..t.counts.len() {
+                let to = t.lo + off;
+                if !alive[to] {
+                    continue;
+                }
+                for link in zones.links(NodeId::new(to as u32)) {
+                    let mi = msg_of[link.neighbor.index()];
+                    if mi == u32::MAX {
+                        continue;
+                    }
+                    let (_, start, end) = snap_from[mi as usize];
+                    t.counts[off] += 1;
+                    t.load[off] += u64::from(end - start);
+                }
+            }
+        });
+    }
+    inbox_start[0] = 0;
+    for i in 0..n {
+        inbox_start[i + 1] += inbox_start[i];
+    }
+    let total = inbox_start[n] as usize;
+    // Grow-only, unlike the sequential scatter's exact resize: every slot
+    // in `..total` is written by exactly one placement task below, and
+    // nothing reads past `inbox_start[n]`, so stale capacity is inert —
+    // and steady-state rounds skip the O(total) zeroing memset entirely.
+    if inbox_msg.len() < total {
+        inbox_msg.resize(total, 0);
+        inbox_weight.resize(total, 0.0);
+    }
+    let msg_of = &*msg_of;
+    let mut tasks: Vec<ScatterPlaceTask<'_>> = Vec::with_capacity(n.div_ceil(width));
+    let mut msg_rest = &mut inbox_msg[..total];
+    let mut weight_rest = &mut inbox_weight[..total];
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + width).min(n);
+        let seg = (inbox_start[hi] - inbox_start[lo]) as usize;
+        let (msg_mine, msg_next) = msg_rest.split_at_mut(seg);
+        let (weight_mine, weight_next) = weight_rest.split_at_mut(seg);
+        msg_rest = msg_next;
+        weight_rest = weight_next;
+        if seg > 0 {
+            tasks.push(ScatterPlaceTask {
+                lo,
+                hi,
+                msg: msg_mine,
+                weight: weight_mine,
+            });
+        }
+        lo = hi;
+    }
+    pool.run(&mut tasks, |t| {
+        let mut cur = 0usize;
+        for (to, &ok) in alive.iter().enumerate().take(t.hi).skip(t.lo) {
+            if !ok {
+                continue;
+            }
+            for link in zones.links(NodeId::new(to as u32)) {
+                let mi = msg_of[link.neighbor.index()];
+                if mi == u32::MAX {
+                    continue;
+                }
+                t.msg[cur] = mi;
+                t.weight[cur] = link.weight;
+                cur += 1;
+            }
+        }
+        debug_assert_eq!(cur, t.msg.len(), "pooled scatter count/placement drift");
+    });
 }
 
 /// Concatenates shard-local snapshot buffers into the round arena in shard
@@ -1901,7 +2430,7 @@ mod tests {
     #[test]
     fn sharded_paths_at_paper_scale_match_sequential() {
         // At the paper's n = 169 the snapshot weight clears the
-        // thread-spawn threshold, so this differential exercises the
+        // pool-dispatch threshold, so this differential exercises the
         // sender-sharded snapshot scatter on both the full rebuild and a
         // multi-mover delta re-convergence — not just the receiver-sharded
         // relaxation the small-grid tests reach.
@@ -1939,6 +2468,10 @@ mod tests {
             assert_eq!(full_got, full_want, "full stats diverged at {shards}");
             let delta_got = sharded.update_topology(&old_zones, &new_zones, &movers, &alive);
             assert_eq!(delta_got, delta_want, "delta stats diverged at {shards}");
+            assert!(
+                sharded.pool_started(),
+                "{shards} shards: a paper-scale run must engage the worker pool"
+            );
             for i in 0..new_zones.len() {
                 let node = NodeId::new(i as u32);
                 assert_eq!(
@@ -2016,5 +2549,185 @@ mod tests {
             full_stats.entries_sent
         );
         assert!(delta.bytes_total < full_stats.bytes_total);
+    }
+
+    #[test]
+    fn pooled_scatter_is_byte_identical_to_sequential_scatter() {
+        // The differential test promised by the `scatter_inboxes_pooled`
+        // doc comment: the receiver-driven pooled scatter leans on zone
+        // links being symmetric and stored in ascending neighbor id, and
+        // this pins the resulting CSR — prefix, message order, weights
+        // and planner loads — against the sender-driven sequential
+        // scatter, with silent senders and dead receivers in the mix.
+        let z = zones(13, 13);
+        let n = z.len();
+        let mut alive = vec![true; n];
+        for i in [7usize, 40, 41, 100] {
+            alive[i] = false;
+        }
+        // A synthetic round snapshot: the scatter only reads the
+        // `(sender, start, end)` spans, never the entry payloads.
+        // Roughly two thirds of the alive nodes broadcast, with vector
+        // lengths 0..5 (zero-length broadcasts still occupy inbox slots).
+        let mut snap_from: Vec<(NodeId, u32, u32)> = Vec::new();
+        let mut acc = 0u32;
+        for (i, &up) in alive.iter().enumerate() {
+            if !up || i % 3 == 0 {
+                continue;
+            }
+            let len = (i % 5) as u32;
+            snap_from.push((NodeId::new(i as u32), acc, acc + len));
+            acc += len;
+        }
+
+        let (mut start_a, mut msg_a, mut w_a, mut load_a, mut fill) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        scatter_inboxes(
+            &z,
+            &alive,
+            &snap_from,
+            &mut start_a,
+            &mut msg_a,
+            &mut w_a,
+            &mut load_a,
+            &mut fill,
+        );
+        let total = start_a[n] as usize;
+        assert!(total > 0, "the differential needs a non-trivial round");
+
+        let pool = WorkerPool::new(3);
+        let (mut start_b, mut msg_b, mut w_b, mut load_b, mut msg_of) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for ranges in [1usize, 2, 3, 8, 64] {
+            // Reusing the same output buffers across iterations also
+            // exercises the grow-only steady-state reuse path.
+            scatter_inboxes_pooled(
+                &pool,
+                &z,
+                &alive,
+                &snap_from,
+                &mut start_b,
+                &mut msg_b,
+                &mut w_b,
+                &mut load_b,
+                &mut msg_of,
+                ranges,
+            );
+            assert_eq!(start_b, start_a, "{ranges} ranges: CSR prefix");
+            assert_eq!(
+                &msg_b[..total],
+                &msg_a[..],
+                "{ranges} ranges: delivery order"
+            );
+            assert_eq!(&w_b[..total], &w_a[..], "{ranges} ranges: link weights");
+            assert_eq!(load_b, load_a, "{ranges} ranges: planner load");
+        }
+    }
+
+    #[test]
+    fn sub_threshold_rounds_stay_inline_and_never_start_the_pool() {
+        // Satellite for the SHARD_MIN_LOAD recalibration: on a 5-node
+        // line every delta and full-rebuild round is far below the
+        // threshold, so even a widely-sharded engine must keep the whole
+        // exchange on the calling thread — no worker threads spawned —
+        // and still land byte-identical to the sequential engine.
+        let mut topo = placement::grid(5, 1, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let old_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let moved = NodeId::new(2);
+        topo.move_node(moved, spms_net::Point::new(11.0, 4.0));
+        let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; new_zones.len()];
+
+        let mut sequential = DbfEngine::new(&old_zones, 2);
+        sequential.reset(&old_zones, &alive);
+        let full_want = sequential.run_to_convergence_masked(&old_zones, &alive);
+        let delta_want = sequential.update_topology(&old_zones, &new_zones, &[moved], &alive);
+
+        let mut sharded = DbfEngine::new(&old_zones, 2).with_shards(8);
+        let full_got = sharded.rebuild_sharded(&old_zones, &alive);
+        assert_eq!(full_got, full_want);
+        let delta_got = sharded.update_topology(&old_zones, &new_zones, &[moved], &alive);
+        assert_eq!(delta_got, delta_want);
+        assert!(
+            !sharded.pool_started(),
+            "sub-threshold rounds must not spin up the worker pool"
+        );
+        for i in 0..new_zones.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(sharded.table(node), sequential.table(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn pool_persists_across_epochs_and_clones_start_fresh() {
+        // The pool is created lazily on the first heavy round, then
+        // reused for every subsequent epoch (ping-pong re-convergence
+        // below re-enters the delta loop many times on the same engine).
+        // A cloned engine shares tables but never threads: it lazily
+        // builds its own pool.
+        let mut topo = placement::grid(13, 13, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let zones_a = ZoneTable::build(&topo, &radio, 20.0);
+        let movers: Vec<NodeId> = [15u32, 60, 84].iter().map(|&i| NodeId::new(i)).collect();
+        for &m in &movers {
+            let p = topo.position(m);
+            topo.move_node(m, spms_net::Point::new(p.x + 7.5, p.y + 2.5));
+        }
+        let zones_b = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; zones_a.len()];
+
+        let mut sequential = DbfEngine::new(&zones_a, 2);
+        sequential.reset(&zones_a, &alive);
+        sequential.run_to_convergence_masked(&zones_a, &alive);
+
+        let mut sharded = DbfEngine::new(&zones_a, 2).with_shards(4);
+        sharded.rebuild_sharded(&zones_a, &alive);
+        assert!(sharded.pool_started(), "a 169-node rebuild is pool work");
+
+        // Ten ping-pong epochs on the same engine: same parked workers,
+        // same fixpoints as the sequential replay at every step.
+        let mut flips = [(&zones_a, &zones_b), (&zones_b, &zones_a)]
+            .into_iter()
+            .cycle();
+        for epoch in 0..10 {
+            let (from, to) = flips.next().unwrap();
+            let want = sequential.update_topology(from, to, &movers, &alive);
+            let got = sharded.update_topology(from, to, &movers, &alive);
+            assert_eq!(got, want, "epoch {epoch}");
+        }
+
+        let clone = sharded.clone();
+        assert!(
+            !clone.pool_started(),
+            "a cloned engine must not share or inherit worker threads"
+        );
+        for i in 0..zones_a.len() {
+            let node = NodeId::new(i as u32);
+            assert_eq!(clone.table(node), sequential.table(node), "node {node}");
+        }
+        // The clone converges independently — spinning up its own pool —
+        // while the original keeps working. Drop order between the two
+        // pools is then arbitrary, which is the point.
+        let mut clone = clone;
+        let want = sequential.update_topology(&zones_a, &zones_b, &movers, &alive);
+        let got_clone = clone.update_topology(&zones_a, &zones_b, &movers, &alive);
+        let got_orig = sharded.update_topology(&zones_a, &zones_b, &movers, &alive);
+        assert_eq!(got_clone, want);
+        assert_eq!(got_orig, want);
+        assert!(clone.pool_started());
+    }
+
+    #[test]
+    fn engine_with_live_pool_is_send_and_sync() {
+        // The workload sweeps move engines across threads; the pool
+        // handle must not cost the engine its auto traits.
+        fn check<T: Send + Sync>(_: &T) {}
+        let z = zones(13, 13);
+        let alive = vec![true; z.len()];
+        let mut dbf = DbfEngine::new(&z, 2).with_shards(4);
+        dbf.rebuild_sharded(&z, &alive);
+        assert!(dbf.pool_started());
+        check(&dbf);
     }
 }

@@ -1,0 +1,405 @@
+//! A persistent worker pool for the sharded DBF round loops.
+//!
+//! The sharded paths used to pay a `std::thread::scope` spawn set *per
+//! round* — tens of microseconds per thread, re-paid every one of the
+//! dozens of rounds in a convergence, which is exactly the serial residue
+//! that kept the sharded paths from beating the sequential oracle. The
+//! [`WorkerPool`] spawns its OS threads once, parks them on a condvar
+//! between dispatches, and hands each round's work over with one
+//! mutex/condvar round trip.
+//!
+//! Work is distributed by an atomic task cursor: every dispatch publishes
+//! a task count plus a `Fn(usize)` and the caller *and* the workers claim
+//! indices with `fetch_add` until the range is exhausted. Claiming order
+//! is scheduling-dependent, but every task index is claimed exactly once
+//! and tasks only touch disjoint data (the DBF call sites hand each task
+//! its own contiguous receiver or sender range), so the pool cannot
+//! change results, only wall-clock time — the same contract the scoped
+//! spawns had.
+//!
+//! Panic safety: a panicking task is caught on the worker, the first
+//! payload is stashed, and the caller re-raises it after every worker has
+//! left the dispatch — the same "a panicked child panics the parent"
+//! semantics `std::thread::scope` provides. A panicking *caller* still
+//! waits for the workers to drain before unwinding (the drop guard in
+//! [`WorkerPool::run`]), so the borrowed job never dangles.
+//!
+//! This module is the crate's one `unsafe` island (the crate is otherwise
+//! `deny(unsafe_code)`): the job closure and cursor live on the caller's
+//! stack and are published to the workers as raw pointers, erased of
+//! their borrow lifetimes. The safety argument is confinement in time —
+//! the pointers are only dereferenced between publication and the
+//! close-out handshake, and `run` cannot return (or unwind) before that
+//! handshake completes.
+
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// One published dispatch: the task count plus lifetime-erased pointers
+/// to the caller-owned closure and claim cursor.
+#[derive(Clone, Copy)]
+struct Job {
+    /// The task body; lives on the [`WorkerPool::run`] caller's stack.
+    f: *const (dyn Fn(usize) + Sync),
+    /// The shared claim cursor; same stack frame as `f`.
+    next: *const AtomicUsize,
+    /// Tasks `0..tasks` are claimed through `next`.
+    tasks: usize,
+}
+
+// SAFETY: `Job` only moves between threads through `State`, under the
+// pool mutex. The pointees live on the stack frame of the `run` call that
+// published the job, and `run` blocks (even on unwind, via `CloseGuard`)
+// until every worker that entered the job has left it and the job has
+// been unpublished — so no worker can dereference these pointers after
+// the frame is gone. The pointees themselves are shareable: the closure
+// is `Sync` and `AtomicUsize` is `Sync`.
+unsafe impl Send for Job {}
+
+/// Pool state behind the mutex.
+struct State {
+    /// Bumped once per dispatch so parked workers can tell a new job from
+    /// the one they already finished.
+    epoch: u64,
+    /// The currently published dispatch, if any.
+    job: Option<Job>,
+    /// Workers currently inside the published dispatch.
+    active: usize,
+    /// First panic payload captured from a worker this dispatch.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set once, by [`WorkerPool::drop`]; workers exit when they see it.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here waiting for a new epoch (or shutdown).
+    work: Condvar,
+    /// The dispatching caller parks here waiting for `active` to drain.
+    done: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, shrugging off poisoning: the protocol never holds
+    /// the lock across user code, so a poisoned mutex still guards a
+    /// consistent `State` (the poison flag only records that some thread
+    /// panicked while *waiting*, e.g. under `cargo test` aborts).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A persistent pool of parked OS threads executing one indexed dispatch
+/// at a time. See the module docs at the top of `pool.rs` for the protocol
+/// and the safety argument.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Waits out the close handshake even if the caller's own task body
+/// panics: workers still hold borrows into the caller's frame until
+/// `active` drains, so the frame must not unwind past them.
+struct CloseGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        while state.active > 0 {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.job = None;
+        let worker_panic = state.panic.take();
+        drop(state);
+        if let Some(payload) = worker_panic {
+            // Re-raise a worker's panic on the caller — unless the caller
+            // is already unwinding, in which case its own panic wins.
+            if !std::thread::panicking() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` parked threads. `0` is valid: every dispatch then
+    /// runs entirely on the calling thread (useful for tests and as the
+    /// degenerate single-shard configuration).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dbf-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn DBF pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// The number of pooled worker threads (the caller participates too,
+    /// so a dispatch runs on up to `workers() + 1` threads).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` once for every task in `tasks`, on the caller plus the
+    /// pooled workers, returning when all tasks are done. Tasks are
+    /// claimed exactly once each; claiming order is unspecified, so `f`
+    /// must not care which thread runs which task (the DBF call sites
+    /// hand each task a disjoint `&mut` range, making order moot).
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the first captured payload is re-raised here
+    /// after all workers have left the dispatch.
+    pub fn run<T: Send>(&self, tasks: &mut [T], f: impl Fn(&mut T) + Sync) {
+        let base = SendPtr(tasks.as_mut_ptr());
+        let n = tasks.len();
+        let call = move |i: usize| {
+            // SAFETY: `i` comes out of the dispatch's claim cursor, so it
+            // is in `0..n` and claimed by exactly one thread — this `&mut`
+            // aliases nothing, and `T: Send` lets it cross threads.
+            let task = unsafe { &mut *base.get().add(i) };
+            f(task);
+        };
+        self.run_indexed(n, &call);
+    }
+
+    /// The untyped dispatch: publish, participate, close out.
+    fn run_indexed(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        // SAFETY: pure lifetime erasure on the trait-object reference —
+        // `Job`'s raw pointer carries the default `'static` object bound,
+        // but every dereference happens strictly before the close-out
+        // handshake below returns, while `f`'s real lifetime is live.
+        let f_erased: &(dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &(dyn Fn(usize) + Sync + 'static)>(f)
+        };
+        {
+            let mut state = self.shared.lock();
+            assert!(
+                state.job.is_none(),
+                "WorkerPool::run is not reentrant: a dispatch is already live"
+            );
+            debug_assert_eq!(state.active, 0);
+            state.job = Some(Job {
+                f: std::ptr::from_ref(f_erased),
+                next: &raw const next,
+                tasks,
+            });
+            state.epoch += 1;
+        }
+        self.shared.work.notify_all();
+        // From here on the workers may hold borrows into this frame; the
+        // guard makes the close-out handshake unconditional.
+        let guard = CloseGuard {
+            shared: &self.shared,
+        };
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            f(i);
+        }
+        drop(guard);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker can only terminate by seeing `shutdown`; a panic
+            // inside a task is caught and stashed, never unwound through
+            // the worker loop, so join errors cannot happen in practice.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// `*mut T` that may cross threads when `T` does. The pool hands each
+/// claimed index to exactly one thread, so the pointer is only ever used
+/// to mint non-aliasing `&mut T`s.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than field
+    /// access) makes closures capture the whole `Sync` wrapper instead of
+    /// disjointly capturing the raw (non-`Sync`) field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: see the type docs — uniqueness of each minted `&mut T` is
+// guaranteed by the claim cursor, and `T: Send` makes moving that access
+// to another thread sound. `Copy` capture of the wrapper itself is plain
+// pointer copying.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// The parked-worker loop: wait for a fresh epoch with a live job, claim
+/// tasks until the cursor runs dry, report back, re-park.
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    if let Some(job) = state.job {
+                        // Registering `active` under the same lock that
+                        // checked `job.is_some()` is what lets the caller
+                        // treat "active == 0 while holding the lock" as
+                        // "no worker holds my borrows".
+                        state.active += 1;
+                        break job;
+                    }
+                    // Woke too late — the dispatch already closed. Keep
+                    // waiting for the next epoch.
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: this worker is registered in `active`, so the
+            // caller's close-out handshake cannot complete (and the
+            // pointees' stack frame cannot unwind) until we decrement it
+            // below — the pointers are live for the whole closure.
+            let f = unsafe { &*job.f };
+            let next = unsafe { &*job.next };
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= job.tasks {
+                    break;
+                }
+                f(i);
+            }
+        }));
+        let mut state = shared.lock();
+        if let Err(payload) = result {
+            state.panic.get_or_insert(payload);
+        }
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let mut hits = vec![0u32; 1000];
+        pool.run(&mut hits, |h| *h += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn zero_workers_runs_on_the_caller() {
+        let pool = WorkerPool::new(0);
+        let mut hits = vec![0u32; 64];
+        pool.run(&mut hits, |h| *h += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn dispatches_reuse_the_same_parked_workers() {
+        // Many epochs over one pool, with varying task counts (including
+        // empty and caller-only-sized dispatches): the per-round pattern
+        // of the DBF loops.
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        let mut expected = 0u64;
+        for round in 0..200usize {
+            let tasks = round % 7; // 0..=6 tasks
+            let mut values: Vec<u64> = (0..tasks as u64).collect();
+            pool.run(&mut values, |v| {
+                total.fetch_add(*v + 1, Ordering::Relaxed);
+            });
+            expected += (1..=tasks as u64).sum::<u64>();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut tasks = vec![0u32; 8];
+            pool.run(&mut tasks, |_| panic!("boom"));
+        }));
+        assert!(caught.is_err(), "task panics must reach the dispatcher");
+        // The pool remains usable after a panicked dispatch.
+        let mut hits = vec![0u32; 32];
+        pool.run(&mut hits, |h| *h += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(4);
+        let mut hits = vec![0u8; 16];
+        pool.run(&mut hits, |h| *h = 1);
+        drop(pool); // must not hang or leak threads
+    }
+}

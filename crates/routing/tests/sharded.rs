@@ -8,15 +8,16 @@
 //! 1. **Root oracle** — sequential full rebuild (`reset` +
 //!    `run_to_convergence_masked`), the paper's "re-execution of the DBF",
 //!    kept verbatim.
-//! 2. **Sharded full rebuild** — [`DbfEngine::rebuild_sharded`] at 1, 2
-//!    and 8 partitions, proven bit-identical (tables *and* stats) to the
-//!    root.
+//! 2. **Sharded full rebuild** — [`DbfEngine::rebuild_sharded`] at 1, 2,
+//!    8 and 16 partitions, proven bit-identical (tables *and* stats) to
+//!    the root.
 //! 3. **Mid-level oracle** — the sequential delta path (`DbfEngine`
 //!    without shards), itself proven against the root in
 //!    `crates/routing/tests/incremental.rs`.
-//! 4. **Sharded + batched delta** — the shard planner at 1, 2 and 8
-//!    partitions, fed merged [`ZoneDelta`]s covering whole batching
-//!    windows.
+//! 4. **Sharded + batched delta** — the shard planner at 1, 2, 8 and 16
+//!    partitions (the pool-size matrix: inline, the smallest real pool,
+//!    and two beyond-the-host widths), fed merged [`ZoneDelta`]s
+//!    covering whole batching windows.
 //!
 //! Every flush must leave all rungs with bit-identical tables, and the
 //! sharded runners must also report byte-identical [`DbfStats`] to their
@@ -95,9 +96,10 @@ proptest! {
     /// Random event sequences grouped into batching windows: moves patch
     /// the zone table in place and merge into one `ZoneDelta`; kills and
     /// revives stay silent until the window flushes. At every flush the
-    /// sequential-delta and sharded engines (1/2/8 partitions) must agree
-    /// with the root oracle exactly, and the sharded stats must equal the
-    /// sequential stats byte for byte.
+    /// sequential-delta and sharded engines (1/2/8/16 partitions — the
+    /// persistent worker pool parked and rewoken across every window)
+    /// must agree with the root oracle exactly, and the sharded stats
+    /// must equal the sequential stats byte for byte.
     #[test]
     fn batched_windows_reach_bit_identical_tables_across_shard_counts(
         cols in 3usize..7,
@@ -120,7 +122,7 @@ proptest! {
         let init_want = seq.run_to_convergence_masked(&zones, &alive);
         // The sharded engines enter the chain through the sharded full
         // rebuild, which must already agree with the root byte for byte.
-        let mut sharded: Vec<(usize, DbfEngine)> = [1usize, 2, 8]
+        let mut sharded: Vec<(usize, DbfEngine)> = [1usize, 2, 8, 16]
             .iter()
             .map(|&s| {
                 let mut engine = DbfEngine::new(&zones, k).with_shards(s);
@@ -189,7 +191,8 @@ proptest! {
                     let label: &'static str = match s {
                         1 => "sharded ×1",
                         2 => "sharded ×2",
-                        _ => "sharded ×8",
+                        8 => "sharded ×8",
+                        _ => "sharded ×16",
                     };
                     (label, e)
                 }))
@@ -315,7 +318,7 @@ proptest! {
     }
 
     /// The sharded full rebuild against the root oracle directly: random
-    /// fields, radii, k and liveness masks, rebuilt at 1, 2 and 8
+    /// fields, radii, k and liveness masks, rebuilt at 1, 2, 8 and 16
     /// partitions. Tables and stats must be bit-identical to the
     /// sequential `reset` + `run_to_convergence_masked` — and a rebuild
     /// over a dirty engine (post-event, pre-flush) must scrub every trace
@@ -343,7 +346,7 @@ proptest! {
         let mut root = DbfEngine::new(&zones, k);
         root.reset(&zones, &alive);
         let want = root.run_to_convergence_masked(&zones, &alive);
-        for shards in [1usize, 2, 8] {
+        for shards in [1usize, 2, 8, 16] {
             let mut engine = DbfEngine::new(&zones, k).with_shards(shards);
             let got = engine.rebuild_sharded(&zones, &alive);
             prop_assert_eq!(&got, &want, "fresh rebuild stats at {} shards", shards);
@@ -381,6 +384,62 @@ proptest! {
             }
             // Undo the move so every shard count sees the same start state.
             topo = placement::grid(cols, rows, 5.0).unwrap();
+        }
+    }
+
+    /// Dropping a pool-bearing engine mid-sequence and rebuilding a fresh
+    /// one must neither deadlock (the dropped pool joins its parked
+    /// workers) nor leak stale round data into the replacement: at every
+    /// step the sequential and sharded engines agree with the root
+    /// oracle, whether the sharded engine survived from the previous step
+    /// or was just recreated.
+    #[test]
+    fn engine_drop_and_rebuild_mid_sequence_keeps_the_chain_exact(
+        cols in 4usize..8,
+        rows in 3usize..6,
+        shards_idx in 0usize..3,
+        steps in prop::collection::vec((0u16..64, 0.0f64..1.0, 0.0f64..1.0, any::<bool>()), 3..8),
+    ) {
+        let shards = [2usize, 8, 16][shards_idx];
+        let mut topo = placement::grid(cols, rows, 5.0).unwrap();
+        let n = topo.len();
+        let radio = RadioProfile::mica2();
+        let mut zones = ZoneTable::build(&topo, &radio, 20.0);
+        let alive = vec![true; n];
+
+        let mut seq = DbfEngine::new(&zones, 2);
+        seq.run_to_convergence(&zones);
+        let mut sharded = DbfEngine::new(&zones, 2).with_shards(shards);
+        sharded.run_to_convergence(&zones);
+
+        for (step, &(node, fx, fy, recycle)) in steps.iter().enumerate() {
+            let moved = NodeId::new(node as u32 % n as u32);
+            let field = topo.field();
+            topo.move_node(moved, Point::new(fx * field.width, fy * field.height));
+            let new_zones = ZoneTable::build(&topo, &radio, 20.0);
+            let want = seq.update_topology(&zones, &new_zones, &[moved], &alive);
+            let got = sharded.update_topology(&zones, &new_zones, &[moved], &alive);
+            prop_assert_eq!(&got, &want, "step {}: stats diverged", step);
+            zones = new_zones;
+            assert_all_match_root(
+                &[("sequential", &seq), ("sharded", &sharded)],
+                &zones,
+                &alive,
+                &format!("step {step} (shards {shards})"),
+            )?;
+            if recycle {
+                // Mid-simulation engine teardown: the old pool's workers
+                // join here, and the replacement starts cold from a
+                // sharded full rebuild of the current world.
+                sharded = DbfEngine::new(&zones, 2).with_shards(shards);
+                sharded.rebuild_sharded(&zones, &alive);
+                assert_all_match_root(
+                    &[("rebuilt sharded", &sharded)],
+                    &zones,
+                    &alive,
+                    &format!("post-recycle at step {step} (shards {shards})"),
+                )?;
+            }
         }
     }
 }

@@ -159,7 +159,7 @@ impl SweepConfig {
     /// The thread count a `jobs`-spec sweep actually runs with.
     fn resolved(self, jobs: usize) -> usize {
         let workers = match self.workers {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            0 => spms_kernel::host_parallelism(),
             w => w,
         };
         workers.clamp(1, jobs.max(1))

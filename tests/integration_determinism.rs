@@ -159,11 +159,12 @@ fn table_layout_cannot_change_results() {
 #[test]
 fn shard_count_cannot_change_results() {
     // A fig12-style mobility run (distributed routing, incremental zones
-    // and routing, every epoch re-converging through the shard planner):
-    // pinning the delta exchange to one shard, to the host's available
-    // parallelism, and to a deliberately excessive count must produce
-    // byte-identical RunMetrics — the shard planner is a wall-clock knob,
-    // never a semantic one.
+    // and routing, every epoch re-converging through the shard planner
+    // and its persistent worker pool, which is reused across all the
+    // run's epochs): pinning the delta exchange to one shard, two shards,
+    // the host's available parallelism, and a deliberately excessive
+    // count must produce byte-identical RunMetrics — the shard planner
+    // and pool are wall-clock knobs, never semantic ones.
     let run = |shards: usize| {
         let topo = placement::grid(5, 5, 5.0).unwrap();
         let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), 8).unwrap();
@@ -179,9 +180,11 @@ fn shard_count_cannot_change_results() {
         single.routing.sharded_executions,
         single.routing.incremental_executions
     );
-    let auto = run(0); // resolves to available_parallelism
+    let two = run(2); // the smallest pool with real workers
+    let auto = run(0); // resolves to host_parallelism
     let wide = run(16); // more shards than the host has cores
-    assert_eq!(single, auto, "1 shard vs available_parallelism");
+    assert_eq!(single, two, "1 shard vs 2 shards");
+    assert_eq!(single, auto, "1 shard vs host_parallelism");
     assert_eq!(single, wide, "1 shard vs 16 shards");
 }
 
@@ -189,11 +192,12 @@ fn shard_count_cannot_change_results() {
 fn shard_count_cannot_change_full_rebuild_results() {
     // The non-incremental twin of `shard_count_cannot_change_results`:
     // with incremental routing off, every mobility epoch re-executes the
-    // FULL rebuild, which now routes through `DbfEngine::rebuild_sharded`.
-    // Same-seed runs at 1 shard, the host's available parallelism, and a
-    // deliberately excessive count must still produce byte-identical
-    // RunMetrics — the sharded full rebuild is bit-identical to the
-    // sequential reference rebuild, stats included.
+    // FULL rebuild, which now routes through `DbfEngine::rebuild_sharded`
+    // on the same persistent pool. Same-seed runs at 1 shard, 2 shards,
+    // the host's available parallelism, and a deliberately excessive
+    // count must still produce byte-identical RunMetrics — the sharded
+    // full rebuild is bit-identical to the sequential reference rebuild,
+    // stats included.
     let run = |shards: usize| {
         let topo = placement::grid(5, 5, 5.0).unwrap();
         let plan = traffic::all_to_all(25, 2, SimTime::from_millis(200), 8).unwrap();
@@ -212,7 +216,8 @@ fn shard_count_cannot_change_full_rebuild_results() {
         "every epoch re-executes the full rebuild"
     );
     assert_eq!(single.routing.incremental_executions, 0);
-    assert_eq!(single, run(0), "1 shard vs available_parallelism");
+    assert_eq!(single, run(2), "1 shard vs 2 shards");
+    assert_eq!(single, run(0), "1 shard vs host_parallelism");
     assert_eq!(single, run(16), "1 shard vs 16 shards");
 }
 

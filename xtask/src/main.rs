@@ -20,6 +20,18 @@
 //!   markdown table (gate, baseline, current, bound, pass/fail). Exits
 //!   non-zero (failing the CI job) on any regression, missing bench, or
 //!   ratio breach.
+//!   Gates a runner cannot execute (the sharded/sequential ratios on a
+//!   single-core machine) are declared with `--skip-ratio-num <id>
+//!   --skip-ratio-den <id>` pairs (plus an optional `--skip-reason`):
+//!   they never fail the run, but they show up in stdout and in the
+//!   `$GITHUB_STEP_SUMMARY` scorecard as explicit `skipped` rows — a
+//!   gate that never ran must be visibly absent, not silently green.
+//! * `speedup-curve --input <json> --output <json>` — derives the
+//!   sharded-vs-sequential speedup curve from one bench run: every
+//!   `routing/dbf_{delta,full}_sharded_<n>` record is paired with its
+//!   `..._seq_<n>` twin and emitted as a `{n, seq_min_ns,
+//!   sharded_min_ns, speedup}` row, sorted by n. CI uploads the result
+//!   as the scaling artifact tracked by the ROADMAP's 10k-node target.
 //! * `sweep-diff --a <dir> --b <dir> [--require <token>]...` — the
 //!   sweep-determinism gate: both directories must hold the same set of
 //!   `*.json` figure files (as written by the `repro` bin) with
@@ -174,6 +186,16 @@ impl RatioVerdict {
     }
 }
 
+/// A ratio gate the runner declared it cannot execute (e.g. the
+/// sharded/sequential gates on a single-core machine). Never failing,
+/// but always reported: the scorecard shows an explicit `skipped` row.
+#[derive(Debug, PartialEq)]
+struct SkippedRatio {
+    num: String,
+    den: String,
+    reason: String,
+}
+
 /// Evaluates one ratio constraint. Never fails early: a missing bench is a
 /// failed verdict (`ratio: None`), so every gate in a run is always
 /// evaluated and reported before the command exits non-zero.
@@ -222,6 +244,7 @@ fn markdown_summary(
     current: &[Record],
     threshold: f64,
     ratios: &[RatioVerdict],
+    skipped: &[SkippedRatio],
 ) -> String {
     let min_of = |records: &[Record], id: &str| {
         records
@@ -257,6 +280,13 @@ fn markdown_summary(
             r.den,
             r.max,
             if r.pass() { "✅" } else { "❌" }
+        );
+    }
+    for s in skipped {
+        let _ = writeln!(
+            out,
+            "| `{}` / `{}` | — | not run | — | ⏭️ skipped ({}) |",
+            s.num, s.den, s.reason
         );
     }
     out
@@ -369,9 +399,36 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
         }
         ratios.push(verdict);
     }
+    // Declared-skipped ratio gates: reported (stdout + scorecard), never
+    // failed. A ragged pair list is an error — a skip declaration that
+    // silently dropped a gate would defeat its whole purpose.
+    let skip_nums = arg_values(args, "--skip-ratio-num");
+    let skip_dens = arg_values(args, "--skip-ratio-den");
+    if skip_nums.len() != skip_dens.len() {
+        return Err(format!(
+            "skipped ratio gates need matching --skip-ratio-num/--skip-ratio-den pairs \
+             (got {}/{})",
+            skip_nums.len(),
+            skip_dens.len()
+        ));
+    }
+    let skip_reason =
+        arg_value(args, "--skip-reason").unwrap_or_else(|| "not runnable on this runner".into());
+    let skipped: Vec<SkippedRatio> = skip_nums
+        .into_iter()
+        .zip(skip_dens)
+        .map(|(num, den)| SkippedRatio {
+            num,
+            den,
+            reason: skip_reason.clone(),
+        })
+        .collect();
+    for s in &skipped {
+        println!("  ratio SKIPPED      {} / {} ({})", s.num, s.den, s.reason);
+    }
     // On GitHub runners, mirror the full scorecard into the job summary.
     if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
-        let table = markdown_summary(&verdicts, &baseline, &current, threshold, &ratios);
+        let table = markdown_summary(&verdicts, &baseline, &current, threshold, &ratios, &skipped);
         use std::io::Write as _;
         std::fs::OpenOptions::new()
             .create(true)
@@ -392,9 +449,106 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
         ));
     }
     println!(
-        "all {} tracked benches and {} ratio gates within budget",
+        "all {} tracked benches and {} ratio gates within budget ({} ratio gates skipped)",
         verdicts.len(),
-        ratios.len()
+        ratios.len(),
+        skipped.len()
+    );
+    Ok(())
+}
+
+/// One point of the sharded-vs-sequential speedup curve: the paired
+/// `..._seq_<n>` / `..._sharded_<n>` records of one bench family.
+#[derive(Debug, PartialEq)]
+struct SpeedupPoint {
+    n: u64,
+    seq_min_ns: u64,
+    sharded_min_ns: u64,
+}
+
+impl SpeedupPoint {
+    /// Sequential time over sharded time: > 1 means the pool wins.
+    fn speedup(&self) -> f64 {
+        self.seq_min_ns as f64 / (self.sharded_min_ns as f64).max(1.0)
+    }
+}
+
+/// Pairs every `<prefix>_sharded_<n>` record with its `<prefix>_seq_<n>`
+/// twin, sorted by n. Records without a twin are dropped — the curve
+/// only holds measured pairs.
+fn speedup_points(records: &[Record], prefix: &str) -> Vec<SpeedupPoint> {
+    let sharded_marker = format!("{prefix}_sharded_");
+    let mut points: Vec<SpeedupPoint> = records
+        .iter()
+        .filter_map(|r| {
+            let n: u64 = r.id.strip_prefix(&sharded_marker)?.parse().ok()?;
+            let seq = records
+                .iter()
+                .find(|s| s.id == format!("{prefix}_seq_{n}"))?;
+            Some(SpeedupPoint {
+                n,
+                seq_min_ns: seq.min_ns,
+                sharded_min_ns: r.min_ns,
+            })
+        })
+        .collect();
+    points.sort_by_key(|p| p.n);
+    points
+}
+
+/// Renders the delta and full-rebuild speedup curves as one JSON document.
+fn render_speedup(delta: &[SpeedupPoint], full: &[SpeedupPoint]) -> String {
+    let family = |points: &[SpeedupPoint]| {
+        let mut out = String::from("[\n");
+        for (i, p) in points.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"n\":{},\"seq_min_ns\":{},\"sharded_min_ns\":{},\"speedup\":{:.4}}}{}",
+                p.n,
+                p.seq_min_ns,
+                p.sharded_min_ns,
+                p.speedup(),
+                if i + 1 == points.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ]");
+        out
+    };
+    format!(
+        "{{\n  \"delta\": {},\n  \"full\": {}\n}}\n",
+        family(delta),
+        family(full)
+    )
+}
+
+fn run_speedup_curve(args: &[String]) -> Result<(), String> {
+    let input = arg_value(args, "--input").ok_or("speedup-curve needs --input <json>")?;
+    let output = arg_value(args, "--output").ok_or("speedup-curve needs --output <json>")?;
+    let records = read(&input)?;
+    let delta = speedup_points(&records, "routing/dbf_delta");
+    let full = speedup_points(&records, "routing/dbf_full");
+    if delta.is_empty() && full.is_empty() {
+        return Err(format!(
+            "{input} holds no routing/dbf_{{delta,full}}_{{seq,sharded}}_<n> pairs"
+        ));
+    }
+    std::fs::write(&output, render_speedup(&delta, &full))
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    for (name, points) in [("delta", &delta), ("full", &full)] {
+        for p in points {
+            println!(
+                "  {name:>5} n={:<6} seq {:>12} ns  sharded {:>12} ns  speedup {:.2}×",
+                p.n,
+                p.seq_min_ns,
+                p.sharded_min_ns,
+                p.speedup()
+            );
+        }
+    }
+    println!(
+        "speedup curve ({} delta + {} full points) written to {output}",
+        delta.len(),
+        full.len()
     );
     Ok(())
 }
@@ -471,12 +625,16 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("collect") => run_collect(&args[1..]),
         Some("bench-gate") => run_bench_gate(&args[1..]),
+        Some("speedup-curve") => run_speedup_curve(&args[1..]),
         Some("sweep-diff") => run_sweep_diff(&args[1..]),
-        _ => Err("usage: xtask <collect|bench-gate|sweep-diff> [flags]\n\
-                  \x20 collect    --input <jsonl> --output <json>\n\
-                  \x20 bench-gate --baseline <json> --current <json> [--threshold 1.25]\n\
-                  \x20 sweep-diff --a <dir> --b <dir> [--require <token>]..."
-            .into()),
+        _ => Err(
+            "usage: xtask <collect|bench-gate|speedup-curve|sweep-diff> [flags]\n\
+                  \x20 collect       --input <jsonl> --output <json>\n\
+                  \x20 bench-gate    --baseline <json> --current <json> [--threshold 1.25]\n\
+                  \x20 speedup-curve --input <json> --output <json>\n\
+                  \x20 sweep-diff    --a <dir> --b <dir> [--require <token>]..."
+                .into(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -584,12 +742,95 @@ mod tests {
             check_ratio(&current, "soa", "aos", 0.6),
             check_ratio(&current, "soa", "absent", 0.6),
         ];
-        let md = markdown_summary(&verdicts, &baseline, &current, 1.25, &ratios);
-        // One row per absolute gate and per ratio gate, pass or fail.
+        let skipped = vec![SkippedRatio {
+            num: "sharded".into(),
+            den: "seq".into(),
+            reason: "single-core runner".into(),
+        }];
+        let md = markdown_summary(&verdicts, &baseline, &current, 1.25, &ratios, &skipped);
+        // One row per absolute gate and per ratio gate, pass or fail —
+        // and one explicit row per declared-skipped gate, so a gate that
+        // never ran cannot read as passing.
         assert!(md.contains("| `a` | 100 ns | 130 ns (1.30× base) | ≤ 1.25× base | ❌ |"));
         assert!(md.contains("| `gone` | 100 ns | missing | ≤ 1.25× base | ❌ |"));
         assert!(md.contains("| `soa` / `aos` | — | 0.430× | ≤ 0.60× | ✅ |"));
         assert!(md.contains("| `soa` / `absent` | — | missing | ≤ 0.60× | ❌ |"));
+        assert!(md
+            .contains("| `sharded` / `seq` | — | not run | — | ⏭️ skipped (single-core runner) |"));
+    }
+
+    #[test]
+    fn skipped_ratio_gates_never_fail_but_ragged_pairs_do() {
+        let dir = SweepDir::new(
+            "skip-gate",
+            &[(
+                "bench.json",
+                "[{\"id\":\"a\",\"min_ns\":100,\"mean_ns\":110,\"samples\":20}]",
+            )],
+        );
+        let bench = format!("{}/bench.json", dir.path());
+        let base: Vec<String> = [
+            "--baseline",
+            &bench,
+            "--current",
+            &bench,
+            "--skip-ratio-num",
+            "routing/dbf_delta_sharded_625",
+            "--skip-ratio-den",
+            "routing/dbf_delta_seq_625",
+            "--skip-reason",
+            "single-core runner",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        // The skipped gate is reported, not evaluated: the run passes even
+        // though neither bench exists in the results.
+        assert!(run_bench_gate(&base).is_ok());
+        // A ragged declaration is an error — a silently dropped skip row
+        // would defeat the whole point of declaring it.
+        let mut ragged = base;
+        ragged.push("--skip-ratio-num".into());
+        ragged.push("routing/dbf_full_sharded_625".into());
+        let err = run_bench_gate(&ragged).unwrap_err();
+        assert!(err.contains("--skip-ratio-num/--skip-ratio-den"), "{err}");
+    }
+
+    #[test]
+    fn speedup_points_pair_families_by_size() {
+        let records = vec![
+            rec("routing/dbf_delta_seq_1024", 300),
+            rec("routing/dbf_delta_sharded_1024", 200),
+            rec("routing/dbf_delta_seq_225", 90),
+            rec("routing/dbf_delta_sharded_225", 100),
+            rec("routing/dbf_delta_sharded_4096", 999), // no seq twin: dropped
+            rec("routing/dbf_full_seq_625", 400),
+            rec("unrelated/bench", 1),
+        ];
+        let delta = speedup_points(&records, "routing/dbf_delta");
+        assert_eq!(
+            delta,
+            vec![
+                SpeedupPoint {
+                    n: 225,
+                    seq_min_ns: 90,
+                    sharded_min_ns: 100,
+                },
+                SpeedupPoint {
+                    n: 1024,
+                    seq_min_ns: 300,
+                    sharded_min_ns: 200,
+                },
+            ]
+        );
+        assert!((delta[1].speedup() - 1.5).abs() < 1e-12);
+        // The full family has no sharded record at all here.
+        assert!(speedup_points(&records, "routing/dbf_full").is_empty());
+        // The rendered document round-trips through the JSON scanner's
+        // object grammar (flat objects, numeric fields).
+        let json = render_speedup(&delta, &[]);
+        assert!(json.contains("\"n\":1024"));
+        assert!(json.contains("\"speedup\":1.5000"));
     }
 
     #[test]
