@@ -2,7 +2,7 @@
 
 use spms_kernel::SimTime;
 use spms_mac::{ContentionModel, MacTiming};
-use spms_net::{ChurnConfig, FailureConfig, MobilityConfig, ZoneTable};
+use spms_net::{ChurnConfig, ContactPlan, FailureConfig, MobilityConfig, ZoneTable};
 use spms_phy::RadioProfile;
 use spms_routing::TableLayout;
 
@@ -424,6 +424,13 @@ pub struct SimConfig {
     /// Mass join/leave churn process (None = no churn). Cohorts toggle
     /// liveness per epoch, stressing the incremental zone/DBF paths.
     pub churn: Option<ChurnConfig>,
+    /// Scheduled connectivity (None = every link always up): per-link
+    /// up/down windows fired as timed link flips through the same
+    /// delta-batching machinery mobility uses. A semantic knob like
+    /// `adversary` — it changes results by design, but never varies with
+    /// shards, workers, kernels, or layouts. Node ids the plan names are
+    /// range-checked against the topology when the simulation is built.
+    pub contact_plan: Option<ContactPlan>,
     /// Hard stop for the run.
     pub horizon: SimTime,
     /// Trace buffer capacity (None = tracing disabled).
@@ -479,6 +486,7 @@ impl SimConfig {
             mobility: None,
             adversary: None,
             churn: None,
+            contact_plan: None,
             horizon: SimTime::from_secs(600),
             trace_capacity: None,
             event_kernel: EventKernel::Heap,

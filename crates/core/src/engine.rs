@@ -21,8 +21,8 @@ use spms_kernel::trace::Trace;
 use spms_kernel::{Scheduler, SchedulerKind, SimRng, SimTime};
 use spms_mac::HalfDuplexQueue;
 use spms_net::{
-    ChurnEpoch, ChurnProcess, FailureProcess, MobilityEpoch, MobilityProcess, NodeId, SpatialGrid,
-    Topology, ZoneDelta, ZoneTable,
+    ChurnEpoch, ChurnProcess, ContactEpoch, ContactProcess, FailureProcess, LinkGate,
+    MobilityEpoch, MobilityProcess, NodeId, SpatialGrid, Topology, ZoneDelta, ZoneTable,
 };
 use spms_phy::{EnergyCategory, EnergyMeter, MicroJoules};
 use spms_routing::{oracle_tables, DbfEngine, DbfWireFormat, RoutingTable};
@@ -57,6 +57,10 @@ enum Event {
     MobilityEpoch,
     /// Apply the staged churn epoch (mass join/leave cohort).
     ChurnEpoch,
+    /// Apply the staged contact-plan epoch (scheduled link flips). Every
+    /// flip sharing a timestamp rides in one event, so all three event
+    /// kernels dispatch a window boundary identically.
+    ContactEpoch,
 }
 
 /// A configured, runnable simulation.
@@ -130,6 +134,13 @@ pub struct Simulation {
     staged_epoch: Option<MobilityEpoch>,
     churn_proc: Option<ChurnProcess>,
     staged_churn: Option<ChurnEpoch>,
+    /// Scheduled-connectivity state (`SimConfig::contact_plan`): the gate
+    /// holding current link states and the window-boundary walker. The
+    /// zone table is built and patched under this gate, so a down link
+    /// vanishes from adjacency and MAC densities alike.
+    contact_gate: Option<LinkGate>,
+    contact_proc: Option<ContactProcess>,
+    staged_contact: Option<ContactEpoch>,
     /// Per-node behavior policy. All-`Honest` for benign runs; adversarial
     /// entries are picked by sub-stream 4 of the master seed (or the
     /// explicit set), so adding adversaries never perturbs the failure,
@@ -184,17 +195,45 @@ impl Simulation {
                 return Err(format!("generation source {} out of range", g.source));
             }
         }
+        // Scheduled connectivity: the plan's gate filters every zone build
+        // and patch from here on, so the initial table (and the timeouts
+        // resolved from it) already reflect which links are up at t = 0.
+        let contact_gate = match &config.contact_plan {
+            Some(plan) => {
+                if let Some(max) = plan.max_node() {
+                    if max.index() >= n {
+                        return Err(format!(
+                            "contact plan names node {max}, topology has {n} nodes"
+                        ));
+                    }
+                }
+                Some(plan.initial_gate())
+            }
+            None => None,
+        };
+        let contact_proc = config.contact_plan.as_ref().map(ContactProcess::new);
         // Radius-adaptive cells: on fields too small for a zone-radius
         // grid to prune, the grid collapses to one cell and candidate
         // queries become the plain (sort-free) scan, so the indexed zone
         // build no longer loses to the all-pairs reference at small n.
         let grid = SpatialGrid::for_radius(&topology, config.zone_radius_m);
         let zones = if config.incremental_zones {
-            ZoneTable::build_indexed(&topology, &config.radio, &grid, config.zone_radius_m)
+            ZoneTable::build_indexed_gated(
+                &topology,
+                &config.radio,
+                &grid,
+                config.zone_radius_m,
+                contact_gate.as_ref(),
+            )
         } else {
             // The all-pairs reference build — bit-identical (see the
             // `spms-net` proptests), just O(n²).
-            ZoneTable::build(&topology, &config.radio, config.zone_radius_m)
+            ZoneTable::build_gated(
+                &topology,
+                &config.radio,
+                config.zone_radius_m,
+                contact_gate.as_ref(),
+            )
         };
         let timeouts = config.timeout_policy.resolve(
             config.protocol,
@@ -334,6 +373,9 @@ impl Simulation {
             staged_epoch: None,
             churn_proc,
             staged_churn: None,
+            contact_gate,
+            contact_proc,
+            staged_contact: None,
             behaviors,
             adversary_seen: vec![BTreeSet::new(); n],
             winding_down: false,
@@ -382,6 +424,9 @@ impl Simulation {
         }
         if sim.churn_proc.is_some() {
             sim.stage_next_churn();
+        }
+        if sim.contact_proc.is_some() {
+            sim.stage_next_contact();
         }
         Ok(sim)
     }
@@ -740,6 +785,7 @@ impl Simulation {
             Event::DrawFailure => self.handle_draw_failure(),
             Event::MobilityEpoch => self.handle_mobility_epoch(),
             Event::ChurnEpoch => self.handle_churn_epoch(),
+            Event::ContactEpoch => self.handle_contact_epoch(),
         }
     }
 
@@ -1037,9 +1083,13 @@ impl Simulation {
         if self.config.incremental_zones {
             // Patch only the zone rows the epoch perturbed; the returned
             // delta names exactly the nodes routing must re-converge for.
-            let delta =
-                self.zones
-                    .apply_moves(&self.topology, &self.config.radio, &self.grid, &moved);
+            let delta = self.zones.apply_moves_gated(
+                &self.topology,
+                &self.config.radio,
+                &self.grid,
+                self.contact_gate.as_ref(),
+                &moved,
+            );
             self.routing_cost.zone_patches += 1;
             self.routing_cost.zone_rows_patched += delta.rows_patched() as u64;
             self.trace.record_with(self.now, "move", || {
@@ -1060,10 +1110,11 @@ impl Simulation {
             }
         } else {
             // Reference path: rebuild the whole table all-pairs.
-            let new_zones = ZoneTable::build(
+            let new_zones = ZoneTable::build_gated(
                 &self.topology,
                 &self.config.radio,
                 self.config.zone_radius_m,
+                self.contact_gate.as_ref(),
             );
             let old_zones = std::mem::replace(&mut self.zones, new_zones);
             if self.config.incremental_routing && self.dbf.is_some() {
@@ -1150,6 +1201,106 @@ impl Simulation {
             self.process_actions(node, actions, SimTime::ZERO);
         }
         self.stage_next_churn();
+    }
+
+    fn stage_next_contact(&mut self) {
+        if self.winding_down {
+            return;
+        }
+        let Some(proc) = self.contact_proc.as_mut() else {
+            return;
+        };
+        let Some(epoch) = proc.next_epoch() else {
+            return;
+        };
+        if epoch.at > self.config.horizon {
+            return;
+        }
+        self.events.schedule(epoch.at, Event::ContactEpoch);
+        self.staged_contact = Some(epoch);
+    }
+
+    /// Applies the staged contact-plan epoch: every link flip at this
+    /// timestamp lands on the gate, the affected zone rows are patched (or
+    /// the table rebuilt, on the reference path), and re-convergence is
+    /// queued on the same batching window mobility epochs use — so
+    /// sharding, batching, the worker pool, and the oracle chain treat a
+    /// scheduled window boundary exactly like a mobility epoch.
+    fn handle_contact_epoch(&mut self) {
+        let Some(epoch) = self.staged_contact.take() else {
+            return;
+        };
+        let gate = self
+            .contact_gate
+            .as_mut()
+            .expect("contact events require a gate");
+        let mut endpoints: Vec<NodeId> = Vec::with_capacity(epoch.flips.len() * 2);
+        let (mut ups, mut downs) = (0u64, 0u64);
+        for flip in &epoch.flips {
+            gate.set(flip.a, flip.b, flip.up);
+            endpoints.extend([flip.a, flip.b]);
+            if flip.up {
+                ups += 1;
+            } else {
+                downs += 1;
+            }
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        // Counts plan events — identical whatever the wall-clock knobs.
+        self.routing_cost.contact_epochs += 1;
+        self.routing_cost.contact_links_up += ups;
+        self.routing_cost.contact_links_down += downs;
+        self.trace.record_with(self.now, "contact", || {
+            format!("contact epoch: {ups} links up, {downs} links down")
+        });
+        if self.config.incremental_zones {
+            // Patch only the endpoint rows; the delta mirrors a mobility
+            // patch (pre-flip adjacency as move records, changed rows
+            // pre-expanded), so the DBF delta path retires the stale
+            // pairings exactly as the full-rebuild oracle would.
+            let delta = self.zones.apply_link_flips(
+                &self.topology,
+                &self.config.radio,
+                &self.grid,
+                self.contact_gate.as_ref().expect("gate installed above"),
+                &endpoints,
+            );
+            if self.config.incremental_routing && self.dbf.is_some() {
+                match &mut self.pending_delta {
+                    Some(pending) => pending.merge(delta),
+                    None => self.pending_delta = Some(delta),
+                }
+                self.note_epoch_queued();
+            } else {
+                self.build_routing();
+            }
+        } else {
+            // Reference path: rebuild the whole table under the new gate.
+            let new_zones = ZoneTable::build_gated(
+                &self.topology,
+                &self.config.radio,
+                self.config.zone_radius_m,
+                self.contact_gate.as_ref(),
+            );
+            let old_zones = std::mem::replace(&mut self.zones, new_zones);
+            if self.config.incremental_routing && self.dbf.is_some() {
+                self.pending_old_zones.get_or_insert(old_zones);
+                self.pending_changed.extend(endpoints.iter().copied());
+                self.note_epoch_queued();
+            } else {
+                self.build_routing();
+            }
+        }
+        for i in 0..self.protocols.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let node = NodeId::new(i as u32);
+            let actions = self.call_protocol(node, |p, v| p.on_routes_rebuilt(v));
+            self.process_actions(node, actions, SimTime::ZERO);
+        }
+        self.stage_next_contact();
     }
 
     // ------------------------------------------------------------------
@@ -1846,6 +1997,126 @@ mod tests {
         let batched = Simulation::run_with(config, topo, plan).unwrap();
         assert!(batched.adversary.churn_epochs > 1);
         assert!(batched.adversary.churn_coalesced > 0);
+    }
+
+    fn contact_plan(text: &str) -> spms_net::ContactPlan {
+        spms_net::ContactPlan::parse(text).unwrap()
+    }
+
+    #[test]
+    fn gated_down_links_block_delivery() {
+        // Two nodes, the only link scheduled to be up from 500 s on: the
+        // item generated at t = 0 can never be delivered, and the run still
+        // terminates.
+        let topo = placement::grid(2, 1, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 3);
+        config.contact_plan = Some(contact_plan("0 1 500 600\n"));
+        let m = Simulation::run_with(config, topo.clone(), single_source_plan(0, 1)).unwrap();
+        assert_eq!(m.deliveries, 0, "no link, no delivery");
+        assert_eq!(m.messages.data.value(), 0);
+        // The already-staged open boundary still fires; once the run is
+        // winding down the chain stops (like mobility), so the 600 s close
+        // is never staged.
+        assert_eq!(m.routing.contact_epochs, 1);
+        assert_eq!(m.routing.contact_links_up, 1);
+        assert_eq!(m.routing.contact_links_down, 0);
+        // The same run without the plan delivers.
+        let open = Simulation::run_with(
+            SimConfig::paper_defaults(ProtocolKind::Spms, 3),
+            topo,
+            single_source_plan(0, 1),
+        )
+        .unwrap();
+        assert_eq!(open.deliveries, 1);
+        assert_eq!(open.routing.contact_epochs, 0);
+    }
+
+    #[test]
+    fn windows_open_at_zero_start_up_and_close_on_schedule() {
+        // Link up over [0, 50 ms): the t = 0 generation delivers through
+        // it, then the close boundary fires as one contact epoch.
+        let topo = placement::grid(2, 1, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 3);
+        config.contact_plan = Some(contact_plan("0 1 0 0.05\n"));
+        let m = Simulation::run_with(config, topo, single_source_plan(0, 1)).unwrap();
+        assert_eq!(m.deliveries, 1, "window covers the exchange");
+        assert_eq!(m.routing.contact_epochs, 1, "only the close boundary");
+        assert_eq!(
+            m.routing.contact_links_up, 0,
+            "t = 0 opens fold into the initial gate"
+        );
+        assert_eq!(m.routing.contact_links_down, 1);
+    }
+
+    #[test]
+    fn contact_plans_are_range_checked() {
+        let topo = placement::grid(2, 1, 5.0).unwrap();
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 3);
+        config.contact_plan = Some(contact_plan("0 7 1 2\n"));
+        let err = match Simulation::new(config, topo, single_source_plan(0, 1)) {
+            Err(e) => e,
+            Ok(_) => panic!("out-of-range contact plan must fail"),
+        };
+        assert!(err.contains("contact plan names node n7"), "{err}");
+    }
+
+    #[test]
+    fn contact_runs_are_identical_across_zone_maintenance_paths() {
+        // Scheduled flips through the incremental patcher vs the all-pairs
+        // reference rebuild: byte-identical RunMetrics, including the DBF
+        // delta traffic (contact counters count plan events, not rows).
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = single_source_plan(5, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 19);
+        config.routing_mode = RoutingMode::Distributed;
+        config.contact_plan = Some(contact_plan(
+            "5 6 0 0.2\n5 6 0.5 0.8\n9 10 0.1 0.6\n0 1 0.3 0.4\n",
+        ));
+        let incremental = Simulation::run_with(config.clone(), topo.clone(), plan.clone()).unwrap();
+        config.incremental_zones = false;
+        let reference = Simulation::run_with(config, topo, plan).unwrap();
+        assert!(incremental.routing.contact_epochs > 0);
+        assert_eq!(incremental, reference);
+    }
+
+    #[test]
+    fn adversary_attack_start_boundary_is_kernel_invariant() {
+        // Regression: an adversary whose `attack_start` equals an event's
+        // timestamp must behave identically whether the kernel pops events
+        // one at a time (heap/wheel) or drains the whole timestamp into a
+        // batch (wheel-batched) — `step` pins `now` per event in all three
+        // loops, so `now >= attack_start` must flip at the same event
+        // either way. Generations land at exact-millisecond timestamps, so
+        // pinning `attack_start` to one of them puts the boundary ON a
+        // dispatched timestamp shared by several events.
+        let topo = placement::grid(4, 4, 5.0).unwrap();
+        let plan = single_source_plan(5, 3);
+        let mut config = SimConfig::paper_defaults(ProtocolKind::Spms, 33);
+        let mut adv = AdversaryConfig::new(NodeBehavior::Flooding, 0.25).unwrap();
+        // The third generation's timestamp: events already in flight from
+        // earlier generations share dispatch instants with this one.
+        adv.attack_start = SimTime::from_millis(2);
+        config.adversary = Some(adv);
+        let mut runs = Vec::new();
+        for kernel in [
+            EventKernel::Heap,
+            EventKernel::Wheel,
+            EventKernel::WheelBatched,
+        ] {
+            let mut c = config.clone();
+            c.event_kernel = kernel;
+            runs.push((
+                kernel,
+                Simulation::run_with(c, topo.clone(), plan.clone()).unwrap(),
+            ));
+        }
+        assert!(
+            runs[0].1.adversary.packets_dropped > 0,
+            "the boundary run must actually exercise the adversary"
+        );
+        for (kernel, m) in &runs[1..] {
+            assert_eq!(&runs[0].1, m, "kernel {kernel} diverges at the boundary");
+        }
     }
 
     #[test]

@@ -46,6 +46,14 @@ pub struct RoutingCost {
     /// `reconverge_on_failure` handles flips eagerly or the fix is
     /// ablated off.
     pub liveness_deltas: u64,
+    /// Contact-plan epochs applied (scheduled window boundaries reached).
+    /// Counts *plan events*, not rows or threads: byte-identical across
+    /// shard counts, workers, event kernels, and table layouts.
+    pub contact_epochs: u64,
+    /// Scheduled link up-flips applied (window opens after `t = 0`).
+    pub contact_links_up: u64,
+    /// Scheduled link down-flips applied (window closes).
+    pub contact_links_down: u64,
     /// Total synchronous rounds.
     pub rounds: u64,
     /// Total vector broadcasts.

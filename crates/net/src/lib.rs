@@ -22,6 +22,10 @@
 //!   oracle), grid-indexed ([`ZoneTable::build_indexed`]), or patched
 //!   incrementally after mobility ([`ZoneTable::apply_moves`] →
 //!   [`ZoneDelta`]),
+//! * [`ContactPlan`] / [`ContactProcess`] — scheduled connectivity in the
+//!   DTN contact-plan tradition: per-link up/down windows loaded from
+//!   `.cp`-style text, walked as timed link flips a [`LinkGate`] applies
+//!   to the zone builders,
 //! * [`MobilityProcess`] — the epoch-based random relocation model,
 //! * [`ChurnProcess`] — epoch-based mass join/leave cohorts (the
 //!   heavy-churn stress regime for the incremental zone/DBF paths),
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod churn;
+mod contact;
 mod failure;
 mod graph;
 mod mobility;
@@ -44,6 +49,7 @@ mod topology;
 mod zone;
 
 pub use churn::{ChurnConfig, ChurnEpoch, ChurnProcess};
+pub use contact::{ContactEpoch, ContactPlan, ContactProcess, ContactWindow, LinkFlip, LinkGate};
 pub use failure::{FailureConfig, FailureEvent, FailureProcess};
 pub use graph::{dijkstra, dijkstra_masked, PathCost};
 pub use mobility::{MobilityConfig, MobilityEpoch, MobilityProcess};

@@ -2,7 +2,7 @@
 
 use spms_phy::{PowerLevel, RadioProfile};
 
-use crate::{NodeId, SpatialGrid, Topology};
+use crate::{LinkGate, NodeId, SpatialGrid, Topology};
 
 /// One link from a node to a zone neighbor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -141,10 +141,17 @@ impl ZoneDelta {
 /// radius are distance-filtered here, so a grid's whole-cell supersets are
 /// fine. The arithmetic is identical to the all-pairs reference build, so
 /// tables assembled from either path compare equal bit for bit.
+///
+/// `gate` is the scheduled-connectivity filter ([`LinkGate`]): a gated-down
+/// neighbor vanishes from both the links row and the density counts — for
+/// this node, it might as well be out of radio range. `None` means every
+/// link is up (the classic geometry-only table).
+#[allow(clippy::too_many_arguments)] // private kernel shared by all four build paths
 fn compute_row(
     topology: &Topology,
     radio: &RadioProfile,
     zone_radius_m: f64,
+    gate: Option<&LinkGate>,
     node: NodeId,
     candidates: &[NodeId],
     row: &mut Vec<ZoneLink>,
@@ -154,6 +161,11 @@ fn compute_row(
     counts.fill(0);
     let pa = topology.position(node);
     for &b in candidates {
+        if let Some(g) = gate {
+            if !g.is_up(node, b) {
+                continue;
+            }
+        }
         let d = pa.distance(topology.position(b));
         // The contention domain is capped at the zone radius: only zone
         // members participate in the protocol with this node, which is
@@ -200,6 +212,20 @@ impl ZoneTable {
     /// excluded even if inside the configured radius.
     #[must_use]
     pub fn build(topology: &Topology, radio: &RadioProfile, zone_radius_m: f64) -> Self {
+        Self::build_gated(topology, radio, zone_radius_m, None)
+    }
+
+    /// [`ZoneTable::build`] under a [`LinkGate`]: gated-down links are
+    /// excluded from adjacency rows and density counts exactly as if the
+    /// endpoints were out of range. `None` reproduces the ungated build bit
+    /// for bit.
+    #[must_use]
+    pub fn build_gated(
+        topology: &Topology,
+        radio: &RadioProfile,
+        zone_radius_m: f64,
+        gate: Option<&LinkGate>,
+    ) -> Self {
         let n = topology.len();
         let all: Vec<NodeId> = topology.nodes().collect();
         let cap = Self::row_capacity(topology, zone_radius_m);
@@ -211,6 +237,7 @@ impl ZoneTable {
                 topology,
                 radio,
                 zone_radius_m,
+                gate,
                 a,
                 &all,
                 &mut row,
@@ -254,6 +281,23 @@ impl ZoneTable {
         grid: &SpatialGrid,
         zone_radius_m: f64,
     ) -> Self {
+        Self::build_indexed_gated(topology, radio, grid, zone_radius_m, None)
+    }
+
+    /// [`ZoneTable::build_indexed`] under a [`LinkGate`] — bit-identical to
+    /// [`ZoneTable::build_gated`] with the same gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid tracks a different node count than `topology`.
+    #[must_use]
+    pub fn build_indexed_gated(
+        topology: &Topology,
+        radio: &RadioProfile,
+        grid: &SpatialGrid,
+        zone_radius_m: f64,
+        gate: Option<&LinkGate>,
+    ) -> Self {
         assert_eq!(grid.len(), topology.len(), "grid/topology length mismatch");
         let n = topology.len();
         let cap = Self::row_capacity(topology, zone_radius_m);
@@ -267,6 +311,7 @@ impl ZoneTable {
                 topology,
                 radio,
                 zone_radius_m,
+                gate,
                 a,
                 &candidates,
                 &mut row,
@@ -308,6 +353,26 @@ impl ZoneTable {
         grid: &SpatialGrid,
         moved: &[NodeId],
     ) -> ZoneDelta {
+        self.apply_moves_gated(topology, radio, grid, None, moved)
+    }
+
+    /// [`ZoneTable::apply_moves`] under a [`LinkGate`]: the rebuilt rows
+    /// honor the gate, so a patched table stays bit-identical to
+    /// [`ZoneTable::build_gated`] of the new topology under the same gate.
+    /// The gate must be the one the table was last built/patched with —
+    /// gate *changes* go through [`ZoneTable::apply_link_flips`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table, topology, and grid disagree on the node count.
+    pub fn apply_moves_gated(
+        &mut self,
+        topology: &Topology,
+        radio: &RadioProfile,
+        grid: &SpatialGrid,
+        gate: Option<&LinkGate>,
+        moved: &[NodeId],
+    ) -> ZoneDelta {
         let n = self.links.len();
         assert_eq!(topology.len(), n, "table/topology length mismatch");
         assert_eq!(grid.len(), n, "table/grid length mismatch");
@@ -326,10 +391,17 @@ impl ZoneTable {
             // The new zone: everyone within the radius of the new position
             // (a candidate superset is fine — rebuilding an untouched row
             // reproduces it exactly, so over-approximation costs only
-            // time, and the distance filter keeps the set tight).
+            // time, and the distance filter keeps the set tight). A
+            // gated-down neighbor is adjacent under neither the old nor the
+            // new table, so its row cannot have changed: skip it, keeping
+            // `changed_nodes` aligned with what the routing layer's
+            // old/new-adjacency expansion would name.
             let pm = topology.position(m);
             grid.candidates_within(pm, self.zone_radius_m, &mut candidates);
             for &b in &candidates {
+                if gate.is_some_and(|g| !g.is_up(m, b)) {
+                    continue;
+                }
                 if topology.position(b).within(pm, self.zone_radius_m) {
                     affected[b.index()] = true;
                 }
@@ -353,6 +425,7 @@ impl ZoneTable {
                 topology,
                 radio,
                 self.zone_radius_m,
+                gate,
                 a,
                 &candidates,
                 &mut row,
@@ -361,6 +434,73 @@ impl ZoneTable {
             self.links[i] = row;
             changed_nodes.push(a);
         }
+        ZoneDelta {
+            moves,
+            changed_nodes,
+        }
+    }
+
+    /// Patches the table in place after the scheduled-connectivity gate
+    /// flipped the links touching `endpoints` (sorted, distinct, and
+    /// containing **both** ends of every flipped link), rebuilding **only**
+    /// the endpoint rows — a link flip changes exactly the edge between its
+    /// endpoints, so no other row or density count can differ.
+    /// `gate` must already reflect the **new** link states; the result is
+    /// bit-identical to a from-scratch [`ZoneTable::build_gated`] under the
+    /// new gate (property-tested).
+    ///
+    /// The returned [`ZoneDelta`] mirrors what a mobility patch would
+    /// produce for the same adjacency change: one [`MovedZone`] per
+    /// endpoint carrying its pre-flip neighbors (the stale pairs routing
+    /// must retire — for a down-flip that names the lost partner), and
+    /// `changed_nodes` = endpoints ∪ their pre-flip ∪ post-flip neighbors —
+    /// exactly the set the reference path's old/new-adjacency expansion
+    /// names, which is what keeps the incremental and full-rebuild oracles
+    /// byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table, topology, and grid disagree on the node count.
+    pub fn apply_link_flips(
+        &mut self,
+        topology: &Topology,
+        radio: &RadioProfile,
+        grid: &SpatialGrid,
+        gate: &LinkGate,
+        endpoints: &[NodeId],
+    ) -> ZoneDelta {
+        let n = self.links.len();
+        assert_eq!(topology.len(), n, "table/topology length mismatch");
+        assert_eq!(grid.len(), n, "table/grid length mismatch");
+        let mut moves = Vec::with_capacity(endpoints.len());
+        let mut changed_nodes: Vec<NodeId> = Vec::new();
+        let mut candidates = Vec::new();
+        for &e in endpoints {
+            let old_neighbors: Vec<NodeId> =
+                self.links[e.index()].iter().map(|l| l.neighbor).collect();
+            changed_nodes.extend(old_neighbors.iter().copied());
+            grid.candidates_within(topology.position(e), self.zone_radius_m, &mut candidates);
+            let mut row = std::mem::take(&mut self.links[e.index()]);
+            compute_row(
+                topology,
+                radio,
+                self.zone_radius_m,
+                Some(gate),
+                e,
+                &candidates,
+                &mut row,
+                &mut self.level_counts[e.index()],
+            );
+            changed_nodes.extend(row.iter().map(|l| l.neighbor));
+            self.links[e.index()] = row;
+            changed_nodes.push(e);
+            moves.push(MovedZone {
+                node: e,
+                old_neighbors,
+            });
+        }
+        changed_nodes.sort_unstable();
+        changed_nodes.dedup();
         ZoneDelta {
             moves,
             changed_nodes,
@@ -679,6 +819,98 @@ mod tests {
         merged.merge(ZoneDelta::liveness(&[NodeId::new(48), NodeId::new(2)]));
         assert_eq!(merged.moves, moves_before);
         assert_eq!(merged.changed_nodes, expect);
+    }
+
+    #[test]
+    fn gated_builds_drop_links_and_densities_consistently() {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let grid = SpatialGrid::for_radius(&topo, 20.0);
+        let mut gate = crate::LinkGate::all_up();
+        let (a, b) = (NodeId::new(12), NodeId::new(13));
+        gate.set(a, b, false);
+        let gated = ZoneTable::build_gated(&topo, &radio, 20.0, Some(&gate));
+        let open = ZoneTable::build(&topo, &radio, 20.0);
+        assert!(open.in_zone(a, b));
+        assert!(!gated.in_zone(a, b), "gated-down link vanishes");
+        assert!(!gated.in_zone(b, a), "symmetrically");
+        // Densities shrink by exactly the gated neighbor, both sides.
+        for &(x, y) in &[(a, b), (b, a)] {
+            let lvl = open.link_to(x, y).unwrap().level;
+            assert_eq!(
+                gated.density_at_level(x, lvl) + 1,
+                open.density_at_level(x, lvl)
+            );
+        }
+        // All build paths agree under the same gate.
+        assert_eq!(
+            ZoneTable::build_indexed_gated(&topo, &radio, &grid, 20.0, Some(&gate)),
+            gated
+        );
+        // A `None` gate and an all-up gate are both the classic table.
+        assert_eq!(
+            ZoneTable::build_gated(&topo, &radio, 20.0, Some(&crate::LinkGate::all_up())),
+            open
+        );
+    }
+
+    #[test]
+    fn apply_link_flips_matches_the_gated_rebuild() {
+        let topo = placement::grid(5, 5, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let grid = SpatialGrid::for_radius(&topo, 20.0);
+        let mut gate = crate::LinkGate::all_up();
+        let mut zones = ZoneTable::build_indexed_gated(&topo, &radio, &grid, 20.0, Some(&gate));
+        let (a, b) = (NodeId::new(6), NodeId::new(7));
+        let old_a: Vec<NodeId> = zones.links(a).iter().map(|l| l.neighbor).collect();
+
+        // Down-flip: patched table equals a gated rebuild; the delta names
+        // the endpoints, their old and new neighborhoods, and carries the
+        // pre-flip rows as move records.
+        gate.set(a, b, false);
+        let delta = zones.apply_link_flips(&topo, &radio, &grid, &gate, &[a, b]);
+        assert_eq!(
+            zones,
+            ZoneTable::build_gated(&topo, &radio, 20.0, Some(&gate))
+        );
+        assert!(delta.changed_nodes.contains(&a));
+        assert!(delta.changed_nodes.contains(&b));
+        assert!(delta.changed_nodes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(delta.moves.len(), 2);
+        assert_eq!(delta.moves[0].node, a);
+        assert_eq!(delta.moves[0].old_neighbors, old_a, "pre-flip row");
+        assert!(delta.moves[1].old_neighbors.contains(&a));
+
+        // Up-flip restores the ungated table exactly.
+        gate.set(a, b, true);
+        zones.apply_link_flips(&topo, &radio, &grid, &gate, &[a, b]);
+        assert_eq!(zones, ZoneTable::build(&topo, &radio, 20.0));
+    }
+
+    #[test]
+    fn gated_moves_track_the_gated_rebuild() {
+        // Mobility on a gated table: the patched result must equal the
+        // gated reference rebuild of the new topology, and the gated-down
+        // neighbor must not leak into `changed_nodes`.
+        let mut topo = placement::grid(5, 5, 5.0).unwrap();
+        let radio = RadioProfile::mica2();
+        let mut grid = SpatialGrid::for_radius(&topo, 20.0);
+        let mut gate = crate::LinkGate::all_up();
+        let mover = NodeId::new(12);
+        let partner = NodeId::new(13);
+        gate.set(mover, partner, false);
+        let mut zones = ZoneTable::build_indexed_gated(&topo, &radio, &grid, 20.0, Some(&gate));
+        topo.move_node(mover, crate::Point::new(16.0, 11.0));
+        grid.move_node(mover, topo.position(mover));
+        let delta = zones.apply_moves_gated(&topo, &radio, &grid, Some(&gate), &[mover]);
+        assert_eq!(
+            zones,
+            ZoneTable::build_gated(&topo, &radio, 20.0, Some(&gate))
+        );
+        assert!(
+            !delta.changed_nodes.contains(&partner),
+            "gated-down neighbor's row cannot have changed"
+        );
     }
 
     #[test]

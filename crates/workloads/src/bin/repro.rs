@@ -1,11 +1,11 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|ext5|table1|breakeven|all]...
+//! repro [fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|ext1|ext2|ext3|ext4|ext5|ext6|table1|breakeven|all]...
 //!       [--scale smoke|quick|paper] [--seed N] [--seeds R] [--out DIR] [--workers W]
 //!       [--event-kernel heap|wheel|wheel-batched] [--table-layout soa|aos]
 //!       [--adversary-fraction F] [--adversary-behavior B] [--attack-start MS]
-//!       [--attack-factor K] [--churn-rate F]
+//!       [--attack-factor K] [--churn-rate F] [--contact-plan FILE]
 //! ```
 //!
 //! Markdown goes to stdout; CSVs and their machine-readable JSON twins are
@@ -35,6 +35,10 @@
 //! above these are **semantic** — they change results exactly like a seed
 //! does — but under any fixed setting the wall-clock knobs still cannot
 //! change a byte, which is what the adversarial-smoke CI step verifies.
+//! `--contact-plan FILE` loads a `.cp`-style scheduled-connectivity plan
+//! (`node_a node_b t_start t_end` per line, seconds) and overlays it on
+//! every figure whose specs did not pin their own — the fourth semantic
+//! knob. EXT6 pins its own duty-cycle sweep and is immune.
 //! Run with `--release`; the paper scale sweeps take minutes.
 
 use std::collections::BTreeSet;
@@ -42,11 +46,13 @@ use std::path::PathBuf;
 
 use spms::{EventKernel, TableLayout};
 use spms_kernel::SimTime;
+use spms_net::ContactPlan;
 use spms_workloads::figures;
 use spms_workloads::{
     render_ascii_chart, render_csv, render_json, render_markdown, render_replicated_csv,
-    render_replicated_markdown, replicate, set_default_adversary, set_default_event_kernel,
-    set_default_table_layout, set_default_workers, AdversaryOverride, FigureResult, Scale,
+    render_replicated_markdown, replicate, set_default_adversary, set_default_contact_plan,
+    set_default_event_kernel, set_default_table_layout, set_default_workers, AdversaryOverride,
+    FigureResult, Scale,
 };
 
 struct Args {
@@ -60,6 +66,7 @@ struct Args {
     event_kernel: EventKernel,
     table_layout: TableLayout,
     adversary: AdversaryOverride,
+    contact_plan: Option<ContactPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
     let mut event_kernel = EventKernel::Heap;
     let mut table_layout = TableLayout::Soa;
     let mut adversary = AdversaryOverride::default();
+    let mut contact_plan = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -142,6 +150,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad attack factor: {e}"))?;
                 adversary.attack_factor = Some(k);
             }
+            "--contact-plan" => {
+                let path = PathBuf::from(argv.next().ok_or("--contact-plan needs a file")?);
+                contact_plan = Some(ContactPlan::load(&path)?);
+            }
             "--churn-rate" => {
                 let v: f64 = argv
                     .next()
@@ -157,7 +169,8 @@ fn parse_args() -> Result<Args, String> {
                             [--table-layout soa|aos] \
                             [--adversary-fraction F] \
                             [--adversary-behavior honest|flooding|silent-dropper|metadata-liar] \
-                            [--attack-start MS] [--attack-factor K] [--churn-rate F]"
+                            [--attack-start MS] [--attack-factor K] [--churn-rate F] \
+                            [--contact-plan FILE]"
                     .into())
             }
             other if other.starts_with('-') => {
@@ -188,6 +201,7 @@ fn parse_args() -> Result<Args, String> {
         event_kernel,
         table_layout,
         adversary,
+        contact_plan,
     })
 }
 
@@ -252,9 +266,10 @@ fn main() {
     set_default_workers(args.workers);
     set_default_event_kernel(args.event_kernel);
     set_default_table_layout(args.table_layout);
-    // The semantic override (adversary/churn) — only figures that leave
-    // those config slots unset pick it up.
+    // The semantic overrides (adversary/churn and the contact plan) —
+    // only figures that leave those config slots unset pick them up.
     set_default_adversary(args.adversary);
+    set_default_contact_plan(args.contact_plan.clone());
     let t = &args.targets;
     eprintln!(
         "repro: scale={} seed={} workers={} event-kernel={} table-layout={} targets={:?}",
@@ -269,6 +284,14 @@ fn main() {
         args.table_layout,
         t
     );
+    if let Some(plan) = &args.contact_plan {
+        eprintln!(
+            "repro: contact-plan override: {} link(s), {} window(s) (semantic knob: \
+             outputs differ by design)",
+            plan.num_links(),
+            plan.num_windows(),
+        );
+    }
     if args.adversary != AdversaryOverride::default() {
         eprintln!(
             "repro: adversary override: fraction={:?} behavior={:?} attack-start={:?} \
@@ -361,6 +384,16 @@ fn main() {
     }
     if wants(t, "ext5") {
         emit_sim(&args, |s| figures::ext5(&args.scale, s));
+    }
+    if wants(t, "ext6") {
+        if args.seeds <= 1 {
+            let (a, b) = figures::ext6(&args.scale, args.seed);
+            emit(&a, &args.out);
+            emit(&b, &args.out);
+        } else {
+            emit_sim(&args, |s| figures::ext6(&args.scale, s).0);
+            emit_sim(&args, |s| figures::ext6(&args.scale, s).1);
+        }
     }
     if wants(t, "breakeven") {
         println!("{}", figures::breakeven_report());

@@ -21,7 +21,7 @@ use spms::{
     TrafficPlan,
 };
 use spms_kernel::SimTime;
-use spms_net::{ChurnConfig, Topology};
+use spms_net::{ChurnConfig, ContactPlan, Topology};
 
 /// Experiment scale: the paper's full parameter grid, or a laptop-friendly
 /// subset for CI and Criterion benches.
@@ -334,6 +334,34 @@ pub fn default_adversary() -> AdversaryOverride {
     *DEFAULT_ADVERSARY.lock().expect("override mutex poisoned")
 }
 
+/// The process-wide contact-plan override (see
+/// [`set_default_contact_plan`]).
+static DEFAULT_CONTACT_PLAN: Mutex<Option<ContactPlan>> = Mutex::new(None);
+
+/// Sets the process-wide contact-plan override routed into every sweep
+/// that goes through [`run_specs`] — all the `figures` generators, and
+/// through them the `repro` bin's `--contact-plan` flag. Like the
+/// adversary/churn override this is a **semantic** knob: scheduled
+/// connectivity changes what the simulation computes, exactly like a
+/// seed. It only fills in specs whose config left `contact_plan` unset,
+/// so figure generators that pin their own plans (EXT6) are immune.
+/// `None` clears the override.
+pub fn set_default_contact_plan(plan: Option<ContactPlan>) {
+    *DEFAULT_CONTACT_PLAN
+        .lock()
+        .expect("contact-plan mutex poisoned") = plan;
+}
+
+/// The process-wide contact-plan override (see
+/// [`set_default_contact_plan`]).
+#[must_use]
+pub fn default_contact_plan() -> Option<ContactPlan> {
+    DEFAULT_CONTACT_PLAN
+        .lock()
+        .expect("contact-plan mutex poisoned")
+        .clone()
+}
+
 /// Runs one spec, containing failures: an engine error or a panic inside
 /// the run becomes an `Err` carrying the message, so one bad spec can
 /// never poison, reorder, or abort its siblings.
@@ -343,6 +371,9 @@ fn run_one(spec: &RunSpec) -> Result<RunMetrics, String> {
         config.event_kernel = default_event_kernel();
         config.table_layout = default_table_layout();
         default_adversary().apply(&mut config);
+        if config.contact_plan.is_none() {
+            config.contact_plan = default_contact_plan();
+        }
         Simulation::run_with(config, spec.topology.clone(), spec.plan.clone())
     };
     match catch_unwind(AssertUnwindSafe(run)) {

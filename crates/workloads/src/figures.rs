@@ -939,6 +939,147 @@ pub fn ext5(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// EXT6 (no paper figure): scheduled connectivity — delivery ratio and
+/// energy per delivered item vs contact duty cycle, per protocol.
+///
+/// The 5×5 field is split by a satellite-pass backhaul
+/// ([`crate::contact_plans::satellite_passes`]): every link crossing the
+/// vertical seam is up only for the first `duty × period` of each pass
+/// period, while both halves keep their full local connectivity. At
+/// `duty = 1` the plan gates but never drops, reproducing the ungated
+/// field; as the duty cycle shrinks, items born while the seam is down
+/// never cross it, so delivery degrades toward the intra-half ceiling.
+///
+/// Every spec pins its own [`SimConfig::contact_plan`], so the figure is
+/// immune to the process-wide `--contact-plan` override — which is what
+/// lets the sweep-smoke CI step byte-diff its JSON across `--workers` and
+/// `--event-kernel` while still sweeping duty cycles *inside* the figure.
+/// Returns (delivery-ratio figure, energy-per-delivery figure).
+#[must_use]
+pub fn ext6(scale: &Scale, seed: u64) -> (FigureResult, FigureResult) {
+    // A 5×5 grid as EXT3–EXT5. Two duty cycles at smoke scale (the CI
+    // sweep-smoke step), a five-point curve at quick/paper scale.
+    let side = 5usize;
+    let n = side * side;
+    let duties: Vec<f64> = if scale.node_counts.len() <= 2 {
+        vec![0.3, 1.0]
+    } else {
+        vec![0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let period = scale.mean_gap * 5;
+    let horizon = scale.horizon_for(n);
+    let packets = scale.packets_per_node.max(2);
+    let protocols = [
+        ProtocolKind::Flooding,
+        ProtocolKind::Spin,
+        ProtocolKind::Spms,
+    ];
+    let mut specs = Vec::new();
+    for protocol in protocols {
+        for &duty in &duties {
+            let mut c = config(protocol, seed ^ ((duty * 100.0) as u64) << 3, 20.0);
+            c.horizon = horizon;
+            c.contact_plan = Some(
+                crate::contact_plans::satellite_passes(side, period, duty, horizon)
+                    .expect("valid pass schedule"),
+            );
+            let plan = traffic::all_to_all(n, packets, scale.mean_gap, seed ^ 0xC067)
+                .expect("valid workload");
+            specs.push(RunSpec {
+                label: format!("{} d={duty}", protocol.label()),
+                config: c,
+                topology: placement::grid(side, side, scale.spacing_m).expect("5×5 grid"),
+                plan,
+            });
+        }
+    }
+    let results = run_specs(specs);
+    // Labels are "{name} d={duty}"; match on the full prefix so FLOOD
+    // cannot swallow a future FLOOD-variant the way bare prefixes would.
+    let pick = |name: &str, f: &dyn Fn(&RunMetrics) -> f64| SeriesData {
+        name: name.to_string(),
+        points: results
+            .iter()
+            .filter(|(label, _)| label.rsplit_once(" d=").map(|(p, _)| p) == Some(name))
+            .zip(duties.iter())
+            .map(|((_, m), &x)| (x, f(m)))
+            .collect(),
+    };
+    let delivery_series: Vec<SeriesData> = protocols
+        .iter()
+        .map(|p| pick(p.label(), &RunMetrics::delivery_ratio))
+        .collect();
+    let epochs: u64 = results.iter().map(|(_, m)| m.routing.contact_epochs).sum();
+    let ups: u64 = results
+        .iter()
+        .map(|(_, m)| m.routing.contact_links_up)
+        .sum();
+    let downs: u64 = results
+        .iter()
+        .map(|(_, m)| m.routing.contact_links_down)
+        .sum();
+    let ext6a = FigureResult {
+        id: "ext6a",
+        title: format!(
+            "EXT6: delivery ratio vs contact duty cycle (25 nodes, satellite-pass \
+             backhaul across the seam, period {period})"
+        ),
+        x_label: "contact duty cycle",
+        y_label: "delivery ratio",
+        series: delivery_series,
+        notes: vec![
+            format!(
+                "scheduled connectivity exercised across the sweep: contact_epochs={epochs}, \
+                 contact_links_up={ups}, contact_links_down={downs} (byte-checked by the \
+                 sweep-smoke CI step)"
+            ),
+            "every spec pins its own SimConfig::contact_plan, so the figure is immune to \
+             the process-wide --contact-plan override"
+                .into(),
+        ],
+    };
+    let energy_series: Vec<SeriesData> = protocols
+        .iter()
+        .map(|p| {
+            let mut s = pick(p.label(), &|m: &RunMetrics| {
+                if m.deliveries == 0 {
+                    f64::NAN
+                } else {
+                    m.energy.total().value() / m.deliveries as f64
+                }
+            });
+            s.points.retain(|p| p.1.is_finite());
+            s
+        })
+        .filter(|s| !s.points.is_empty())
+        .collect();
+    let scheduled: Vec<String> = duties
+        .iter()
+        .map(|&d| {
+            let plan = crate::contact_plans::satellite_passes(side, period, d, horizon)
+                .expect("valid pass schedule");
+            let got = plan.duty_cycle(
+                spms_net::NodeId::new(0),
+                spms_net::NodeId::new(side as u32 / 2),
+                horizon,
+            );
+            format!("{d}→{got:.3}")
+        })
+        .collect();
+    let ext6b = FigureResult {
+        id: "ext6b",
+        title: "EXT6: energy per delivered item vs contact duty cycle".into(),
+        x_label: "contact duty cycle",
+        y_label: "energy per delivery (µJ)",
+        series: energy_series,
+        notes: vec![format!(
+            "requested → scheduled seam duty cycle: {}",
+            scheduled.join(", ")
+        )],
+    };
+    (ext6a, ext6b)
+}
+
 /// Table 1 as a rendered parameter listing.
 #[must_use]
 pub fn table1() -> String {
@@ -1202,6 +1343,69 @@ mod tests {
         let aos = ext5(&scale, 9);
         set_default_table_layout(TableLayout::Soa);
         assert_eq!(aos, base, "aos vs soa");
+    }
+
+    #[test]
+    fn ext6_contact_figure_degrades_delivery_and_is_knob_independent() {
+        use crate::experiment::{set_default_event_kernel, set_default_table_layout};
+        use spms::{EventKernel, TableLayout};
+        let scale = Scale::smoke();
+        let (base, energy) = ext6(&scale, 11);
+        assert_eq!(base.series.len(), 3, "delivery per protocol");
+        for s in &base.series {
+            assert_eq!(s.points.len(), 2, "smoke scale sweeps two duty cycles");
+        }
+        // Items born while the seam is down never cross it: every
+        // protocol's duty-cycled delivery ratio must sit strictly below
+        // its full-duty baseline (the last point, duty = 1).
+        for name in ["FLOOD", "SPIN", "SPMS"] {
+            let s = base.series_named(name).unwrap();
+            let gated = s.points[0].1;
+            let full = s.points[1].1;
+            assert!(full > 0.0, "{name}: full-duty runs must deliver");
+            assert!(
+                gated < full,
+                "{name}: duty-cycled {gated} must degrade below full-duty {full}"
+            );
+        }
+        assert!(
+            base.notes.iter().any(|n| n.contains("contact_epochs=")
+                && n.contains("contact_links_up=")
+                && n.contains("contact_links_down=")),
+            "notes must surface the contact counters: {:?}",
+            base.notes
+        );
+        // The sweep actually flipped links (a plan-free sweep would pass
+        // the byte-diff and still be meaningless).
+        assert!(
+            base.notes
+                .iter()
+                .any(|n| n.contains("contact_epochs=") && !n.contains("contact_epochs=0,")),
+            "the sweep must fire contact epochs: {:?}",
+            base.notes
+        );
+        assert!(
+            energy.notes.iter().any(|n| n.contains("duty cycle")),
+            "energy notes must round-trip the schedule: {:?}",
+            energy.notes
+        );
+        // The contact plan is a semantic knob; kernels, layouts, and
+        // worker pools stay wall-clock-only even under scheduled
+        // connectivity. The sweep-smoke CI step byte-diffs this figure's
+        // JSON across --workers and --event-kernel; assert the
+        // kernel/layout legs in-process.
+        for kernel in [EventKernel::Wheel, EventKernel::WheelBatched] {
+            set_default_event_kernel(kernel);
+            let got = ext6(&scale, 11);
+            set_default_event_kernel(EventKernel::Heap);
+            assert_eq!(got.0, base, "{kernel} vs heap");
+            assert_eq!(got.1, energy, "{kernel} vs heap (energy)");
+        }
+        set_default_table_layout(TableLayout::Aos);
+        let aos = ext6(&scale, 11);
+        set_default_table_layout(TableLayout::Soa);
+        assert_eq!(aos.0, base, "aos vs soa");
+        assert_eq!(aos.1, energy, "aos vs soa (energy)");
     }
 
     #[test]

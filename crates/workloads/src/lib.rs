@@ -6,6 +6,9 @@
 //! * [`traffic`] — builders for the two communication patterns of §5:
 //!   all-to-all with Poisson arrivals, and cluster-based hierarchical
 //!   traffic with 5% bystander interest,
+//! * [`contact_plans`] — scheduled-connectivity generators (the
+//!   satellite-pass backhaul and the inter-regional pipeline cut) feeding
+//!   `SimConfig::contact_plan`,
 //! * [`experiment`] — run specifications and the deterministic parallel
 //!   sweep executor (a [`SweepConfig`]-sized worker pool whose results are
 //!   byte-identical to the sequential path for any worker count),
@@ -27,15 +30,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contact_plans;
 pub mod experiment;
 pub mod figures;
 pub mod replication;
 pub mod report;
 pub mod traffic;
 
+pub use contact_plans::{interregional, satellite_passes};
 pub use experiment::{
-    default_adversary, default_event_kernel, default_sweep_config, default_table_layout, run_specs,
-    run_specs_with, set_default_adversary, set_default_event_kernel, set_default_table_layout,
+    default_adversary, default_contact_plan, default_event_kernel, default_sweep_config,
+    default_table_layout, run_specs, run_specs_with, set_default_adversary,
+    set_default_contact_plan, set_default_event_kernel, set_default_table_layout,
     set_default_workers, try_run_specs, AdversaryOverride, RunSpec, Scale, SweepConfig,
 };
 pub use figures::{FigureResult, SeriesData};

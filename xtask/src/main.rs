@@ -26,12 +26,16 @@
 //!   they never fail the run, but they show up in stdout and in the
 //!   `$GITHUB_STEP_SUMMARY` scorecard as explicit `skipped` rows — a
 //!   gate that never ran must be visibly absent, not silently green.
-//! * `speedup-curve --input <json> --output <json>` — derives the
-//!   sharded-vs-sequential speedup curve from one bench run: every
-//!   `routing/dbf_{delta,full}_sharded_<n>` record is paired with its
-//!   `..._seq_<n>` twin and emitted as a `{n, seq_min_ns,
-//!   sharded_min_ns, speedup}` row, sorted by n. CI uploads the result
-//!   as the scaling artifact tracked by the ROADMAP's 10k-node target.
+//! * `speedup-curve --input <json> --output <json> [--strict]` — derives
+//!   the sharded-vs-sequential speedup curve from one bench run: every
+//!   `routing/dbf_{delta,full}_{seq,sharded}_<n>` record is grouped by n
+//!   and emitted as a `{n, seq_min_ns, sharded_min_ns, speedup}` row,
+//!   sorted by n. A record whose twin is absent is **not** dropped: the
+//!   row is emitted with explicit `"missing"` fields (a truncated bench
+//!   run must be visible in the artifact, not silently thinner), and
+//!   `--strict` turns any such row into a non-zero exit. CI uploads the
+//!   result as the scaling artifact tracked by the ROADMAP's 10k-node
+//!   target.
 //! * `sweep-diff --a <dir> --b <dir> [--require <token>]...` — the
 //!   sweep-determinism gate: both directories must hold the same set of
 //!   `*.json` figure files (as written by the `repro` bin) with
@@ -294,7 +298,9 @@ fn markdown_summary(
 
 fn read(path: &str) -> Result<Vec<Record>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let records = parse_records(&text)?;
+    // Name the input on parse failures too: "unbalanced '{'" without a
+    // file name is useless when several CRITERION_JSON files are in play.
+    let records = parse_records(&text).map_err(|e| format!("{path}: {e}"))?;
     if records.is_empty() {
         return Err(format!("{path} holds no bench records"));
     }
@@ -457,57 +463,84 @@ fn run_bench_gate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One point of the sharded-vs-sequential speedup curve: the paired
-/// `..._seq_<n>` / `..._sharded_<n>` records of one bench family.
+/// One point of the sharded-vs-sequential speedup curve: the
+/// `..._seq_<n>` / `..._sharded_<n>` records of one bench family at one
+/// size. Either side may be absent (a truncated or partial bench run):
+/// the point is still emitted, with its missing side explicit.
 #[derive(Debug, PartialEq)]
 struct SpeedupPoint {
     n: u64,
-    seq_min_ns: u64,
-    sharded_min_ns: u64,
+    seq_min_ns: Option<u64>,
+    sharded_min_ns: Option<u64>,
 }
 
 impl SpeedupPoint {
-    /// Sequential time over sharded time: > 1 means the pool wins.
-    fn speedup(&self) -> f64 {
-        self.seq_min_ns as f64 / (self.sharded_min_ns as f64).max(1.0)
+    /// Sequential time over sharded time (> 1 means the pool wins), or
+    /// `None` when either twin is missing.
+    fn speedup(&self) -> Option<f64> {
+        match (self.seq_min_ns, self.sharded_min_ns) {
+            (Some(seq), Some(sharded)) => Some(seq as f64 / (sharded as f64).max(1.0)),
+            _ => None,
+        }
+    }
+
+    /// `true` when both twins were measured.
+    fn complete(&self) -> bool {
+        self.seq_min_ns.is_some() && self.sharded_min_ns.is_some()
     }
 }
 
-/// Pairs every `<prefix>_sharded_<n>` record with its `<prefix>_seq_<n>`
-/// twin, sorted by n. Records without a twin are dropped — the curve
-/// only holds measured pairs.
+/// Groups every `<prefix>_{seq,sharded}_<n>` record by n, sorted by n.
+/// Records without a twin are **kept** as incomplete points — the curve
+/// must show a truncated run as explicitly missing, never as merely
+/// thinner.
 fn speedup_points(records: &[Record], prefix: &str) -> Vec<SpeedupPoint> {
+    let seq_marker = format!("{prefix}_seq_");
     let sharded_marker = format!("{prefix}_sharded_");
-    let mut points: Vec<SpeedupPoint> = records
-        .iter()
-        .filter_map(|r| {
-            let n: u64 = r.id.strip_prefix(&sharded_marker)?.parse().ok()?;
-            let seq = records
-                .iter()
-                .find(|s| s.id == format!("{prefix}_seq_{n}"))?;
-            Some(SpeedupPoint {
-                n,
-                seq_min_ns: seq.min_ns,
-                sharded_min_ns: r.min_ns,
-            })
-        })
-        .collect();
-    points.sort_by_key(|p| p.n);
-    points
+    let mut by_n: std::collections::BTreeMap<u64, SpeedupPoint> = std::collections::BTreeMap::new();
+    for r in records {
+        if let Some(n) = r.id.strip_prefix(&seq_marker).and_then(|s| s.parse().ok()) {
+            by_n.entry(n)
+                .or_insert(SpeedupPoint {
+                    n,
+                    seq_min_ns: None,
+                    sharded_min_ns: None,
+                })
+                .seq_min_ns = Some(r.min_ns);
+        } else if let Some(n) =
+            r.id.strip_prefix(&sharded_marker)
+                .and_then(|s| s.parse().ok())
+        {
+            by_n.entry(n)
+                .or_insert(SpeedupPoint {
+                    n,
+                    seq_min_ns: None,
+                    sharded_min_ns: None,
+                })
+                .sharded_min_ns = Some(r.min_ns);
+        }
+    }
+    by_n.into_values().collect()
 }
 
 /// Renders the delta and full-rebuild speedup curves as one JSON document.
+/// An unpaired point renders its absent side — and its speedup — as the
+/// literal string `"missing"`.
 fn render_speedup(delta: &[SpeedupPoint], full: &[SpeedupPoint]) -> String {
+    let ns = |v: Option<u64>| v.map_or_else(|| "\"missing\"".into(), |x| x.to_string());
     let family = |points: &[SpeedupPoint]| {
         let mut out = String::from("[\n");
         for (i, p) in points.iter().enumerate() {
+            let speedup = p
+                .speedup()
+                .map_or_else(|| "\"missing\"".into(), |s| format!("{s:.4}"));
             let _ = writeln!(
                 out,
-                "    {{\"n\":{},\"seq_min_ns\":{},\"sharded_min_ns\":{},\"speedup\":{:.4}}}{}",
+                "    {{\"n\":{},\"seq_min_ns\":{},\"sharded_min_ns\":{},\"speedup\":{}}}{}",
                 p.n,
-                p.seq_min_ns,
-                p.sharded_min_ns,
-                p.speedup(),
+                ns(p.seq_min_ns),
+                ns(p.sharded_min_ns),
+                speedup,
                 if i + 1 == points.len() { "" } else { "," }
             );
         }
@@ -524,31 +557,56 @@ fn render_speedup(delta: &[SpeedupPoint], full: &[SpeedupPoint]) -> String {
 fn run_speedup_curve(args: &[String]) -> Result<(), String> {
     let input = arg_value(args, "--input").ok_or("speedup-curve needs --input <json>")?;
     let output = arg_value(args, "--output").ok_or("speedup-curve needs --output <json>")?;
+    let strict = args.iter().any(|a| a == "--strict");
     let records = read(&input)?;
     let delta = speedup_points(&records, "routing/dbf_delta");
     let full = speedup_points(&records, "routing/dbf_full");
     if delta.is_empty() && full.is_empty() {
         return Err(format!(
-            "{input} holds no routing/dbf_{{delta,full}}_{{seq,sharded}}_<n> pairs"
+            "{input} holds no routing/dbf_{{delta,full}}_{{seq,sharded}}_<n> records"
         ));
     }
     std::fs::write(&output, render_speedup(&delta, &full))
         .map_err(|e| format!("cannot write {output}: {e}"))?;
+    let mut unpaired = Vec::new();
     for (name, points) in [("delta", &delta), ("full", &full)] {
         for p in points {
+            let side = |v: Option<u64>| v.map_or_else(|| "MISSING".into(), |x| format!("{x} ns"));
+            let speedup = p
+                .speedup()
+                .map_or_else(|| "missing".into(), |s| format!("{s:.2}×"));
             println!(
-                "  {name:>5} n={:<6} seq {:>12} ns  sharded {:>12} ns  speedup {:.2}×",
+                "  {name:>5} n={:<6} seq {:>14}  sharded {:>14}  speedup {speedup}",
                 p.n,
-                p.seq_min_ns,
-                p.sharded_min_ns,
-                p.speedup()
+                side(p.seq_min_ns),
+                side(p.sharded_min_ns),
             );
+            if !p.complete() {
+                let absent = if p.seq_min_ns.is_none() {
+                    "seq"
+                } else {
+                    "sharded"
+                };
+                unpaired.push(format!("routing/dbf_{name}_{absent}_{}", p.n));
+            }
         }
     }
+    if !unpaired.is_empty() {
+        let note = format!(
+            "{} unpaired record(s) in {input} — missing twin(s): {}",
+            unpaired.len(),
+            unpaired.join(", ")
+        );
+        if strict {
+            return Err(format!("{note} (--strict: a truncated bench run fails)"));
+        }
+        eprintln!("xtask: warning: {note}");
+    }
     println!(
-        "speedup curve ({} delta + {} full points) written to {output}",
+        "speedup curve ({} delta + {} full points, {} unpaired) written to {output}",
         delta.len(),
-        full.len()
+        full.len(),
+        unpaired.len()
     );
     Ok(())
 }
@@ -631,7 +689,7 @@ fn main() -> ExitCode {
             "usage: xtask <collect|bench-gate|speedup-curve|sweep-diff> [flags]\n\
                   \x20 collect       --input <jsonl> --output <json>\n\
                   \x20 bench-gate    --baseline <json> --current <json> [--threshold 1.25]\n\
-                  \x20 speedup-curve --input <json> --output <json>\n\
+                  \x20 speedup-curve --input <json> --output <json> [--strict]\n\
                   \x20 sweep-diff    --a <dir> --b <dir> [--require <token>]..."
                 .into(),
         ),
@@ -662,12 +720,13 @@ mod tests {
     fn parses_json_lines_and_arrays() {
         let jsonl = "{\"id\":\"a\",\"min_ns\":100,\"mean_ns\":110,\"samples\":20}\n\
                      {\"id\":\"b\",\"min_ns\":200,\"mean_ns\":220,\"samples\":20}\n";
-        let from_lines = parse_records(jsonl).unwrap();
+        let from_lines = parse_records(jsonl).expect("records a and b parse from JSON lines");
         assert_eq!(from_lines.len(), 2);
         assert_eq!(from_lines[0].id, "a");
         assert_eq!(from_lines[1].min_ns, 200);
         // The canonical render round-trips.
-        let from_array = parse_records(&render(&from_lines)).unwrap();
+        let from_array =
+            parse_records(&render(&from_lines)).expect("rendered records a and b re-parse");
         assert_eq!(from_lines, from_array);
     }
 
@@ -675,7 +734,7 @@ mod tests {
     fn later_duplicate_records_win() {
         let text = "{\"id\":\"a\",\"min_ns\":100,\"mean_ns\":110,\"samples\":20}\n\
                     {\"id\":\"a\",\"min_ns\":90,\"mean_ns\":95,\"samples\":20}\n";
-        let records = parse_records(text).unwrap();
+        let records = parse_records(text).expect("duplicate records of id a parse");
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].min_ns, 90);
     }
@@ -683,14 +742,16 @@ mod tests {
     #[test]
     fn escaped_quotes_in_ids_survive() {
         let records = vec![rec("weird\"bench\\name", 5)];
-        let parsed = parse_records(&render(&records)).unwrap();
+        let parsed =
+            parse_records(&render(&records)).expect("escaped bench id survives the round-trip");
         assert_eq!(parsed[0].id, "weird\"bench\\name");
     }
 
     #[test]
     fn braces_inside_ids_do_not_split_objects() {
         let records = vec![rec("routing/offer{k=2}", 5), rec("plain", 7)];
-        let parsed = parse_records(&render(&records)).unwrap();
+        let parsed = parse_records(&render(&records))
+            .expect("braces inside record id routing/offer{k=2} re-parse");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].id, "plain");
         assert_eq!(parsed[1].id, "routing/offer{k=2}");
@@ -707,8 +768,8 @@ mod tests {
     #[test]
     fn render_sorts_by_id() {
         let out = render(&[rec("z", 1), rec("a", 2)]);
-        let za = out.find("\"z\"").unwrap();
-        let aa = out.find("\"a\"").unwrap();
+        let za = out.find("\"z\"").expect("record z rendered");
+        let aa = out.find("\"a\"").expect("record a rendered");
         assert!(aa < za);
     }
 
@@ -803,7 +864,7 @@ mod tests {
             rec("routing/dbf_delta_sharded_1024", 200),
             rec("routing/dbf_delta_seq_225", 90),
             rec("routing/dbf_delta_sharded_225", 100),
-            rec("routing/dbf_delta_sharded_4096", 999), // no seq twin: dropped
+            rec("routing/dbf_delta_sharded_4096", 999), // no seq twin
             rec("routing/dbf_full_seq_625", 400),
             rec("unrelated/bench", 1),
         ];
@@ -813,24 +874,92 @@ mod tests {
             vec![
                 SpeedupPoint {
                     n: 225,
-                    seq_min_ns: 90,
-                    sharded_min_ns: 100,
+                    seq_min_ns: Some(90),
+                    sharded_min_ns: Some(100),
                 },
                 SpeedupPoint {
                     n: 1024,
-                    seq_min_ns: 300,
-                    sharded_min_ns: 200,
+                    seq_min_ns: Some(300),
+                    sharded_min_ns: Some(200),
+                },
+                // The unpaired record is kept, its missing twin explicit.
+                SpeedupPoint {
+                    n: 4096,
+                    seq_min_ns: None,
+                    sharded_min_ns: Some(999),
                 },
             ]
         );
-        assert!((delta[1].speedup() - 1.5).abs() < 1e-12);
-        // The full family has no sharded record at all here.
-        assert!(speedup_points(&records, "routing/dbf_full").is_empty());
+        assert!((delta[1].speedup().expect("paired point") - 1.5).abs() < 1e-12);
+        assert_eq!(delta[2].speedup(), None);
+        // The full family holds one seq-only point — present, incomplete.
+        let full = speedup_points(&records, "routing/dbf_full");
+        assert_eq!(full.len(), 1);
+        assert!(!full[0].complete());
         // The rendered document round-trips through the JSON scanner's
-        // object grammar (flat objects, numeric fields).
-        let json = render_speedup(&delta, &[]);
+        // object grammar for complete rows and marks the ragged ones.
+        let json = render_speedup(&delta, &full);
         assert!(json.contains("\"n\":1024"));
         assert!(json.contains("\"speedup\":1.5000"));
+        assert!(json.contains("{\"n\":4096,\"seq_min_ns\":\"missing\",\"sharded_min_ns\":999,\"speedup\":\"missing\"}"));
+        assert!(json.contains(
+            "{\"n\":625,\"seq_min_ns\":400,\"sharded_min_ns\":\"missing\",\"speedup\":\"missing\"}"
+        ));
+    }
+
+    #[test]
+    fn ragged_speedup_sets_warn_by_default_and_fail_under_strict() {
+        let complete = "{\"id\":\"routing/dbf_delta_seq_225\",\"min_ns\":90,\"mean_ns\":95,\"samples\":20}\n\
+                        {\"id\":\"routing/dbf_delta_sharded_225\",\"min_ns\":45,\"mean_ns\":50,\"samples\":20}\n";
+        let ragged = format!(
+            "{complete}{{\"id\":\"routing/dbf_full_sharded_625\",\"min_ns\":70,\"mean_ns\":75,\"samples\":20}}\n"
+        );
+        let dir = SweepDir::new(
+            "speedup-strict",
+            &[("complete.jsonl", complete), ("ragged.jsonl", &ragged)],
+        );
+        let curve = |input: &str, strict: bool| {
+            let mut args = vec![
+                "--input".to_string(),
+                format!("{}/{input}", dir.path()),
+                "--output".to_string(),
+                format!("{}/curve-{input}-{strict}.json", dir.path()),
+            ];
+            if strict {
+                args.push("--strict".into());
+            }
+            run_speedup_curve(&args)
+        };
+        // A fully paired set passes even under --strict.
+        assert!(curve("complete.jsonl", false).is_ok());
+        assert!(curve("complete.jsonl", true).is_ok());
+        // A ragged set still emits the curve (with explicit missing rows)
+        // by default, but --strict turns it into a hard failure naming
+        // the absent twin.
+        assert!(curve("ragged.jsonl", false).is_ok());
+        let written =
+            std::fs::read_to_string(format!("{}/curve-ragged.jsonl-false.json", dir.path()))
+                .expect("ragged curve file written");
+        assert!(written.contains("\"missing\""), "{written}");
+        let err = curve("ragged.jsonl", true).unwrap_err();
+        assert!(err.contains("routing/dbf_full_seq_625"), "{err}");
+        assert!(err.contains("--strict"), "{err}");
+    }
+
+    #[test]
+    fn read_errors_name_the_input_file() {
+        let dir = SweepDir::new(
+            "read-errors",
+            &[("truncated.jsonl", "{\"id\":\"a\",\"min_ns\":1,")],
+        );
+        let path = format!("{}/truncated.jsonl", dir.path());
+        let err = read(&path).unwrap_err();
+        assert!(
+            err.contains("truncated.jsonl") && err.contains("unbalanced"),
+            "a truncated CRITERION_JSON must fail naming the file: {err}"
+        );
+        let err = read("/nonexistent/bench.jsonl").unwrap_err();
+        assert!(err.contains("/nonexistent/bench.jsonl"), "{err}");
     }
 
     #[test]
@@ -875,9 +1004,11 @@ mod tests {
         fn new(tag: &str, files: &[(&str, &str)]) -> Self {
             let dir =
                 std::env::temp_dir().join(format!("spms-xtask-sweep-{}-{tag}", std::process::id()));
-            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create sweep dir {}: {e}", dir.display()));
             for (name, contents) in files {
-                std::fs::write(dir.join(name), contents).unwrap();
+                std::fs::write(dir.join(name), contents)
+                    .unwrap_or_else(|e| panic!("cannot write sweep file {name}: {e}"));
             }
             SweepDir(dir)
         }
